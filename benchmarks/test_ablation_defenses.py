@@ -1,0 +1,112 @@
+"""Ablation: memory-controller defenses vs this repo's attack suite.
+
+Section 8.2's two implications, quantified:
+
+1. controllers cannot rely on the bypassable in-DRAM TRR — each of
+   PARA / Graphene / BlockHammer independently stops the double-sided
+   burst the TRR bypass enables,
+2. adapting to the chip's heterogeneous vulnerability (per-subarray
+   thresholds) buys real refresh savings at equal protection,
+
+plus two cautionary results: activation-count-based defenses are blind
+to RowPress unless on-time-aware, and hiding the vendor row mapping
+degrades or breaks victim-refresh defenses.
+"""
+
+import pytest
+
+from repro.chips.profiles import make_chip
+from repro.defenses import (BlockHammer, Graphene, HeterogeneousGraphene,
+                            Para, RowPressAwarePara, burst_double_sided,
+                            defended_session, evaluate,
+                            para_probability_for, pick_vulnerable_victim)
+from repro.dram.geometry import RowAddress
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return make_chip(0)
+
+
+@pytest.fixture(scope="module")
+def victim(chip):
+    return pick_vulnerable_victim(chip)
+
+
+def test_defense_matrix(benchmark, chip, victim):
+    """The full attack x defense matrix (printed for the report)."""
+    p = para_probability_for(14_000)
+    factories = {
+        "none": lambda: None,
+        "para": lambda: Para(probability=p,
+                             believed_mapping=chip.row_mapping()),
+        "rowpress-para": lambda: RowPressAwarePara(
+            probability=p, believed_mapping=chip.row_mapping()),
+        "graphene": lambda: Graphene(
+            threshold=3500, believed_mapping=chip.row_mapping()),
+        "blockhammer": lambda: BlockHammer(
+            believed_mapping=chip.row_mapping()),
+    }
+
+    def run_matrix():
+        return {name: evaluate(chip, factory, name, victim)
+                for name, factory in factories.items()}
+
+    matrix = benchmark.pedantic(run_matrix, iterations=1, rounds=1)
+    print()
+    for name, reports in matrix.items():
+        for attack, report in reports.items():
+            print(f"  {name:14s} vs {attack:20s}: "
+                  f"flips={report.bitflips:4d} "
+                  f"refresh_ovh={report.refresh_overhead:.4f} "
+                  f"delay={report.throttle_delay_ms:.0f}ms")
+    # Undefended: both attacks flip bits.
+    assert matrix["none"]["double_sided_burst"].bitflips > 0
+    assert matrix["none"]["rowpress_burst"].bitflips > 0
+    # Every defense stops conventional double-sided hammering.
+    for name in ("para", "rowpress-para", "graphene", "blockhammer"):
+        assert matrix[name]["double_sided_burst"].protected, name
+    # Activation-count defenses are RowPress-blind; the on-time-aware
+    # PARA closes the gap (Takeaway 7's defense implication).
+    assert not matrix["para"]["rowpress_burst"].protected
+    assert not matrix["graphene"]["rowpress_burst"].protected
+    assert matrix["rowpress-para"]["rowpress_burst"].protected
+    # Graphene's deterministic counters refresh far less than PARA.
+    assert matrix["graphene"]["double_sided_burst"].refresh_overhead \
+        < 0.5 * matrix["para"]["double_sided_burst"].refresh_overhead
+    # BlockHammer trades refreshes for attacker-visible delay.
+    assert matrix["blockhammer"]["double_sided_burst"].throttle_delay_ms \
+        > 1000.0
+
+
+def test_heterogeneous_thresholds_save_refreshes(benchmark, chip):
+    """Section 8.2 implication 1: vulnerability-aware thresholds."""
+    hetero = benchmark.pedantic(
+        lambda: HeterogeneousGraphene(
+            chip, believed_mapping=chip.row_mapping(),
+            rows_per_subarray=8),
+        iterations=1, rounds=1)
+    uniform_threshold = hetero.uniform_equivalent_threshold()
+    print(f"\n  uniform threshold: {uniform_threshold}  "
+          f"mean local threshold: {hetero.mean_threshold():.0f} "
+          f"({hetero.mean_threshold() / uniform_threshold:.2f}x headroom)")
+    assert hetero.mean_threshold() > 1.5 * uniform_threshold
+    # Hammer a resilient-subarray row: both designs protect, but the
+    # uniform one spends preventive refreshes the silicon doesn't need.
+    layout = chip.geometry.subarrays
+    target = RowAddress(3, 0, 0,
+                        layout.rows_of(layout.last_subarray)[400])
+    uniform = Graphene(threshold=uniform_threshold,
+                       believed_mapping=chip.row_mapping())
+    flips_hetero = burst_double_sided(
+        defended_session(chip, hetero), target, hammer_count=100_000)
+    flips_uniform = burst_double_sided(
+        defended_session(chip, uniform), target, hammer_count=100_000)
+    assert flips_hetero == 0 and flips_uniform == 0
+    saved = (uniform.stats.preventive_refreshes
+             - hetero.stats.preventive_refreshes)
+    print(f"  refreshes on a resilient row: uniform "
+          f"{uniform.stats.preventive_refreshes} vs heterogeneous "
+          f"{hetero.stats.preventive_refreshes} ({saved} saved)")
+    assert hetero.stats.preventive_refreshes \
+        < uniform.stats.preventive_refreshes

@@ -1,0 +1,54 @@
+"""Ablation: analytic engine vs exact command-level device.
+
+The large sweeps use closed-form BER and order-statistic HC sampling; the
+device executes commands and materializes 8192 cells per row.  This
+benchmark verifies the two agree row by row and measures the speedup that
+justifies the analytic path.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bender.host import BenderSession
+from repro.bender.routines import measure_row_ber
+from repro.chips.profiles import make_chip
+from repro.chips.vectorized import population_grid
+from repro.core.patterns import CHECKERED0
+from repro.dram.geometry import RowAddress
+
+ROWS = np.arange(4000, 4020)
+
+
+def exact_bers(chip):
+    session = BenderSession(chip.make_device(),
+                            mapping=chip.row_mapping())
+    return np.array([
+        measure_row_ber(session, RowAddress(0, 0, 0, int(row)),
+                        CHECKERED0, hammer_count=512_000).ber
+        for row in ROWS])
+
+
+def analytic_bers(chip):
+    grid = population_grid(chip, 0, 0, 0, ROWS, "Checkered0")
+    return grid.ber(512_000)
+
+
+def test_engines_agree_and_analytic_is_faster(benchmark):
+    chip = make_chip(0)
+    start = time.perf_counter()
+    exact = exact_bers(chip)
+    exact_seconds = time.perf_counter() - start
+    analytic = benchmark.pedantic(analytic_bers, args=(chip,),
+                                  iterations=1, rounds=3)
+    start = time.perf_counter()
+    analytic_bers(chip)
+    analytic_seconds = max(time.perf_counter() - start, 1e-9)
+    # Agreement: per-row difference within binomial sampling noise.
+    assert np.all(np.abs(exact - analytic) < 0.01)
+    assert np.mean(np.abs(exact - analytic)) < 0.003
+    speedup = exact_seconds / analytic_seconds
+    print(f"\nexact {exact_seconds:.3f}s vs analytic "
+          f"{analytic_seconds * 1000:.1f}ms -> {speedup:.0f}x speedup")
+    assert speedup > 10.0

@@ -1,0 +1,75 @@
+"""Ablation (extension): read disturbance vs chip temperature.
+
+The paper pins Chip 0 at 82 C rather than sweeping temperature; this
+extension sweeps it on the simulator, following the DDR4 temperature
+sensitivity literature the paper cites (SpyHammer et al.): effective
+disturbance grows mildly with temperature, so the hammer count needed
+for the first bitflip falls, and retention worsens much faster (2x per
+~10 C).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bender.host import BenderSession
+from repro.bender.routines import search_hc_first
+from repro.chips.profiles import make_chip
+from repro.core.patterns import CHECKERED0
+from repro.dram.geometry import RowAddress
+
+VICTIM = RowAddress(0, 0, 0, 5000)
+TEMPERATURES = (62.0, 72.0, 82.0, 92.0, 102.0)
+
+
+def hc_first_at(chip, temperature_c: float) -> int:
+    device = chip.make_device()
+    device.set_temperature(temperature_c)
+    session = BenderSession(device, mapping=chip.row_mapping())
+    result = search_hc_first(session, VICTIM, CHECKERED0,
+                             tolerance=0.005)
+    assert result.found
+    return result.hc_first
+
+
+def test_hc_first_falls_with_temperature(benchmark):
+    chip = make_chip(0)
+
+    def sweep():
+        return {t: hc_first_at(chip, t) for t in TEMPERATURES}
+
+    series = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\n  temperature sweep of HC_first (Chip 0, row "
+          f"{VICTIM.row}):")
+    for temperature, hc in series.items():
+        print(f"    {temperature:5.1f} C -> HC_first {hc:,}")
+    values = [series[t] for t in TEMPERATURES]
+    assert all(b <= a for a, b in zip(values, values[1:]))
+    # Mild sensitivity: ~0.25%/C -> ~10% over 40 C.
+    assert values[0] / values[-1] == pytest.approx(1.10, rel=0.05)
+
+
+def test_retention_collapses_much_faster(benchmark):
+    chip = make_chip(0)
+
+    def failing_fraction(temperature_c: float) -> float:
+        device = chip.make_device()
+        device.set_temperature(temperature_c)
+        failures = 0
+        rows = range(3000, 3200)
+        image = np.full(1024, 0xFF, dtype=np.uint8)
+        for row in rows:
+            address = RowAddress(0, 0, 0, row)
+            device.write_row(address, image)
+        device.wait(0.5e9)  # 500 ms unrefreshed
+        for row in rows:
+            address = RowAddress(0, 0, 0, row)
+            if not np.array_equal(device.read_row(address), image):
+                failures += 1
+        return failures / len(rows)
+
+    cool = benchmark.pedantic(failing_fraction, args=(82.0,),
+                              iterations=1, rounds=1)
+    hot = failing_fraction(112.0)  # +30 C: retention clock runs 8x
+    print(f"\n  rows failing after 500 ms: {cool:.1%} at 82 C vs "
+          f"{hot:.1%} at 112 C")
+    assert hot > 3 * max(cool, 0.005)

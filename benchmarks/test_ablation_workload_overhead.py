@@ -1,0 +1,56 @@
+"""Ablation: what each defense costs a benign workload.
+
+The second axis of any mitigation proposal.  A Zipf-popularity activation
+trace (hot rows at a few percent of the stream — busy but harmless) runs
+through each controller: PARA pays its sampling probability on every
+activation; Graphene's counters almost never fire; BlockHammer's
+blacklist never triggers, so its heavy-handed throttling is free until
+someone actually hammers.
+"""
+
+import pytest
+
+from repro.chips.profiles import make_chip
+from repro.defenses import (BlockHammer, Graphene, Para,
+                            RowPressAwarePara, para_probability_for)
+from repro.workloads import benign_trace, measure_benign_overhead
+
+
+def test_benign_overhead_table(benchmark):
+    chip = make_chip(0)
+    trace = benign_trace(total_activations=60_000)
+    p = para_probability_for(14_000)
+    factories = {
+        "none": lambda: None,
+        "para": lambda: Para(probability=p,
+                             believed_mapping=chip.row_mapping()),
+        "rowpress-para": lambda: RowPressAwarePara(
+            probability=p, believed_mapping=chip.row_mapping()),
+        "graphene": lambda: Graphene(
+            threshold=3500, believed_mapping=chip.row_mapping()),
+        "blockhammer": lambda: BlockHammer(
+            believed_mapping=chip.row_mapping()),
+    }
+
+    def run_table():
+        return {name: measure_benign_overhead(chip, factory, name, trace)
+                for name, factory in factories.items()}
+
+    reports = benchmark.pedantic(run_table, iterations=1, rounds=1)
+    print(f"\n  benign trace: {trace.total_activations:,} ACTs over "
+          f"{trace.distinct_rows:,} rows "
+          f"(hottest {trace.hottest_row_share():.1%})")
+    for name, report in reports.items():
+        print(f"  {name:14s} refreshes/kACT="
+              f"{report.refreshes_per_kilo_act:6.2f}  "
+              f"slowdown={report.slowdown_fraction:.2%}  "
+              f"corrupted={report.corrupted_rows}")
+    # Nobody corrupts benign data.
+    assert all(r.corrupted_rows == 0 for r in reports.values())
+    # PARA's overhead is its sampling probability; counters are cheaper.
+    assert reports["para"].refreshes_per_kilo_act == pytest.approx(
+        1000 * p, rel=0.3)
+    assert reports["graphene"].refreshes_per_kilo_act \
+        < 0.1 * reports["para"].refreshes_per_kilo_act
+    # Throttling costs benign workloads nothing.
+    assert reports["blockhammer"].slowdown_fraction < 0.01

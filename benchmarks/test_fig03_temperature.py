@@ -1,0 +1,19 @@
+"""Fig. 3: 24-hour chip temperature telemetry.
+
+Paper: Chip 0 regulated at 82 C by the heating-pad/fan controller; the
+other five chips uncontrolled but stable over the whole day.
+"""
+
+import pytest
+
+
+def test_fig03_temperature(run_artifact):
+    result = run_artifact("fig03", base_scale=0.05)
+    chip0 = result.data["Chip 0"]
+    assert chip0["controlled"]
+    assert chip0["mean_c"] == pytest.approx(82.0, abs=1.0)
+    assert chip0["peak_to_peak_c"] < 4.0
+    for index in range(1, 6):
+        chip = result.data[f"Chip {index}"]
+        assert not chip["controlled"]
+        assert chip["peak_to_peak_c"] < 4.0

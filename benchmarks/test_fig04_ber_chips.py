@@ -1,0 +1,28 @@
+"""Fig. 4: RowHammer BER across chips and data patterns.
+
+Paper shape: bitflips everywhere; Chip 0 worst (mean 1.04%, max 3.02%
+for Checkered0), Chip 5 best (0.66%, 1.82%); checkered > rowstripe
+(0.76% vs 0.67% across rows); chip-mean WCDP spread 0.49 pp.
+"""
+
+import pytest
+
+
+def test_fig04_ber_across_chips(run_artifact):
+    result = run_artifact("fig04", base_scale=0.05)
+    data = result.data
+    # Obsv. 1: every tested row flips.
+    for label in (f"Chip {i}" for i in range(6)):
+        assert data[label]["WCDP"]["min"] > 0
+    # Obsv. 2 magnitudes.
+    assert data["Chip 0"]["Checkered0"]["mean"] == pytest.approx(
+        0.0104, rel=0.35)
+    assert data["Chip 0"]["Checkered0"]["max"] == pytest.approx(
+        0.0302, rel=0.45)
+    assert data["Chip 5"]["Checkered0"]["mean"] == pytest.approx(
+        0.0066, rel=0.35)
+    # Obsv. 3: checkered couples harder than rowstripe.
+    assert data["mean_checkered"] > data["mean_rowstripe"]
+    # Takeaway 2: chip-mean spread near 0.49 pp.
+    assert data["wcdp_chip_mean_spread"] == pytest.approx(0.0049,
+                                                          rel=0.45)

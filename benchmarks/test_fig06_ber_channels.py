@@ -1,0 +1,24 @@
+"""Fig. 6: BER across 3D-stacked channels.
+
+Paper shape: Chip 0's CH7/CH3 mean-BER ratio 1.99x; channels pair per
+die; channel-level Checkered0 spread (0.88 pp in Chip 4) exceeds the
+chip-level spread (0.38 pp) except in Chip 5.
+"""
+
+import pytest
+
+
+def test_fig06_ber_across_channels(run_artifact):
+    result = run_artifact("fig06", base_scale=0.04)
+    data = result.data
+    assert data["chip0_ch7_over_ch3"] == pytest.approx(1.99, rel=0.3)
+    chip_spread = data["chip_level_spread_checkered0"]
+    assert chip_spread == pytest.approx(0.0038, rel=0.5)
+    # Obsv. 11: channel spread beats chip spread for Chip 4...
+    assert data["Chip 4"]["checkered0_channel_spread"] > chip_spread
+    assert data["Chip 4"]["checkered0_channel_spread"] == pytest.approx(
+        0.0088, rel=0.5)
+    # ... and Chip 5 is the exception with the smallest channel spread.
+    spreads = {i: data[f"Chip {i}"]["checkered0_channel_spread"]
+               for i in range(6)}
+    assert spreads[5] == min(spreads.values())

@@ -1,0 +1,22 @@
+"""Fig. 7: HC_first across channels.
+
+Paper shape: channels differ in HC_first distributions, tracking their
+BER (the worse a channel's BER, the smaller its HC_first values); the
+Rowstripe0/Rowstripe1 medians differ per channel (1.37x in Chip 1 CH0).
+"""
+
+import numpy as np
+
+
+def test_fig07_hcfirst_across_channels(run_artifact):
+    result = run_artifact("fig07", base_scale=0.08)
+    data = result.data
+    # Obsv. 13: a polarity asymmetry between the rowstripe patterns.
+    assert data["chip1_ch0_rowstripe_ratio"] > 1.02
+    # Obsv. 12: in Chip 1, the die pair (3,4) holds relatively vulnerable
+    # channels (smallest minima land in or next to that pair).
+    chip1 = data["Chip 1"]["wcdp_by_channel"]
+    medians = {ch: v["median"] for ch, v in chip1.items()}
+    vulnerable_pair_median = np.mean([medians[3], medians[4]])
+    others = np.mean([medians[ch] for ch in medians if ch not in (3, 4)])
+    assert vulnerable_pair_median < others

@@ -1,0 +1,16 @@
+"""Fig. 8: BER for every row across a bank; subarray structure.
+
+Paper shape: BER oscillates across rows, peaking mid-subarray; subarrays
+hold 832 or 768 rows; the middle and last subarrays are markedly more
+resilient than the rest.
+"""
+
+
+def test_fig08_ber_across_bank_rows(run_artifact):
+    result = run_artifact("fig08", base_scale=0.12)
+    assert sorted(set(result.data["subarray_sizes"])) == [768, 832]
+    for channel_data in result.data["per_channel"].values():
+        # Takeaway 4: resilient subarrays well below the others.
+        assert channel_data["resilient_over_normal"] < 0.80
+    # Obsv. 14: mid-subarray rows flip more than edge rows.
+    assert result.data["mid_over_edge"] > 1.15

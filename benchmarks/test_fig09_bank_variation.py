@@ -1,0 +1,19 @@
+"""Fig. 9: BER variation across the 256 banks of Chip 0.
+
+Paper shape: banks cluster bimodally — higher mean BER with lower
+coefficient of variation and vice versa; up to 0.23 pp bank spread within
+channel 7; channel variation dominates bank variation.
+"""
+
+import pytest
+
+
+def test_fig09_bank_variation(run_artifact):
+    result = run_artifact("fig09", base_scale=0.33)
+    data = result.data
+    assert data["bank_count"] == 256
+    # Obsv. 16: the two clusters, oriented the paper's way.
+    assert data["low_cv_cluster_mean_ber"] > data["high_cv_cluster_mean_ber"]
+    assert data["channel7_bank_spread"] == pytest.approx(0.0023, rel=0.8)
+    # Obsv. 17: channels dominate banks.
+    assert data["channel_spread"] > 0.5 * data["channel7_bank_spread"]

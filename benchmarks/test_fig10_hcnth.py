@@ -1,0 +1,19 @@
+"""Fig. 10: hammer counts to induce the first 10 bitflips, normalized.
+
+Paper shape: mean normalized HC_tenth below 2x HC_first; range 1.15x to
+5.22x; moderate pattern effect (12.59% between the extremes).
+"""
+
+import pytest
+
+
+def test_fig10_hcnth_normalized(run_artifact):
+    result = run_artifact("fig10", base_scale=1.0)
+    means = result.data["mean_normalized"]["Rowstripe1"]
+    assert means[0] == pytest.approx(1.0)
+    assert 1.05 < means[1] < 1.45          # paper: 1.19
+    assert 1.2 < means[-1] < 2.0           # paper: 1.76, below 2x
+    lo, hi = result.data["normalized_range"]
+    assert lo < 1.3
+    assert 2.5 < hi < 15.0                 # paper: 5.22
+    assert result.data["pattern_effect_percent"] < 35.0

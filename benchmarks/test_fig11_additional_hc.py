@@ -1,0 +1,15 @@
+"""Fig. 11: additional hammers to the 10th bitflip vs HC_first.
+
+Paper shape: the per-chip Pearson correlation between HC_first and
+(HC_tenth - HC_first) is negative for every chip (-0.45 .. -0.34).
+"""
+
+import numpy as np
+
+
+def test_fig11_additional_hammers(run_artifact):
+    result = run_artifact("fig11", base_scale=1.0)
+    correlations = list(result.data["pearson"].values())
+    # Every chip trends negative (Obsv. 20).
+    assert all(value < 0.05 for value in correlations)
+    assert np.mean(correlations) < -0.15

@@ -1,0 +1,20 @@
+"""Fig. 13: HC_first with increasing aggressor-row on-time.
+
+Paper shape: mean (min) HC_first of 83689 (29183) at tRAS, 1519 (335) at
+tREFI, 376 (123) at 9*tREFI, and 1 (1) at 16 ms; the mean reduction at
+35.1 us is 222.57x.
+"""
+
+import pytest
+
+
+def test_fig13_rowpress_hcfirst(run_artifact):
+    result = run_artifact("fig13", base_scale=1.0)
+    means = result.data["mean"]
+    assert means[29.0] == pytest.approx(83_689, rel=0.2)
+    assert means[3.9e3] == pytest.approx(1_519, rel=0.2)
+    assert means[35.1e3] == pytest.approx(376, rel=0.2)
+    assert result.data["hc_first_of_one_at_16ms"]
+    assert result.data["reduction_at_35us"] == pytest.approx(222.57,
+                                                             rel=0.03)
+    assert result.data["min"][16.0e6] == 1.0

@@ -1,0 +1,19 @@
+"""Fig. 15: words by number of bitflips in Chip 4.
+
+Paper shape: of ~18M tested 64-bit words, 974,935 (~5.4%) have more than
+two bitflips for Checkered0 (beyond SECDED); most flipped words hold more
+than one flip; single words reach 16 flips.
+"""
+
+import pytest
+
+
+def test_fig15_word_level(run_artifact):
+    result = run_artifact("fig15", base_scale=0.06)
+    data = result.data
+    beyond = data["histogram"]["Checkered0"][3]
+    fraction = beyond / data["total_words"]
+    assert 0.01 < fraction < 0.12            # paper: ~0.054
+    assert data["max_flips"]["Checkered0"] >= 10  # paper: 16
+    # SECDED silently miscorrects some sampled >2-flip words.
+    assert data["secded"]["miscorrected"] > 0

@@ -1,0 +1,19 @@
+"""Section 7: black-box reverse engineering of the TRR mechanism.
+
+Paper shape (Obsv. 24-27): every 17th REF is TRR-capable; a detected
+aggressor's both neighbors are refreshed; the first row activated after a
+TRR-capable REF is always detected; a row with at least half the window's
+activations is detected; the sampler holds 4 rows (Fig. 14's >= 4 dummy
+requirement).
+"""
+
+
+def test_sec7_trr_reverse_engineering(run_artifact):
+    result = run_artifact("sec7", base_scale=1.0)
+    data = result.data
+    assert data["cadence"] == 17
+    assert data["refreshes_both_neighbors"] is True
+    assert data["first_activation_detected"] is True
+    assert data["sampler_capacity"] == 4
+    assert data["count_rule_at_half"] is True
+    assert data["count_rule_below_half"] is False

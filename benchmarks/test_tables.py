@@ -1,0 +1,20 @@
+"""Benchmarks for Tables 1-3 (configuration artifacts)."""
+
+
+def test_table1_patterns(run_artifact):
+    result = run_artifact("table1")
+    assert result.data == result.paper_reference
+
+
+def test_table2_components(run_artifact):
+    result = run_artifact("table2")
+    assert result.data["RowHammer BER"]["rows"] == 16384
+    assert result.data["RowHammer HCfirst"]["rows"] == 3072
+    assert result.data["RowPress BER"]["channels"] == 3
+
+
+def test_table3_chips(run_artifact):
+    result = run_artifact("table3")
+    assert result.data["Chip 0"] == "Bittware XUPVVH"
+    assert all(result.data[f"Chip {i}"] == "AMD Xilinx Alveo U50"
+               for i in range(1, 6))

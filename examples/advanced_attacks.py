@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Advanced attack patterns beyond the paper's bypass (Section 8.1).
+
+Three attacker techniques built on the characterization results:
+
+1. **Templating** — scan the most vulnerable channel first for bitflips
+   that land on exploit-grade bit positions (page-table-entry PPN bits),
+2. **Many-sided hammering** — overflow the 4-entry TRR sampler with
+   sacrificial aggressor pairs instead of dedicated dummy rows,
+3. **HalfDouble** — recruit the TRR defense's own victim refreshes as
+   near-aggressor activations for a distance-2 attack.
+
+Run:  python examples/advanced_attacks.py
+"""
+
+from repro.attacks import (TemplatingCampaign, half_double_disturbance,
+                           run_many_sided)
+from repro.chips.profiles import make_chip
+from repro.dram.geometry import RowAddress
+
+
+def main() -> None:
+    chip = make_chip(0)
+
+    print("1. Templating for exploit-grade bitflips "
+          "(PTE template: PPN bits, every 16th word)")
+    campaign = TemplatingCampaign(chip)
+    order = campaign.best_channel_first()
+    rows = range(4096, 4176)
+    best = campaign.scan_channel(order[0], rows)
+    worst = campaign.scan_channel(order[-1], rows)
+    print(f"   channel scan order by vulnerability: {order}")
+    print(f"   CH{order[0]} (best):  {len(best.exploitable)}/"
+          f"{best.rows_scanned} rows exploitable "
+          f"({best.simulated_seconds:.2f} simulated s)")
+    print(f"   CH{order[-1]} (worst): {len(worst.exploitable)}/"
+          f"{worst.rows_scanned} rows exploitable")
+    if best.exploitable:
+        row, bits = best.exploitable[0]
+        print(f"   e.g. physical row {row} flips usable bits "
+              f"{bits[:4].tolist()} ...")
+
+    print("\n2. Many-sided hammering (no dedicated dummies)")
+    result = run_many_sided(chip, victim_rows=[5000, 5008, 5016])
+    print(f"   3 double-sided pairs; front pairs 1 ACT each "
+          f"(sampler bait), target pair "
+          f"{result.target_acts_per_aggressor} ACTs per side")
+    for row, flips in result.flips.items():
+        role = "target " if row == 5016 else "bait   "
+        print(f"   {role} victim {row}: {flips} bitflips")
+
+    print("\n3. HalfDouble: the defense hammers for us")
+    hd = half_double_disturbance(chip, RowAddress(0, 0, 0, 5200))
+    print(f"   far aggressors at distance 2, "
+          f"{hd.far_acts_per_window} ACTs/window, {hd.windows} windows")
+    print(f"   victim disturbance with TRR:    "
+          f"{hd.units_with_trr:.1f} units")
+    print(f"   victim disturbance without TRR: "
+          f"{hd.units_without_trr:.1f} units")
+    print(f"   -> the TRR mechanism amplified the attack "
+          f"{hd.amplification:.2f}x via {hd.trr_victim_refreshes} "
+          "victim refreshes")
+
+
+if __name__ == "__main__":
+    main()

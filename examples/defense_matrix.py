@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Defense evaluation: what should an HBM2 memory controller deploy?
+
+Section 8.2 concludes that memory-controller designers cannot rely on
+the bypassable in-DRAM TRR.  This example evaluates four controller-side
+defenses against two attacks (a maximum-rate double-sided burst and a
+RowPress burst), then demonstrates the vulnerability-aware variant the
+paper proposes: per-subarray thresholds that spend preventive refreshes
+only where the silicon is weak.
+
+Run:  python examples/defense_matrix.py
+"""
+
+from repro.analysis.reporting import render_table
+from repro.chips.profiles import make_chip
+from repro.defenses import (BlockHammer, Graphene, HeterogeneousGraphene,
+                            Para, RowPressAwarePara, evaluate,
+                            para_probability_for, pick_vulnerable_victim)
+
+
+def main() -> None:
+    chip = make_chip(0)
+    victim = pick_vulnerable_victim(chip)
+    hc_first = chip.profile(victim, "Checkered0").hc_first()
+    print(f"Chip: {chip.label}; templated victim: physical row "
+          f"{victim.row} (HC_first {hc_first:,.0f})\n")
+
+    p = para_probability_for(14_000)
+    factories = {
+        "none": lambda: None,
+        "PARA": lambda: Para(probability=p,
+                             believed_mapping=chip.row_mapping()),
+        "RowPress-aware PARA": lambda: RowPressAwarePara(
+            probability=p, believed_mapping=chip.row_mapping()),
+        "Graphene": lambda: Graphene(
+            threshold=3500, believed_mapping=chip.row_mapping()),
+        "BlockHammer": lambda: BlockHammer(
+            believed_mapping=chip.row_mapping()),
+    }
+    rows = []
+    for name, factory in factories.items():
+        reports = evaluate(chip, factory, name, victim)
+        ds = reports["double_sided_burst"]
+        rp = reports["rowpress_burst"]
+        rows.append([
+            name,
+            "blocked" if ds.protected else f"{ds.bitflips} flips",
+            "blocked" if rp.protected else f"{rp.bitflips} flips",
+            f"{100 * ds.refresh_overhead:.2f}%",
+            f"{ds.throttle_delay_ms:.0f} ms",
+        ])
+    print(render_table(
+        ["Defense", "Double-sided 450K", "RowPress 4K @ 35.1us",
+         "Refresh overhead", "Throttle delay"],
+        rows, title="Attack x defense matrix (live refresh, TRR off)"))
+
+    print("\nVulnerability-aware thresholds (Section 8.2, implication 1):")
+    hetero = HeterogeneousGraphene(chip,
+                                   believed_mapping=chip.row_mapping(),
+                                   rows_per_subarray=8)
+    uniform = hetero.uniform_equivalent_threshold()
+    print(f"  uniform (worst-case) threshold: {uniform}")
+    print(f"  mean per-subarray threshold:    "
+          f"{hetero.mean_threshold():.0f} "
+          f"({hetero.mean_threshold() / uniform:.2f}x headroom -> "
+          "fewer preventive refreshes on resilient subarrays)")
+    print("\nTakeaways: every controller-side defense stops conventional "
+          "hammering, but only on-time-aware sampling stops RowPress; "
+          "counters beat probabilistic sampling on overhead; profiling "
+          "the chip's heterogeneity converts directly into saved "
+          "refreshes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: hammer one HBM2 row and measure its vulnerability.
+
+Builds the simulated Chip 0 (the Bittware XUPVVH stack of Table 3), opens
+a SoftBender host session, and reproduces the paper's two per-row metrics
+on a single victim row:
+
+- BER: double-sided hammer at the standard test count, count the flipped
+  bits in the sandwiched victim (Section 3.1),
+- HC_first: binary-search the minimum hammer count inducing the first
+  bitflip.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bender.host import BenderSession
+from repro.bender.routines import measure_row_ber, search_hc_first
+from repro.chips.profiles import make_chip
+from repro.core.patterns import ALL_PATTERNS, CHECKERED0
+from repro.dram.geometry import RowAddress
+
+
+def main() -> None:
+    chip = make_chip(0)
+    device = chip.make_device()
+    # Real attackers must reverse-engineer the logical-to-physical row
+    # mapping first (see examples/reverse_engineering.py); here we inject
+    # the ground truth to keep the quickstart short.
+    session = BenderSession(device, mapping=chip.row_mapping())
+
+    victim = RowAddress(channel=7, pseudo_channel=0, bank=0, row=5000)
+    print(f"Chip:   {chip.label} ({chip.spec.board})")
+    print(f"Victim: channel {victim.channel}, bank {victim.bank}, "
+          f"physical row {victim.row}")
+
+    result = measure_row_ber(session, victim, CHECKERED0)
+    print(f"\nDouble-sided hammer, {result.hammer_count:,} activations "
+          f"per aggressor ({CHECKERED0.name}):")
+    print(f"  bitflips: {result.bitflips} / {result.total_bits} bits "
+          f"(BER {100 * result.ber:.2f}%)")
+
+    print("\nHC_first per data pattern (Table 1):")
+    for pattern in ALL_PATTERNS:
+        search = search_hc_first(session, victim, pattern)
+        value = f"{search.hc_first:,}" if search.found else "not found"
+        print(f"  {pattern.name:<11} {value:>10}  "
+              f"({search.probes} probe hammers)")
+
+    elapsed_ms = device.now_ns / 1.0e6
+    print(f"\nSimulated wall-clock spent on the device: "
+          f"{elapsed_ms:.1f} ms across {device.stats.acts:,} activations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""RowPress: trading activations for on-time (Section 6).
+
+Sweeps the aggressor-row on-time t_AggON on one victim row of every chip
+and reports how many activations the first bitflip needs — from ~10^5 at
+the minimal tRAS down to a single activation when the row stays open for
+16 ms (half a refresh window).  Ends with a command-accurate
+demonstration: two ACT/WAIT/PRE cycles at 16 ms flip bits that 10,000
+conventional hammers cannot.
+
+Run:  python examples/rowpress_sweep.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.bender.host import BenderSession
+from repro.bender.routines import initialize_window
+from repro.chips.profiles import all_chips, make_chip
+from repro.core import metrics
+from repro.core.patterns import CHECKERED0
+from repro.core.rowpress import ROWPRESS_HCFIRST_T_ONS
+from repro.dram.geometry import RowAddress
+
+
+def label(t_on: float) -> str:
+    if t_on < 1000:
+        return f"{t_on:.0f} ns"
+    if t_on < 1.0e6:
+        return f"{t_on / 1000:.1f} us"
+    return f"{t_on / 1.0e6:.0f} ms"
+
+
+def main() -> None:
+    victim_row = 4100
+    rows = []
+    for chip in all_chips():
+        profile = chip.profile(RowAddress(0, 0, 0, victim_row),
+                               "Checkered0")
+        cells = [chip.label]
+        for t_on in ROWPRESS_HCFIRST_T_ONS:
+            amplification = chip.disturbance.amplification(t_on)
+            cells.append(f"{profile.hc_first(amplification):,.0f}")
+        rows.append(cells)
+    print(render_table(
+        ["Chip"] + [label(t) for t in ROWPRESS_HCFIRST_T_ONS], rows,
+        title=f"HC_first of row {victim_row} vs aggressor on-time "
+              "(Checkered0)"))
+
+    print("\nCommand-accurate demonstration on Chip 0:")
+    chip = make_chip(0)
+    session = BenderSession(chip.make_device(),
+                            mapping=chip.row_mapping())
+    victim = RowAddress(0, 0, 0, victim_row)
+    aggressors = session.aggressors_of(victim)
+    expected = CHECKERED0.victim_row()
+
+    initialize_window(session, victim, CHECKERED0)
+    for aggressor in aggressors:
+        session.device.hammer(aggressor, 10_000)  # conventional hammering
+    flips = metrics.count_bitflips(expected,
+                                   session.read_physical_row(victim))
+    print(f"  10,000 conventional hammers per side: {flips} bitflips")
+
+    initialize_window(session, victim, CHECKERED0)
+    for aggressor in aggressors:
+        session.device.activate(aggressor)
+        session.device.wait(16.0e6)               # keep the row open 16 ms
+        session.device.precharge(aggressor.channel,
+                                 aggressor.pseudo_channel,
+                                 aggressor.bank)
+    flips = metrics.count_bitflips(expected,
+                                   session.read_physical_row(victim))
+    print(f"  2 activations held open for 16 ms:   {flips} bitflips")
+    print("\nTakeaway 7: keeping the aggressor open amplifies read "
+          "disturbance by orders of magnitude (222.57x at 35.1 us); at "
+          "16 ms a single activation per side suffices.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` in offline
+environments without the `wheel` package (configuration in pyproject.toml)."""
+from setuptools import setup
+
+setup()

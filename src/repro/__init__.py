@@ -1,0 +1,36 @@
+"""hbmsim: simulated reproduction of "Understanding Read Disturbance in
+High Bandwidth Memory: An Experimental Analysis of Real HBM2 DRAM Chips"
+(DSN 2024).
+
+Layers (bottom-up):
+
+- :mod:`repro.dram` — the HBM2 device substrate: geometry, timings,
+  command engine, statistical cell fault physics (RowHammer, RowPress,
+  retention), logical-to-physical row mapping, ECC codecs, and the
+  undocumented in-DRAM TRR defense.
+- :mod:`repro.chips` — the six calibrated chip profiles of Table 3.
+- :mod:`repro.bender` — SoftBender, the DRAM-Bender-style test platform
+  (program DSL, interpreter, host session, test routines).
+- :mod:`repro.thermal` — the heating-pad/fan/Arduino temperature rig.
+- :mod:`repro.core` — the paper's characterization analyses
+  (Sections 4-8).
+- :mod:`repro.experiments` — one module per paper table and figure.
+- :mod:`repro.analysis` — statistics, fits, and text reporting.
+
+Quickstart::
+
+    from repro.chips import make_chip
+    from repro.bender import BenderSession
+    from repro.bender.routines import measure_row_ber
+    from repro.core.patterns import CHECKERED0
+    from repro.dram.geometry import RowAddress
+
+    chip = make_chip(0)
+    session = BenderSession(chip.make_device(), mapping=chip.row_mapping())
+    result = measure_row_ber(session, RowAddress(7, 0, 0, 5000), CHECKERED0)
+    print(result.ber)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

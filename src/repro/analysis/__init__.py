@@ -1,0 +1,29 @@
+"""Statistics, fitting, and reporting helpers for the experiments."""
+
+from repro.analysis.fits import (evaluate_polynomial, linear_regression,
+                                 loglog_interpolate, pearson_correlation,
+                                 polynomial_fit)
+from repro.analysis.reporting import (compare_line, percent, render_series,
+                                      render_table)
+from repro.analysis.stats import (bimodality_coefficient,
+                                  coefficient_of_variation,
+                                  quantiles, relative_difference, summarize,
+                                  within_factor)
+
+__all__ = [
+    "evaluate_polynomial",
+    "linear_regression",
+    "loglog_interpolate",
+    "pearson_correlation",
+    "polynomial_fit",
+    "compare_line",
+    "percent",
+    "render_series",
+    "render_table",
+    "bimodality_coefficient",
+    "coefficient_of_variation",
+    "quantiles",
+    "relative_difference",
+    "summarize",
+    "within_factor",
+]

@@ -1,0 +1,59 @@
+"""Curve fitting and correlation helpers used by the experiment figures."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient (Fig. 11's per-chip annotation)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError("inputs must have identical shapes")
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    x_std = x.std()
+    y_std = y.std()
+    if x_std == 0 or y_std == 0:
+        raise ValueError("correlation undefined for constant input")
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (x_std * y_std))
+
+
+def polynomial_fit(x: np.ndarray, y: np.ndarray,
+                   degree: int = 2) -> np.ndarray:
+    """Least-squares polynomial coefficients (highest power first).
+
+    Fig. 11 overlays a polynomial trend curve on each chip's scatter to
+    highlight the decreasing additional-hammer-count trend.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size <= degree:
+        raise ValueError("need more points than the polynomial degree")
+    return np.polyfit(x, y, degree)
+
+
+def evaluate_polynomial(coefficients: np.ndarray,
+                        x: np.ndarray) -> np.ndarray:
+    """Evaluate a :func:`polynomial_fit` result."""
+    return np.polyval(coefficients, np.asarray(x, dtype=float))
+
+
+def loglog_interpolate(x: np.ndarray, y: np.ndarray,
+                       x_new: np.ndarray) -> np.ndarray:
+    """Monotone piecewise-linear interpolation in log-log space."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("log-log interpolation requires positive data")
+    return 10.0 ** np.interp(np.log10(x_new), np.log10(x), np.log10(y))
+
+
+def linear_regression(x: np.ndarray,
+                      y: np.ndarray) -> Tuple[float, float]:
+    """Least-squares slope and intercept."""
+    coefficients = polynomial_fit(x, y, degree=1)
+    return float(coefficients[0]), float(coefficients[1])

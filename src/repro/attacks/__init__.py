@@ -1,0 +1,32 @@
+"""Read-disturbance attack library (Section 8.1 made executable).
+
+The paper's implications for future attacks, each implemented against
+the simulated chips:
+
+- :mod:`repro.attacks.templating` — memory templating: scan for
+  exploitable bitflips, faster on the most vulnerable channel,
+- :mod:`repro.attacks.many_sided` — TRRespass-style many-sided patterns
+  that overflow the TRR sampler without dedicated dummy rows,
+- :mod:`repro.attacks.half_double` — HalfDouble: recruit the TRR
+  mechanism's own victim refreshes as near-aggressor activations,
+- the dummy-row bypass itself lives in :mod:`repro.core.trr_bypass`
+  (it is part of the paper's main contribution).
+"""
+
+from repro.attacks.half_double import (HalfDoubleResult,
+                                       half_double_disturbance)
+from repro.attacks.many_sided import ManySidedResult, run_many_sided
+from repro.attacks.templating import (PTE_TEMPLATE, ExploitTemplate,
+                                      TemplatingCampaign,
+                                      TemplatingResult)
+
+__all__ = [
+    "HalfDoubleResult",
+    "half_double_disturbance",
+    "ManySidedResult",
+    "run_many_sided",
+    "PTE_TEMPLATE",
+    "ExploitTemplate",
+    "TemplatingCampaign",
+    "TemplatingResult",
+]

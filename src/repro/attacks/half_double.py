@@ -1,0 +1,115 @@
+"""HalfDouble: turning the TRR defense into an attack primitive.
+
+Section 8.1 (fourth implication): "the victim row refreshes performed by
+the TRR mechanism could be used as a near aggressor row activation,
+carrying over the read disturbance effects of the far aggressor to the
+victim row in a HalfDouble access pattern."
+
+The pattern hammers *far* aggressors at distance 2 from the victim.  Two
+disturbance paths reach the victim:
+
+1. the weak direct distance-2 coupling of every far activation,
+2. each time TRR detects a far aggressor and refreshes its +-1 neighbors
+   — the rows directly adjacent to the victim — the refresh internally
+   activates those near rows, delivering full-strength distance-1
+   disturbance to the victim.
+
+This module runs the pattern command-accurately with the TRR engine
+enabled and disabled, isolating the defense's contribution to the
+victim's accumulated disturbance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bender.host import BenderSession
+from repro.bender.program import TestProgram
+from repro.chips.profiles import ChipProfile
+from repro.core.patterns import CHECKERED0, DataPattern
+from repro.dram.geometry import RowAddress
+from repro.dram.trr import TrrConfig
+
+
+@dataclass(frozen=True)
+class HalfDoubleResult:
+    """Victim disturbance with and without the TRR mechanism's help."""
+
+    victim: RowAddress
+    windows: int
+    far_acts_per_window: int
+    #: Accumulated baseline hammer units on the victim.
+    units_with_trr: float
+    units_without_trr: float
+    trr_victim_refreshes: int
+
+    @property
+    def trr_contribution(self) -> float:
+        """Extra disturbance units the defense delivered to the victim."""
+        return self.units_with_trr - self.units_without_trr
+
+    @property
+    def amplification(self) -> float:
+        """units_with / units_without (> 1 when TRR helps the attacker)."""
+        if self.units_without_trr == 0:
+            return float("inf")
+        return self.units_with_trr / self.units_without_trr
+
+
+def _run(chip: ChipProfile, victim: RowAddress, windows: int,
+         far_acts: int, pattern: DataPattern,
+         trr_enabled: bool) -> tuple:
+    trr = TrrConfig(enabled=trr_enabled)
+    session = BenderSession(chip.make_device(trr_config=trr),
+                            mapping=chip.row_mapping())
+    geometry = session.device.geometry
+    far_rows = [victim.row - 2, victim.row + 2]
+    if any(not 0 <= row < geometry.rows for row in far_rows):
+        raise ValueError("victim must sit at least 2 rows inside the bank")
+    session.write_physical_row(victim, pattern.victim_row())
+    fars = [session.logical_of_physical(victim.with_row(row))
+            for row in far_rows]
+    program = TestProgram("half_double")
+    for __ in range(windows):
+        # The far rows are the first (and dominant) activations of every
+        # window, so the TRR sampler reliably detects them and refreshes
+        # their +-1 neighbors — the rows adjacent to the victim.
+        for far in fars:
+            program.hammer(far, far_acts)
+        program.refresh(victim.channel, victim.pseudo_channel)
+    session.run(program)
+    units = session.device.accumulated_units(
+        session.logical_of_physical(victim))
+    return units, session.device.stats.trr_victim_refreshes
+
+
+def half_double_disturbance(chip: ChipProfile,
+                            victim: RowAddress,
+                            windows: int = 170,
+                            far_acts_per_window: int = 8,
+                            pattern: DataPattern = CHECKERED0
+                            ) -> HalfDoubleResult:
+    """Quantify the TRR-assisted disturbance of a HalfDouble pattern.
+
+    Each far aggressor receives ``far_acts_per_window`` activations per
+    tREFI window — enough for the count rule (each far row holds half of
+    the window's activations) while keeping the direct distance-2
+    leakage small, so the TRR-recruited component stands out.  Returns
+    the victim's accumulated disturbance with the undocumented TRR
+    enabled vs disabled; the difference is pure
+    defense-turned-attack-primitive.
+    """
+    if windows < 1:
+        raise ValueError("windows must be at least 1")
+    with_trr, refreshes = _run(chip, victim, windows,
+                               far_acts_per_window, pattern, True)
+    without_trr, __ = _run(chip, victim, windows, far_acts_per_window,
+                           pattern, False)
+    return HalfDoubleResult(
+        victim=victim,
+        windows=windows,
+        far_acts_per_window=far_acts_per_window,
+        units_with_trr=with_trr,
+        units_without_trr=without_trr,
+        trr_victim_refreshes=refreshes,
+    )

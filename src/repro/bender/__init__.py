@@ -1,0 +1,21 @@
+"""SoftBender: the DRAM-Bender-style testing platform (Section 3).
+
+The paper drives its HBM2 chips with a modified DRAM Bender FPGA
+infrastructure; SoftBender is the software analog targeting the simulated
+device: a test-program DSL, an interpreter, a host session, and the test
+routines the experiments are built from.
+"""
+
+from repro.bender.host import BenderSession, RefreshWindowExceeded
+from repro.bender.interpreter import ExecutionResult, Interpreter
+from repro.bender.program import Loop, ReadRequest, TestProgram
+
+__all__ = [
+    "BenderSession",
+    "RefreshWindowExceeded",
+    "ExecutionResult",
+    "Interpreter",
+    "Loop",
+    "ReadRequest",
+    "TestProgram",
+]

@@ -1,0 +1,77 @@
+"""CLI: run a SoftBender assembly program against a simulated chip.
+
+Usage::
+
+    python -m repro.bender program.sbp [--chip N] [--no-mapping]
+
+Tagged reads are printed as hex previews plus bitflip counts against a
+uniform reference fill when the row was initialized in the same program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bender.assembler import assemble
+from repro.bender.host import BenderSession
+from repro.bender.program import ReadRequest
+from repro.chips.profiles import make_chip
+from repro.dram.commands import CommandKind
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bender",
+        description="Run a SoftBender assembly program.")
+    parser.add_argument("program", help="path to the .sbp program")
+    parser.add_argument("--chip", type=int, default=0,
+                        help="chip index 0..5 (default 0)")
+    parser.add_argument("--no-mapping", action="store_true",
+                        help="use an identity row mapping instead of the "
+                             "chip's vendor scramble")
+    args = parser.parse_args(argv)
+
+    with open(args.program) as handle:
+        source = handle.read()
+    program = assemble(source, name=args.program)
+
+    chip = make_chip(args.chip)
+    device = chip.make_device(with_mapping=not args.no_mapping)
+    session = BenderSession(device, mapping=chip.row_mapping())
+
+    # Remember uniform WR fills so tagged reads can report bitflips.
+    fills = {}
+    for command in program.flatten():
+        if command.kind is CommandKind.WR and command.data is not None:
+            key = (command.channel, command.pseudo_channel, command.bank,
+                   command.row)
+            fills[key] = int(command.data[0])
+
+    result = session.run(program)
+    print(f"{chip.label}: executed {result.commands_executed:,} commands "
+          f"in {result.elapsed_ns / 1.0e6:.3f} simulated ms")
+    tag_sources = {}
+    for command in program.flatten():
+        if isinstance(command, ReadRequest):
+            tag_sources.setdefault(
+                command.tag,
+                (command.channel, command.pseudo_channel, command.bank,
+                 command.row))
+    for tag, key in tag_sources.items():
+        for index, image in enumerate(result.read_all(tag)):
+            preview = " ".join(f"{b:02x}" for b in image[:8])
+            line = f"  {tag}[{index}]: {preview} ..."
+            if key in fills:
+                reference = np.full(image.size, fills[key],
+                                    dtype=np.uint8)
+                flips = int(np.unpackbits(image ^ reference).sum())
+                line += f"  ({flips} bitflips vs 0x{fills[key]:02X})"
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

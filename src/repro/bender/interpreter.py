@@ -1,0 +1,75 @@
+"""SoftBender program interpreter.
+
+Replays a :class:`~repro.bender.program.TestProgram` on a simulated
+:class:`~repro.dram.device.HBM2Stack`, collecting tagged read results and
+execution statistics (command count, simulated wall-clock time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.bender.program import ReadRequest, TestProgram
+from repro.dram.device import HBM2Stack
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program execution."""
+
+    program: str
+    commands_executed: int
+    started_at_ns: float
+    finished_at_ns: float
+    #: tag -> list of row images (a tag read in a loop collects one per
+    #: iteration).
+    reads: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Simulated execution time of the program."""
+        return self.finished_at_ns - self.started_at_ns
+
+    def read(self, tag: str) -> np.ndarray:
+        """The single read result under ``tag`` (error if 0 or many)."""
+        images = self.reads.get(tag, [])
+        if len(images) != 1:
+            raise KeyError(
+                f"tag {tag!r} has {len(images)} results; expected exactly 1")
+        return images[0]
+
+    def read_all(self, tag: str) -> List[np.ndarray]:
+        """All read results collected under ``tag``."""
+        if tag not in self.reads:
+            raise KeyError(f"tag {tag!r} was never read")
+        return self.reads[tag]
+
+
+class Interpreter:
+    """Executes test programs against one device."""
+
+    def __init__(self, device: HBM2Stack) -> None:
+        self.device = device
+
+    def run(self, program: TestProgram) -> ExecutionResult:
+        """Replay ``program``, returning tagged reads and statistics."""
+        started = self.device.now_ns
+        reads: Dict[str, List[np.ndarray]] = {}
+        executed = 0
+        for command in program.flatten():
+            result = self.device.execute(command)
+            executed += 1
+            if isinstance(command, ReadRequest):
+                if result is None:
+                    raise RuntimeError("tagged read returned no data")
+                reads.setdefault(command.tag, []).append(result)
+        return ExecutionResult(
+            program=program.name,
+            commands_executed=executed,
+            started_at_ns=started,
+            finished_at_ns=self.device.now_ns,
+            reads=reads,
+        )

@@ -1,0 +1,199 @@
+"""SoftBender test-program DSL.
+
+DRAM Bender exposes an instruction-set architecture where the host compiles
+test loops (initialize rows, hammer, read back) into command sequences the
+FPGA replays with cycle-accurate timing.  SoftBender mirrors that layer: a
+:class:`TestProgram` is a list of instructions — raw DRAM commands plus a
+``LOOP`` construct — that the interpreter replays against the simulated
+device.  Tight ACT/PRE loops over a single row compile to the device's
+fused ``HAMMER`` command, keeping million-activation tests cheap without
+changing semantics (no REF may interleave inside a fused loop, exactly the
+constraint the paper's tests obey when refresh is disabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.dram import commands as cmd
+from repro.dram.commands import Command
+from repro.dram.geometry import RowAddress
+
+
+@dataclass
+class Loop:
+    """Repeat a body of instructions ``count`` times."""
+
+    count: int
+    body: List["Instruction"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("loop count must be non-negative")
+
+
+Instruction = Union[Command, Loop]
+
+
+@dataclass
+class ReadRequest(Command):
+    """A RD command tagged so results can be collected by name."""
+
+    tag: str = ""
+
+
+def tagged_read(address: RowAddress, tag: str) -> ReadRequest:
+    """Build a tagged whole-row read."""
+    from repro.dram.commands import CommandKind
+
+    return ReadRequest(CommandKind.RD, address.channel,
+                       address.pseudo_channel, address.bank, address.row,
+                       tag=tag)
+
+
+class TestProgram:
+    """Builder for SoftBender test programs.
+
+    All row arguments are **logical** addresses (the device applies the
+    chip's logical-to-physical mapping internally, like real hardware).
+    Routines that need physical adjacency first reverse-engineer the
+    mapping and translate (Section 3.1).
+    """
+
+    #: Not a pytest test class despite the name.
+    __test__ = False
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self.instructions: List[Instruction] = []
+
+    # -- construction ---------------------------------------------------
+
+    def append(self, instruction: Instruction) -> "TestProgram":
+        """Append a raw instruction."""
+        self.instructions.append(instruction)
+        return self
+
+    def extend(self, instructions: Sequence[Instruction]) -> "TestProgram":
+        """Append several raw instructions."""
+        self.instructions.extend(instructions)
+        return self
+
+    def write_row(self, address: RowAddress,
+                  data: np.ndarray) -> "TestProgram":
+        """Initialize one row with a full row image."""
+        return self.append(cmd.wr(address.channel, address.pseudo_channel,
+                                  address.bank, address.row, data))
+
+    def read_row(self, address: RowAddress, tag: str) -> "TestProgram":
+        """Read one row back under a result tag."""
+        return self.append(tagged_read(address, tag))
+
+    def activate(self, address: RowAddress) -> "TestProgram":
+        """Issue a bare ACT (used by TRR probes where ordering matters)."""
+        return self.append(cmd.act(address.channel, address.pseudo_channel,
+                                   address.bank, address.row))
+
+    def precharge(self, address: RowAddress) -> "TestProgram":
+        """Issue a PRE to the row's bank."""
+        return self.append(cmd.pre(address.channel, address.pseudo_channel,
+                                   address.bank))
+
+    def refresh(self, channel: int, pseudo_channel: int) -> "TestProgram":
+        """Issue one periodic REF command."""
+        return self.append(cmd.ref(channel, pseudo_channel))
+
+    def wait(self, duration_ns: float) -> "TestProgram":
+        """Advance time (retention and RowPress tests)."""
+        return self.append(cmd.wait(duration_ns))
+
+    def hammer(self, address: RowAddress, count: int,
+               t_on: Optional[float] = None) -> "TestProgram":
+        """``count`` ACT/PRE cycles on one row with on-time ``t_on``."""
+        return self.append(cmd.hammer(address.channel,
+                                      address.pseudo_channel, address.bank,
+                                      address.row, count, t_on))
+
+    def hammer_double_sided(self, aggressor_low: RowAddress,
+                            aggressor_high: RowAddress, count: int,
+                            t_on: Optional[float] = None,
+                            interleave: int = 1) -> "TestProgram":
+        """Double-sided hammer: alternate the two aggressors (Section 3.1).
+
+        ``count`` is the per-aggressor activation count; ``interleave``
+        activations go to one side before switching (1 = strict
+        alternation, compiled to two fused hammers per chunk).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if interleave < 1:
+            raise ValueError("interleave must be at least 1")
+        if count == 0:
+            return self
+        chunk = min(interleave, count)
+        full_chunks, tail = divmod(count, chunk)
+        loop_body: List[Instruction] = [
+            cmd.hammer(aggressor_low.channel, aggressor_low.pseudo_channel,
+                       aggressor_low.bank, aggressor_low.row, chunk, t_on),
+            cmd.hammer(aggressor_high.channel, aggressor_high.pseudo_channel,
+                       aggressor_high.bank, aggressor_high.row, chunk, t_on),
+        ]
+        if full_chunks:
+            self.append(Loop(full_chunks, loop_body))
+        if tail:
+            self.hammer(aggressor_low, tail, t_on)
+            self.hammer(aggressor_high, tail, t_on)
+        return self
+
+    def loop(self, count: int) -> "_LoopBuilder":
+        """Open a loop; use as a context manager."""
+        return _LoopBuilder(self, count)
+
+    # -- flattening -----------------------------------------------------
+
+    def flatten(self) -> Iterator[Command]:
+        """Yield the raw command stream (loops unrolled lazily)."""
+        yield from _flatten(self.instructions)
+
+    def static_command_count(self) -> int:
+        """Total commands after unrolling (fused hammers count once)."""
+        return _count(self.instructions)
+
+
+class _LoopBuilder:
+    """Context manager that redirects appends into a loop body."""
+
+    def __init__(self, program: TestProgram, count: int) -> None:
+        self._program = program
+        self._loop = Loop(count)
+
+    def __enter__(self) -> TestProgram:
+        inner = TestProgram(self._program.name + ".loop")
+        inner.instructions = self._loop.body
+        return inner
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._program.append(self._loop)
+
+
+def _flatten(instructions: Sequence[Instruction]) -> Iterator[Command]:
+    for instruction in instructions:
+        if isinstance(instruction, Loop):
+            for __ in range(instruction.count):
+                yield from _flatten(instruction.body)
+        else:
+            yield instruction
+
+
+def _count(instructions: Sequence[Instruction]) -> int:
+    total = 0
+    for instruction in instructions:
+        if isinstance(instruction, Loop):
+            total += instruction.count * _count(instruction.body)
+        else:
+            total += 1
+    return total

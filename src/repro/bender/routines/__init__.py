@@ -1,0 +1,52 @@
+"""Test routines built on the SoftBender platform.
+
+Each routine mirrors one methodological building block of the paper:
+pattern-window initialization, double/single-sided hammering, BER
+measurement, HC_first / HC_nth searches, retention profiling, and the two
+reverse-engineering procedures (row mapping and subarray boundaries).
+"""
+
+from repro.bender.routines.ber_sweep import (BerCurve, geometric_counts,
+                                             measure_ber_curve)
+from repro.bender.routines.ber_test import RowBerResult, measure_row_ber
+from repro.bender.routines.hammer import (build_double_sided,
+                                          double_sided_hammer,
+                                          single_sided_hammer)
+from repro.bender.routines.hcfirst import (HcFirstResult, HcNthResult,
+                                           measure_hc_nth, search_hc_first)
+from repro.bender.routines.mapping_reveng import (AdjacencyObservation,
+                                                  identify_mapping,
+                                                  observe_adjacency)
+from repro.bender.routines.retention_profile import (RetentionProfile,
+                                                     find_side_channel_rows,
+                                                     profile_row_retention)
+from repro.bender.routines.rowinit import initialize_window, window_rows
+from repro.bender.routines.subarray_reveng import (SubarrayReport,
+                                                   find_boundaries,
+                                                   rows_are_coupled)
+
+__all__ = [
+    "BerCurve",
+    "geometric_counts",
+    "measure_ber_curve",
+    "RowBerResult",
+    "measure_row_ber",
+    "build_double_sided",
+    "double_sided_hammer",
+    "single_sided_hammer",
+    "HcFirstResult",
+    "HcNthResult",
+    "measure_hc_nth",
+    "search_hc_first",
+    "AdjacencyObservation",
+    "identify_mapping",
+    "observe_adjacency",
+    "RetentionProfile",
+    "find_side_channel_rows",
+    "profile_row_retention",
+    "initialize_window",
+    "window_rows",
+    "SubarrayReport",
+    "find_boundaries",
+    "rows_are_coupled",
+]

@@ -1,0 +1,77 @@
+"""BER-vs-hammer-count curve measurement (the per-row S-curve).
+
+The two metrics the paper reports — BER at a fixed count and HC_first —
+are two points of the same underlying curve: the CDF of the row's cell
+thresholds.  Sweeping the hammer count traces that curve on the exact
+device, which is how one validates a cell model against silicon (and how
+this repository cross-checks its exact and analytic engines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bender.host import BenderSession
+from repro.bender.routines.hammer import double_sided_hammer
+from repro.bender.routines.rowinit import initialize_window
+from repro.core import metrics
+from repro.core.patterns import DataPattern
+from repro.dram.geometry import RowAddress
+
+
+@dataclass(frozen=True)
+class BerCurve:
+    """One row's measured BER S-curve."""
+
+    victim: RowAddress
+    pattern: str
+    hammer_counts: Tuple[int, ...]
+    bers: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.hammer_counts) != len(self.bers):
+            raise ValueError("counts and BERs must align")
+
+    @property
+    def onset(self) -> Optional[int]:
+        """First swept count with a non-zero BER (HC_first's bracket)."""
+        for count, ber in zip(self.hammer_counts, self.bers):
+            if ber > 0:
+                return count
+        return None
+
+    def interpolate(self, hammer_count: float) -> float:
+        """Linear interpolation of the measured curve."""
+        return float(np.interp(hammer_count, self.hammer_counts,
+                               self.bers))
+
+
+def geometric_counts(start: int = 16_000, stop: int = 2_048_000,
+                     points: int = 8) -> Tuple[int, ...]:
+    """Geometrically spaced hammer counts covering the S-curve."""
+    if start < 1 or stop <= start or points < 2:
+        raise ValueError("invalid sweep range")
+    return tuple(int(round(c)) for c in np.geomspace(start, stop, points))
+
+
+def measure_ber_curve(session: BenderSession,
+                      victim_physical: RowAddress,
+                      pattern: DataPattern,
+                      hammer_counts: Optional[Sequence[int]] = None
+                      ) -> BerCurve:
+    """Measure the row's BER at each hammer count (fresh init each)."""
+    if hammer_counts is None:
+        hammer_counts = geometric_counts()
+    geometry = session.device.geometry
+    expected = pattern.victim_row(geometry.row_bytes)
+    bers = []
+    for count in hammer_counts:
+        initialize_window(session, victim_physical, pattern)
+        double_sided_hammer(session, victim_physical, int(count))
+        observed = session.read_physical_row(victim_physical)
+        bers.append(metrics.ber(expected, observed))
+    return BerCurve(victim_physical, pattern.name, tuple(hammer_counts),
+                    tuple(bers))

@@ -1,0 +1,62 @@
+"""BER measurement routine (Section 3.1's first vulnerability metric)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.bender.host import BenderSession
+from repro.bender.routines.hammer import double_sided_hammer
+from repro.bender.routines.rowinit import initialize_window
+from repro.core import metrics
+from repro.core.patterns import DataPattern
+from repro.dram.geometry import RowAddress
+
+
+@dataclass(frozen=True)
+class RowBerResult:
+    """Measured BER of one victim row."""
+
+    victim: RowAddress
+    pattern: str
+    hammer_count: int
+    t_on: Optional[float]
+    bitflips: int
+    total_bits: int
+    flip_positions: np.ndarray
+
+    @property
+    def ber(self) -> float:
+        """Bit error rate as a fraction."""
+        return self.bitflips / self.total_bits
+
+
+def measure_row_ber(session: BenderSession,
+                    victim_physical: RowAddress,
+                    pattern: DataPattern,
+                    hammer_count: int = metrics.BER_TEST_HAMMERS,
+                    t_on: Optional[float] = None) -> RowBerResult:
+    """Initialize, hammer, and read back one victim row.
+
+    Follows the paper's per-row BER methodology: pattern window init,
+    double-sided hammer at ``hammer_count`` per-aggressor activations, read
+    the sandwiched victim and count flipped bits.
+    """
+    geometry = session.device.geometry
+    initialize_window(session, victim_physical, pattern)
+    session.begin_refresh_window()
+    double_sided_hammer(session, victim_physical, hammer_count, t_on)
+    observed = session.read_physical_row(victim_physical)
+    expected = pattern.victim_row(geometry.row_bytes)
+    positions = metrics.bitflip_positions(expected, observed)
+    return RowBerResult(
+        victim=victim_physical,
+        pattern=pattern.name,
+        hammer_count=hammer_count,
+        t_on=t_on,
+        bitflips=int(positions.size),
+        total_bits=geometry.row_bits,
+        flip_positions=positions,
+    )

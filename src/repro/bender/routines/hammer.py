@@ -1,0 +1,59 @@
+"""Hammer routines: the paper's read-disturbance access patterns.
+
+The default access pattern is **double-sided** (Section 3.1): the two rows
+physically adjacent to the victim are activated alternately, each
+receiving ``hammer_count`` activations.  **Single-sided** hammering (one
+aggressor only) is the probe used to reverse-engineer subarray boundaries
+(footnote 3) and row mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bender.host import BenderSession
+from repro.bender.program import TestProgram
+from repro.dram.geometry import RowAddress
+
+
+def build_double_sided(session: BenderSession,
+                       victim_physical: RowAddress, count: int,
+                       t_on: Optional[float] = None,
+                       interleave: Optional[int] = None) -> TestProgram:
+    """Program hammering both physical neighbors of a victim.
+
+    ``count`` is the per-aggressor activation count, so the victim's bank
+    receives ``2 * count`` activations in total (Section 3.1).
+    ``interleave`` controls how many activations go to one side before
+    switching; with refresh disabled the accumulated disturbance is
+    order-independent, so the default fuses each side into one command.
+    """
+    aggressors = session.aggressors_of(victim_physical)
+    program = TestProgram(f"double_sided@{victim_physical.row}x{count}")
+    if len(aggressors) == 2:
+        program.hammer_double_sided(aggressors[0], aggressors[1], count,
+                                    t_on,
+                                    interleave=interleave or max(count, 1))
+    elif len(aggressors) == 1:
+        # A victim at the very edge of the bank has one neighbor.
+        program.hammer(aggressors[0], count, t_on)
+    else:
+        raise ValueError("victim has no neighbors in the bank")
+    return program
+
+
+def double_sided_hammer(session: BenderSession,
+                        victim_physical: RowAddress, count: int,
+                        t_on: Optional[float] = None) -> None:
+    """Run a double-sided hammer around a physical victim row."""
+    session.run(build_double_sided(session, victim_physical, count, t_on))
+
+
+def single_sided_hammer(session: BenderSession,
+                        aggressor_physical: RowAddress, count: int,
+                        t_on: Optional[float] = None) -> None:
+    """Activate one physical aggressor ``count`` times."""
+    logical = session.logical_of_physical(aggressor_physical)
+    program = TestProgram(f"single_sided@{aggressor_physical.row}x{count}")
+    program.hammer(logical, count, t_on)
+    session.run(program)

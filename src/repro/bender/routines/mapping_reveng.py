@@ -1,0 +1,131 @@
+"""Logical-to-physical row mapping reverse engineering (Section 3.1).
+
+The paper identifies physically adjacent aggressor rows by reverse
+engineering the vendor's logical-to-physical mapping, following prior
+methodology: hammer a single logical row hard and observe which *logical*
+rows exhibit bitflips — those are its physical neighbors.  Repeating for
+enough probe rows identifies the mapping family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.bender.host import BenderSession
+from repro.bender.program import TestProgram
+from repro.core import metrics
+from repro.dram.geometry import RowAddress
+from repro.dram.row_mapping import MAPPING_FAMILIES, RowMapping, make_mapping
+
+#: Single-sided activation count strong enough to flip at least one bit in
+#: virtually every neighbor row within the 32 ms refresh window
+#: (700K activations x 45 ns = 31.5 ms).
+PROBE_HAMMERS = 700_000
+
+#: Logical window radius searched for flipped neighbors.  All known
+#: mapping families keep physical neighbors within a few logical rows.
+PROBE_WINDOW = 8
+
+
+@dataclass(frozen=True)
+class AdjacencyObservation:
+    """Logical rows that flipped when one logical row was hammered."""
+
+    hammered_logical: int
+    flipped_logical: Set[int]
+
+
+def observe_adjacency(session: BenderSession, channel: int,
+                      pseudo_channel: int, bank: int,
+                      logical_row: int,
+                      hammer_count: int = PROBE_HAMMERS,
+                      window: int = PROBE_WINDOW) -> AdjacencyObservation:
+    """Hammer one logical row; report which logical neighbors flipped."""
+    geometry = session.device.geometry
+    fill = np.full(geometry.row_bytes, 0xFF, dtype=np.uint8)
+    low = max(0, logical_row - window)
+    high = min(geometry.rows - 1, logical_row + window)
+    program = TestProgram(f"map_probe@{logical_row}")
+    for row in range(low, high + 1):
+        program.write_row(
+            RowAddress(channel, pseudo_channel, bank, row), fill)
+    program.hammer(RowAddress(channel, pseudo_channel, bank, logical_row),
+                   hammer_count)
+    for row in range(low, high + 1):
+        if row != logical_row:
+            program.read_row(
+                RowAddress(channel, pseudo_channel, bank, row), f"r{row}")
+    result = session.run(program)
+    flipped = {
+        row for row in range(low, high + 1)
+        if row != logical_row
+        and metrics.count_bitflips(fill, result.read(f"r{row}")) > 0
+    }
+    return AdjacencyObservation(logical_row, flipped)
+
+
+def candidate_mappings(rows: int) -> Dict[str, RowMapping]:
+    """Instantiate every known mapping family for matching."""
+    return {name: make_mapping(name, rows) for name in MAPPING_FAMILIES}
+
+
+def _predicted_neighbors(mapping: RowMapping, logical: int) -> Set[int]:
+    return set(mapping.physical_neighbors(logical))
+
+
+def identify_mapping(session: BenderSession, channel: int = 0,
+                     pseudo_channel: int = 0, bank: int = 0,
+                     probe_rows: Sequence[int] = (),
+                     hammer_count: int = PROBE_HAMMERS) -> RowMapping:
+    """Identify the chip's row mapping from single-sided hammer probes.
+
+    A family is consistent with an observation when every flipped logical
+    row is one of the family's predicted physical neighbors (a subarray
+    boundary can suppress one side, so a subset match is required, not
+    equality) and at least one prediction fired.  The unique family
+    consistent with all probes wins.
+    """
+    geometry = session.device.geometry
+    if not probe_rows:
+        # Default probes avoid the resilient middle/last subarrays and
+        # cover several 8-row groups so XOR/mirror permutations differ.
+        probe_rows = tuple(range(2048, 2048 + 24)) + tuple(
+            range(5120, 5120 + 8))
+    candidates = candidate_mappings(geometry.rows)
+    observations: List[AdjacencyObservation] = []
+    for logical in probe_rows:
+        observations.append(observe_adjacency(
+            session, channel, pseudo_channel, bank, logical, hammer_count))
+    survivors = {}
+    for name, mapping in candidates.items():
+        consistent = True
+        for obs in observations:
+            predicted = _predicted_neighbors(mapping, obs.hammered_logical)
+            if not obs.flipped_logical:
+                continue  # an unusually resilient neighborhood: no signal
+            if not obs.flipped_logical <= predicted:
+                consistent = False
+                break
+        if consistent:
+            survivors[name] = mapping
+    if not survivors:
+        raise LookupError("no known mapping family matches the probes")
+    if len(survivors) > 1:
+        # Prefer the family whose predictions were *fully* observed most
+        # often (identity always subsumes nothing; exact hits break ties).
+        def score(item):
+            __, mapping = item
+            hits = 0
+            for obs in observations:
+                if obs.flipped_logical == _predicted_neighbors(
+                        mapping, obs.hammered_logical):
+                    hits += 1
+            return hits
+
+        name, mapping = max(survivors.items(), key=score)
+        return mapping
+    ((name, mapping),) = survivors.items()
+    return mapping

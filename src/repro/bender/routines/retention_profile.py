@@ -1,0 +1,88 @@
+"""Retention-time profiling routine (U-TRR methodology, Section 7).
+
+Profiles DRAM rows for their retention times by initializing a row,
+waiting a candidate retention time without refreshing, and reading it
+back.  A row "has retention time T" if any of its cells exhibits a bitflip
+at time T; the paper scans starting at 64 ms in 64 ms increments.  Rows
+with equal profiled retention times become **side-channel rows**: whether
+they show retention bitflips after T reveals whether the in-DRAM TRR
+mechanism refreshed them in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bender.host import BenderSession
+from repro.core import metrics
+from repro.dram.geometry import RowAddress
+
+#: 64 ms scan granularity, in nanoseconds (Section 7).
+RETENTION_STEP_NS = 64.0e6
+
+
+@dataclass(frozen=True)
+class RetentionProfile:
+    """Profiled retention time of one row."""
+
+    row: RowAddress
+    retention_ns: Optional[float]
+    steps_tested: int
+
+    @property
+    def found(self) -> bool:
+        """Whether a retention failure appeared within the scan budget."""
+        return self.retention_ns is not None
+
+
+def _row_fails_after(session: BenderSession, physical: RowAddress,
+                     wait_ns: float, fill_byte: int = 0xFF) -> bool:
+    geometry = session.device.geometry
+    image = np.full(geometry.row_bytes, fill_byte, dtype=np.uint8)
+    session.write_physical_row(physical, image)
+    session.device.wait(wait_ns)
+    observed = session.read_physical_row(physical)
+    return metrics.count_bitflips(image, observed) > 0
+
+
+def profile_row_retention(session: BenderSession,
+                          physical: RowAddress,
+                          step_ns: float = RETENTION_STEP_NS,
+                          max_steps: int = 64) -> RetentionProfile:
+    """Scan one row's retention time at ``step_ns`` granularity."""
+    for step in range(1, max_steps + 1):
+        wait_ns = step * step_ns
+        if _row_fails_after(session, physical, wait_ns):
+            return RetentionProfile(physical, wait_ns, step)
+    return RetentionProfile(physical, None, max_steps)
+
+
+def find_side_channel_rows(session: BenderSession,
+                           candidates: Sequence[RowAddress],
+                           group_size: int = 2,
+                           step_ns: float = RETENTION_STEP_NS,
+                           max_steps: int = 16) -> List[RetentionProfile]:
+    """Find ``group_size`` rows sharing the same profiled retention time.
+
+    Mirrors the first step of the U-TRR analysis: profile candidate rows
+    and return the first group with identical retention times (the most
+    common profiled value if several groups qualify).
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be at least 1")
+    by_time: Dict[float, List[RetentionProfile]] = {}
+    for physical in candidates:
+        profile = profile_row_retention(session, physical, step_ns,
+                                        max_steps)
+        if not profile.found:
+            continue
+        group = by_time.setdefault(profile.retention_ns, [])
+        group.append(profile)
+        if len(group) >= group_size:
+            return group[:group_size]
+    raise LookupError(
+        f"no {group_size} candidate rows share a retention time within "
+        f"{max_steps} steps of {step_ns / 1.0e6:.0f} ms")

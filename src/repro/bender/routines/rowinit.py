@@ -1,0 +1,54 @@
+"""Row-initialization routine.
+
+Before each hammer test the paper initializes the victim row, its two
+aggressors, and the rows at distance 2..8 with the selected data pattern
+(Table 1).  Addresses here are **physical**; the session translates to
+logical commands through the recovered row mapping.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bender.host import BenderSession
+from repro.bender.program import TestProgram
+from repro.core.patterns import DataPattern
+from repro.dram.geometry import RowAddress
+
+#: Table 1 specifies the pattern out to distance 8 from the victim.
+PATTERN_RADIUS = 8
+
+
+def window_rows(session: BenderSession, victim_physical: RowAddress,
+                radius: int = PATTERN_RADIUS) -> List[RowAddress]:
+    """Physical rows of the pattern window around a victim, in range."""
+    rows = session.device.geometry.rows
+    window = []
+    for offset in range(-radius, radius + 1):
+        row = victim_physical.row + offset
+        if 0 <= row < rows:
+            window.append(victim_physical.with_row(row))
+    return window
+
+
+def build_init_program(session: BenderSession,
+                       victim_physical: RowAddress,
+                       pattern: DataPattern,
+                       radius: int = PATTERN_RADIUS) -> TestProgram:
+    """Program that writes the pattern window around one victim."""
+    geometry = session.device.geometry
+    program = TestProgram(f"init[{pattern.name}]@{victim_physical.row}")
+    for physical in window_rows(session, victim_physical, radius):
+        distance = physical.row - victim_physical.row
+        image = pattern.row_image(distance, geometry.row_bytes)
+        program.write_row(session.logical_of_physical(physical), image)
+    return program
+
+
+def initialize_window(session: BenderSession,
+                      victim_physical: RowAddress,
+                      pattern: DataPattern,
+                      radius: int = PATTERN_RADIUS) -> None:
+    """Write the pattern window around one victim row."""
+    session.run(build_init_program(session, victim_physical, pattern,
+                                   radius))

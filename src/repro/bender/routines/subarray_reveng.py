@@ -1,0 +1,105 @@
+"""Subarray-boundary reverse engineering (Section 4.2, footnote 3).
+
+A single-sided RowHammer on an aggressor at the *edge* of a subarray
+induces bitflips in only one of its two neighbors: sense-amplifier stripes
+isolate adjacent subarrays, so disturbance does not cross the boundary.
+Scanning aggressor rows and testing both directions of each (r, r+1) pair
+reconstructs the bank's subarray layout — which the paper found to consist
+of 832- and 768-row subarrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bender.host import BenderSession
+from repro.bender.program import TestProgram
+from repro.core import metrics
+from repro.dram.geometry import RowAddress
+
+#: Strong single-sided hammer within the refresh window (see
+#: mapping_reveng.PROBE_HAMMERS for the budget reasoning).
+PROBE_HAMMERS = 700_000
+
+
+def _disturbs(session: BenderSession, channel: int, pseudo_channel: int,
+              bank: int, aggressor_physical: int, victim_physical: int,
+              hammer_count: int) -> bool:
+    """Whether hammering one physical row flips bits in another."""
+    geometry = session.device.geometry
+    fill = np.full(geometry.row_bytes, 0xFF, dtype=np.uint8)
+    aggressor = session.logical_of_physical(
+        RowAddress(channel, pseudo_channel, bank, aggressor_physical))
+    victim = session.logical_of_physical(
+        RowAddress(channel, pseudo_channel, bank, victim_physical))
+    program = TestProgram(
+        f"sa_probe@{aggressor_physical}->{victim_physical}")
+    program.write_row(victim, fill)
+    program.write_row(aggressor, fill)
+    program.hammer(aggressor, hammer_count)
+    program.read_row(victim, "victim")
+    result = session.run(program)
+    return metrics.count_bitflips(fill, result.read("victim")) > 0
+
+
+def rows_are_coupled(session: BenderSession, channel: int,
+                     pseudo_channel: int, bank: int, row: int,
+                     hammer_count: int = PROBE_HAMMERS) -> bool:
+    """Whether physical rows ``row`` and ``row + 1`` share a subarray.
+
+    Tests both hammer directions so one unusually resilient row cannot
+    masquerade as a boundary.
+    """
+    geometry = session.device.geometry
+    if not 0 <= row < geometry.rows - 1:
+        raise ValueError("row pair out of bank range")
+    if _disturbs(session, channel, pseudo_channel, bank, row, row + 1,
+                 hammer_count):
+        return True
+    return _disturbs(session, channel, pseudo_channel, bank, row + 1, row,
+                     hammer_count)
+
+
+@dataclass(frozen=True)
+class SubarrayReport:
+    """Recovered subarray structure of one bank."""
+
+    #: Start row of each recovered subarray (first is always 0).
+    boundaries: Tuple[int, ...]
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        """Sizes of fully delimited subarrays."""
+        return tuple(b - a for a, b in zip(self.boundaries,
+                                           self.boundaries[1:]))
+
+
+def find_boundaries(session: BenderSession, channel: int = 0,
+                    pseudo_channel: int = 0, bank: int = 0,
+                    row_range: Optional[Sequence[int]] = None,
+                    hammer_count: int = PROBE_HAMMERS) -> SubarrayReport:
+    """Recover subarray boundaries within ``row_range``.
+
+    A boundary exists between rows ``r`` and ``r + 1`` exactly when the
+    pair is uncoupled, so every consecutive pair in the range is probed
+    (the coupled case short-circuits after one hammer direction).  This is
+    the paper's methodology: there is no faster oracle, because only
+    directly adjacent rows reveal the sense-amplifier stripe.
+    """
+    geometry = session.device.geometry
+    if row_range is None:
+        row_range = range(geometry.rows)
+    rows = sorted(set(row_range))
+    if len(rows) < 2:
+        raise ValueError("row_range must span at least two rows")
+    boundaries: List[int] = [rows[0]]
+    for row in rows[:-1]:
+        if row + 1 >= geometry.rows:
+            break
+        if not rows_are_coupled(session, channel, pseudo_channel, bank,
+                                row, hammer_count):
+            boundaries.append(row + 1)
+    return SubarrayReport(tuple(dict.fromkeys(boundaries)))

@@ -1,0 +1,19 @@
+"""Calibrated population of the six tested HBM2 chips (Table 3)."""
+
+from repro.chips.profiles import (
+    CHIP_SPECS,
+    ChipProfile,
+    ChipSpec,
+    all_chips,
+    chip_labels,
+    make_chip,
+)
+
+__all__ = [
+    "CHIP_SPECS",
+    "ChipProfile",
+    "ChipSpec",
+    "all_chips",
+    "chip_labels",
+    "make_chip",
+]

@@ -1,0 +1,184 @@
+"""Vectorized cell-population grids for whole-bank sweeps.
+
+The spatial-variation experiments touch up to ~10^5 rows per chip; looping
+:meth:`ChipProfile.cell_population` row by row would dominate experiment
+time.  :func:`population_grid` computes the identical quantities for an
+array of rows in one shot — the seeding helpers replay the exact
+splitmix64 chains of the scalar path, so the grid is bit-identical to the
+per-row API (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.chips.profiles import (_PATTERN_BER, _PATTERN_HC, ChipProfile,
+                                  _pattern_id)
+from repro.dram.cell_model import (DEFAULT_MU_STRONG, DEFAULT_SIGMA_STRONG,
+                                   DEFAULT_SIGMA_WEAK,
+                                   order_stats_from_draws)
+from repro.dram.seeding import (normal_array_for, seed_array_for,
+                                uniform_array_for, uniforms_from_seeds)
+
+
+@dataclass
+class PopulationGrid:
+    """Cell-population parameters for an array of rows in one bank."""
+
+    chip_index: int
+    channel: int
+    pseudo_channel: int
+    bank: int
+    pattern: str
+    rows: np.ndarray
+    f_weak: np.ndarray
+    mu_weak: np.ndarray
+    mu_strong: np.ndarray
+    flippable: np.ndarray
+    n_weak: np.ndarray
+    profile_seeds: np.ndarray
+    #: Per-row weak-population spread (above-typical rows are tighter;
+    #: see ``profiles._sigma_weak_for``).
+    sigma_weak: np.ndarray = None
+    sigma_strong: float = DEFAULT_SIGMA_STRONG
+
+    def __post_init__(self) -> None:
+        if self.sigma_weak is None:
+            self.sigma_weak = np.full_like(self.mu_weak,
+                                           DEFAULT_SIGMA_WEAK)
+
+    def __len__(self) -> int:
+        return int(self.rows.size)
+
+    def ber(self, effective_hammers: float) -> np.ndarray:
+        """Closed-form per-row BER at one effective hammer count."""
+        if effective_hammers <= 0:
+            return np.zeros_like(self.f_weak)
+        log_h = math.log10(effective_hammers)
+        weak = self.f_weak * norm.cdf(
+            (log_h - self.mu_weak) / self.sigma_weak)
+        strong = ((1.0 - self.f_weak) * self.flippable
+                  * norm.cdf((log_h - self.mu_strong) / self.sigma_strong))
+        return weak + strong
+
+    def sampled_ber(self, effective_hammers: float,
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Binomially sampled per-row BER (finite 8192-bit rows)."""
+        if rng is None:
+            rng = np.random.default_rng(
+                int(self.profile_seeds[0]) & 0x7FFFFFFF)
+        p = self.ber(effective_hammers)
+        return rng.binomial(8192, p) / 8192.0
+
+    def _order_draws(self, k: int) -> np.ndarray:
+        """(rows, k) raw uniforms matching ``order_stat_draws`` per row."""
+        columns = [uniforms_from_seeds(self.profile_seeds, (0x0D, j))
+                   for j in range(k)]
+        return np.stack(columns, axis=-1)
+
+    def hc_nth(self, n: int, amplification: float = 1.0) -> np.ndarray:
+        """(rows, n) hammer counts of the first ``n`` bitflips per row."""
+        draws = self._order_draws(n)
+        uniforms = order_stats_from_draws(self.n_weak, draws)
+        thresholds = 10.0 ** (self.mu_weak[:, None]
+                              + self.sigma_weak[:, None]
+                              * norm.ppf(uniforms))
+        return np.maximum(1.0, thresholds / amplification)
+
+    def hc_first(self, amplification: float = 1.0) -> np.ndarray:
+        """Per-row HC_first (minimum cell threshold / amplification)."""
+        return self.hc_nth(1, amplification)[:, 0]
+
+
+def population_grid(chip: ChipProfile, channel: int, pseudo_channel: int,
+                    bank: int, rows: np.ndarray,
+                    pattern: str) -> PopulationGrid:
+    """Vectorized mirror of :meth:`ChipProfile.cell_population`."""
+    geometry = chip.geometry
+    spec = chip.spec
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size and (rows.min() < 0 or rows.max() >= geometry.rows):
+        raise ValueError("row index out of range")
+    geometry.check_address(channel, pseudo_channel, bank, 0)
+
+    layout = geometry.subarrays
+    bounds = np.asarray(layout.boundaries)
+    subarray = np.searchsorted(bounds, rows, side="right") - 1
+    offset = rows - bounds[subarray]
+    sizes = np.asarray(layout.sizes)[subarray]
+
+    ch_ber = chip.channel_ber_factor(channel)
+    ch_hc = chip.channel_hc_factor(channel)
+    pc_ber = chip.pseudo_channel_factor(channel, pseudo_channel)
+    bank_ber, row_sigma = chip.bank_factors(channel, pseudo_channel, bank)
+    patt_ber = _PATTERN_BER.get(pattern, 1.0)
+    __, patt_hc = chip.pattern_factors(pattern, channel)
+
+    sa_factors = np.array([chip.subarray_factors(i)
+                           for i in range(layout.count)])
+    sa_ber = sa_factors[subarray, 0]
+    sa_hc = sa_factors[subarray, 1]
+    pos_ber = 0.75 + 0.5 * np.sin(np.pi * (offset + 0.5) / sizes)
+
+    pattern_id = _pattern_id(pattern)
+    pre = (spec.seed,)
+    row_ber_noise = 10.0 ** (row_sigma * normal_array_for(
+        pre + (0xBE, channel, pseudo_channel, bank), rows))
+    row_hc_noise = 10.0 ** (spec.hc_row_sigma * normal_array_for(
+        pre + (0x4C, channel, pseudo_channel, bank), rows))
+    affinity = 10.0 ** (0.06 * normal_array_for(
+        pre + (0xAF, channel, pseudo_channel, bank), rows, (pattern_id,)))
+
+    ber_spatial = (ch_ber * pc_ber * bank_ber * sa_ber
+                   * patt_ber * row_ber_noise)
+    ber_total = ber_spatial * pos_ber
+    f_cap = min(2.4 * chip.base_f_weak, 0.08)
+    f_weak = np.clip(chip.base_f_weak * ber_total, 2.0e-3, f_cap)
+    hc_target = (spec.base_hc_first * ch_hc * sa_hc * patt_hc
+                 * row_hc_noise * affinity * ber_spatial ** -0.15)
+    n_weak = np.maximum(
+        1, np.rint(f_weak * geometry.row_bits).astype(np.int64))
+    f_spatial = np.clip(chip.base_f_weak * ber_spatial, 2.0e-3, f_cap)
+    n_spatial = np.maximum(
+        1, np.rint(f_spatial * geometry.row_bits).astype(np.int64))
+    u_min = 1.0 - 0.5 ** (1.0 / n_spatial)
+    from repro.chips.profiles import (_SIGMA_HC_COUPLING,
+                                      _SIGMA_N_COUPLING,
+                                      _SIGMA_WEAK_CLAMP)
+    ratio = n_spatial / max(1, chip.n_weak_reference)
+    hc_relative = hc_target / (spec.base_hc_first * ch_hc * patt_hc)
+    shrink = np.clip(ratio ** _SIGMA_N_COUPLING
+                     * hc_relative ** -_SIGMA_HC_COUPLING,
+                     *_SIGMA_WEAK_CLAMP)
+    sigma_weak = DEFAULT_SIGMA_WEAK * shrink
+    mu_weak = np.log10(hc_target) - sigma_weak * norm.ppf(u_min)
+
+    mu_strong = (DEFAULT_MU_STRONG - 0.08 * math.log10(ch_ber)
+                 + 0.03 * normal_array_for(
+                     pre + (0x57, channel, pseudo_channel, bank), rows))
+    flippable = 0.5 + 0.04 * (uniform_array_for(
+        pre + (0xFB, channel, pseudo_channel, bank), rows) - 0.5)
+
+    profile_seeds = seed_array_for(
+        pre + (0xD0, channel, pseudo_channel, bank), rows, (pattern_id,))
+
+    return PopulationGrid(
+        chip_index=spec.index,
+        channel=channel,
+        pseudo_channel=pseudo_channel,
+        bank=bank,
+        pattern=pattern,
+        rows=rows,
+        f_weak=f_weak,
+        mu_weak=mu_weak,
+        mu_strong=mu_strong,
+        flippable=flippable,
+        n_weak=n_weak,
+        profile_seeds=profile_seeds,
+        sigma_weak=sigma_weak,
+    )

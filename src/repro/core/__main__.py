@@ -1,0 +1,62 @@
+"""CLI: per-chip characterization campaign.
+
+Usage::
+
+    python -m repro.core [--chip N | --all] [--scale S] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.chips.profiles import all_chips, make_chip
+from repro.core.campaign import characterize_chip
+
+
+def _report_dict(report) -> dict:
+    return {
+        "chip": report.chip_label,
+        "scale": report.scale,
+        "chip_mean_ber": report.chip_mean_ber,
+        "chip_min_hc_first": report.chip_min_hc_first,
+        "channel_ranking": report.channel_ranking,
+        "channels": {
+            str(channel): {"mean_wcdp_ber": ber,
+                           "min_wcdp_hc_first": hc}
+            for channel, (ber, hc) in report.channels.items()},
+        "subarray_resilience": report.subarray_resilience,
+        "rowpress_hc_first": {f"{t:g}": hc
+                              for t, hc in report.rowpress_hc.items()},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core",
+        description="Characterize simulated HBM2 chips.")
+    parser.add_argument("--chip", type=int, default=None,
+                        help="chip index 0..5 (default: all)")
+    parser.add_argument("--scale", type=float, default=0.03,
+                        help="population scale (default 0.03)")
+    parser.add_argument("--json", default=None,
+                        help="also write reports as JSON to this path")
+    args = parser.parse_args(argv)
+    chips = [make_chip(args.chip)] if args.chip is not None \
+        else list(all_chips())
+    reports = [characterize_chip(chip, scale=args.scale)
+               for chip in chips]
+    for report in reports:
+        print(report.render())
+        print()
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump([_report_dict(report) for report in reports],
+                      handle, indent=2)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

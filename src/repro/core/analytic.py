@@ -1,0 +1,156 @@
+"""Analytic measurement engine.
+
+Large-population experiments (Figs. 4-13) evaluate BER and HC_first over
+up to hundreds of thousands of (row, pattern) combinations.  Driving the
+command-level device for each would be faithful but wasteful: the device
+itself computes flips from the same closed-form cell populations.  This
+module evaluates those quantities directly from a chip profile via the
+vectorized grids — bit-consistent with the device engine (tests assert
+it) — and owns the mapping from experiment parameters (hammer count,
+t_AggON, sidedness) to effective disturbance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.chips.profiles import ChipProfile
+from repro.chips.vectorized import PopulationGrid, population_grid
+from repro.core import metrics
+from repro.core.patterns import ALL_PATTERNS
+from repro.dram.geometry import RowAddress
+
+
+def effective_hammers(chip: ChipProfile, hammer_count: float,
+                      t_on: Optional[float] = None,
+                      sides: int = 2) -> float:
+    """Effective baseline units of a hammer test (per-side count)."""
+    baseline = chip.disturbance.min_t_on
+    return chip.disturbance.effective_hammers(
+        hammer_count, baseline if t_on is None else t_on, sides=sides)
+
+
+def amplification(chip: ChipProfile, t_on: Optional[float]) -> float:
+    """RowPress amplification at ``t_on`` (1.0 at the tRAS baseline)."""
+    if t_on is None:
+        return 1.0
+    return chip.disturbance.amplification(t_on)
+
+
+@dataclass
+class GridMeasurement:
+    """BER and HC_first arrays for one (bank, pattern) row population."""
+
+    chip: ChipProfile
+    grid: PopulationGrid
+    hammer_count: int
+    t_on: Optional[float]
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Row indices measured."""
+        return self.grid.rows
+
+    def ber(self, sampled: bool = True,
+            rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Per-row BER at the configured hammer count and on-time."""
+        eff = effective_hammers(self.chip, self.hammer_count, self.t_on)
+        if sampled:
+            return self.grid.sampled_ber(eff, rng)
+        return self.grid.ber(eff)
+
+    def hc_first(self) -> np.ndarray:
+        """Per-row HC_first at the configured on-time."""
+        return self.grid.hc_first(amplification(self.chip, self.t_on))
+
+    def hc_nth(self, n: int) -> np.ndarray:
+        """Per-row hammer counts of the first ``n`` bitflips."""
+        return self.grid.hc_nth(n, amplification(self.chip, self.t_on))
+
+
+def measure(chip: ChipProfile, channel: int, pseudo_channel: int, bank: int,
+            rows: np.ndarray, pattern: str,
+            hammer_count: int = metrics.BER_TEST_HAMMERS,
+            t_on: Optional[float] = None) -> GridMeasurement:
+    """Analytic measurement of a row population in one bank."""
+    grid = population_grid(chip, channel, pseudo_channel, bank,
+                           np.asarray(rows), pattern)
+    return GridMeasurement(chip, grid, hammer_count, t_on)
+
+
+def wcdp_hc_first(chip: ChipProfile, channel: int, pseudo_channel: int,
+                  bank: int, rows: np.ndarray,
+                  t_on: Optional[float] = None) -> Dict[str, np.ndarray]:
+    """Per-row HC_first for every pattern plus the WCDP minimum.
+
+    Returns a dict with one entry per pattern name plus ``"WCDP"``
+    (the per-row minimum across patterns; Section 3.1).
+    """
+    rows = np.asarray(rows)
+    amp = amplification(chip, t_on)
+    per_pattern = {}
+    for pattern in ALL_PATTERNS:
+        grid = population_grid(chip, channel, pseudo_channel, bank, rows,
+                               pattern.name)
+        per_pattern[pattern.name] = grid.hc_first(amp)
+    stacked = np.stack(list(per_pattern.values()))
+    per_pattern["WCDP"] = stacked.min(axis=0)
+    return per_pattern
+
+
+def wcdp_ber(chip: ChipProfile, channel: int, pseudo_channel: int,
+             bank: int, rows: np.ndarray,
+             hammer_count: int = metrics.BER_TEST_HAMMERS,
+             t_on: Optional[float] = None,
+             sampled: bool = True,
+             rng: Optional[np.random.Generator] = None
+             ) -> Dict[str, np.ndarray]:
+    """Per-row BER for every pattern plus the worst-case (WCDP) BER.
+
+    The WCDP of a row is the pattern with the smallest HC_first (tie-
+    broken by BER; Section 3.1); its BER is reported per row.
+    """
+    rows = np.asarray(rows)
+    hc = wcdp_hc_first(chip, channel, pseudo_channel, bank, rows, t_on)
+    bers = {}
+    for pattern in ALL_PATTERNS:
+        grid = population_grid(chip, channel, pseudo_channel, bank, rows,
+                               pattern.name)
+        m = GridMeasurement(chip, grid, hammer_count, t_on)
+        bers[pattern.name] = m.ber(sampled=sampled, rng=rng)
+    names = [pattern.name for pattern in ALL_PATTERNS]
+    hc_matrix = np.stack([hc[name] for name in names])
+    ber_matrix = np.stack([bers[name] for name in names])
+    wcdp_index = np.argmin(hc_matrix, axis=0)
+    bers["WCDP"] = ber_matrix[wcdp_index, np.arange(rows.size)]
+    return bers
+
+
+def sample_rows(total_rows: int, count: int,
+                rng: np.random.Generator) -> np.ndarray:
+    """Uniform row sample without replacement, sorted."""
+    if count >= total_rows:
+        return np.arange(total_rows)
+    return np.sort(rng.choice(total_rows, size=count, replace=False))
+
+
+def stratified_rows(total_rows: int, count: int) -> np.ndarray:
+    """Deterministic evenly spaced row sample (for scaled experiments)."""
+    if count >= total_rows:
+        return np.arange(total_rows)
+    return np.unique(np.linspace(0, total_rows - 1, count).astype(int))
+
+
+def segment_rows(total_rows: int, segment: str, count: int) -> np.ndarray:
+    """First / middle / last ``count`` rows of a bank (Table 2 usage)."""
+    if segment == "first":
+        return np.arange(0, min(count, total_rows))
+    if segment == "middle":
+        start = max(0, total_rows // 2 - count // 2)
+        return np.arange(start, min(start + count, total_rows))
+    if segment == "last":
+        return np.arange(max(0, total_rows - count), total_rows)
+    raise ValueError(f"unknown segment {segment!r}")

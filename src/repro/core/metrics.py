@@ -1,0 +1,106 @@
+"""Read-disturbance vulnerability metrics (Section 3.1).
+
+The paper measures RowHammer/RowPress vulnerability with two metrics:
+
+- **BER** — the fraction of DRAM cells in a victim row that experience a
+  bitflip at a fixed hammer count.  The exact hammer count of the BER
+  experiments is not stated in the paper; we adopt 512K per-side
+  activations (``BER_TEST_HAMMERS``), which is consistent with all of the
+  paper's joint statistics (mean BER ~1% with HC_first medians ~100K), and
+  document the choice in EXPERIMENTS.md.
+- **HC_first** — the minimum hammer count necessary to cause the first
+  RowHammer bitflip in a row.  Section 5 generalizes this to ``HC_nth``
+  for the first ten bitflips.
+
+This module also provides the bitflip-counting helpers shared by the test
+routines and the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+#: Per-side hammer count used by the BER experiments (see module docstring).
+BER_TEST_HAMMERS = 512_000
+
+#: Per-side hammer count used for the RowPress BER sweep (Fig. 12).
+ROWPRESS_BER_HAMMERS = 150_000
+
+#: Hammer count for the WCDP tie-break (Section 3.1).
+WCDP_TIE_BREAK_HAMMERS = 256_000
+
+
+def count_bitflips(expected: np.ndarray, observed: np.ndarray) -> int:
+    """Number of flipped bits between two row images."""
+    expected = np.asarray(expected, dtype=np.uint8)
+    observed = np.asarray(observed, dtype=np.uint8)
+    if expected.shape != observed.shape:
+        raise ValueError("row images must have identical shapes")
+    diff = np.bitwise_xor(expected, observed)
+    return int(np.unpackbits(diff).sum())
+
+
+def bitflip_positions(expected: np.ndarray,
+                      observed: np.ndarray) -> np.ndarray:
+    """Bit positions (MSB-first per byte) that differ between row images."""
+    expected = np.asarray(expected, dtype=np.uint8)
+    observed = np.asarray(observed, dtype=np.uint8)
+    if expected.shape != observed.shape:
+        raise ValueError("row images must have identical shapes")
+    diff = np.unpackbits(np.bitwise_xor(expected, observed))
+    return np.flatnonzero(diff)
+
+
+def ber(expected: np.ndarray, observed: np.ndarray) -> float:
+    """Bit error rate between two row images (fraction in [0, 1])."""
+    total_bits = np.asarray(expected).size * 8
+    if total_bits == 0:
+        raise ValueError("row images must not be empty")
+    return count_bitflips(expected, observed) / total_bits
+
+
+@dataclass(frozen=True)
+class RowMeasurement:
+    """One row's measured vulnerability under one data pattern."""
+
+    chip: int
+    channel: int
+    pseudo_channel: int
+    bank: int
+    row: int
+    pattern: str
+    ber: float
+    hc_first: float
+
+    @property
+    def bitflips(self) -> int:
+        """Flipped-bit count in an 8192-bit row at the measured BER."""
+        return int(round(self.ber * 8192))
+
+
+def summarize_bers(values) -> Dict[str, float]:
+    """Mean/min/max/std summary of a BER collection (fractions)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty collection")
+    return {
+        "mean": float(array.mean()),
+        "min": float(array.min()),
+        "max": float(array.max()),
+        "std": float(array.std()),
+        "count": int(array.size),
+    }
+
+
+def coefficient_of_variation(values) -> float:
+    """Standard deviation normalized to the mean (Fig. 9's x-axis)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot compute CV of an empty collection")
+    mean = array.mean()
+    if mean == 0:
+        raise ValueError("CV undefined for zero-mean data")
+    return float(array.std() / mean)

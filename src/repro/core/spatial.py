@@ -1,0 +1,343 @@
+"""Section 4: spatial variation of RowHammer across the HBM2 hierarchy.
+
+Implements the four analyses of the paper's Section 4 against the chip
+population:
+
+- across chips (Fig. 4 BER, Fig. 5 HC_first),
+- across channels (Fig. 6 BER, Fig. 7 HC_first),
+- across rows within a bank, exposing the subarray structure (Fig. 8),
+- across banks and pseudo channels (Fig. 9).
+
+Tested populations follow Table 2; every study takes explicit population
+sizes so benchmarks can run scaled-down versions of the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chips.profiles import ChipProfile
+from repro.core import analytic, metrics
+from repro.core.patterns import ALL_PATTERNS
+
+#: Pattern columns reported by the figures (Table 1 order plus WCDP).
+PATTERN_COLUMNS = tuple(p.name for p in ALL_PATTERNS) + ("WCDP",)
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary statistics of a BER or HC_first distribution."""
+
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    std: float
+    count: int
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "DistributionSummary":
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            raise ValueError("cannot summarize an empty distribution")
+        return cls(
+            mean=float(values.mean()),
+            median=float(np.median(values)),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+            std=float(values.std()),
+            count=int(values.size),
+        )
+
+
+# ----------------------------------------------------------------------
+# Across chips (Figs. 4 and 5)
+# ----------------------------------------------------------------------
+
+@dataclass
+class ChipBerStudy:
+    """Fig. 4: BER distribution across rows, per chip and pattern."""
+
+    hammer_count: int
+    #: chip label -> pattern -> distribution across tested rows.
+    summaries: Dict[str, Dict[str, DistributionSummary]]
+
+    def chip_mean(self, label: str, pattern: str = "WCDP") -> float:
+        """Chip-level mean BER for one pattern."""
+        return self.summaries[label][pattern].mean
+
+    def mean_spread(self, pattern: str = "Checkered0") -> float:
+        """Obsv. 11's chip-level spread: max - min of chip mean BER."""
+        means = [by_pattern[pattern].mean
+                 for by_pattern in self.summaries.values()]
+        return max(means) - min(means)
+
+
+def chip_ber_study(chips: Sequence[ChipProfile],
+                   rows_per_channel: int = 16384,
+                   hammer_count: int = metrics.BER_TEST_HAMMERS,
+                   bank: int = 0, pseudo_channel: int = 0,
+                   seed: int = 7, sampled: bool = True) -> ChipBerStudy:
+    """Run the Fig. 4 study (Table 2: all rows, 1 bank, 1 PC, 8 channels).
+
+    ``sampled=False`` removes the finite-row binomial noise — useful for
+    spread statistics at reduced population scales.
+    """
+    summaries: Dict[str, Dict[str, DistributionSummary]] = {}
+    for chip in chips:
+        rng = np.random.default_rng(seed + chip.spec.index)
+        rows = analytic.stratified_rows(chip.geometry.rows,
+                                        rows_per_channel)
+        per_pattern: Dict[str, List[np.ndarray]] = {
+            name: [] for name in PATTERN_COLUMNS}
+        for channel in range(chip.geometry.channels):
+            bers = analytic.wcdp_ber(chip, channel, pseudo_channel, bank,
+                                     rows, hammer_count, rng=rng,
+                                     sampled=sampled)
+            for name in PATTERN_COLUMNS:
+                per_pattern[name].append(bers[name])
+        summaries[chip.label] = {
+            name: DistributionSummary.of(np.concatenate(values))
+            for name, values in per_pattern.items()}
+    return ChipBerStudy(hammer_count, summaries)
+
+
+@dataclass
+class ChipHcFirstStudy:
+    """Fig. 5: HC_first distribution across rows, per chip and pattern."""
+
+    summaries: Dict[str, Dict[str, DistributionSummary]]
+
+    def chip_minimum(self, label: str, pattern: str = "WCDP") -> float:
+        """The chip's minimum HC_first (Obsv. 4/5)."""
+        return self.summaries[label][pattern].minimum
+
+    def minimum_spread(self, pattern: str = "WCDP") -> float:
+        """Takeaway 2: spread of minimum HC_first across chips."""
+        minima = [by_pattern[pattern].minimum
+                  for by_pattern in self.summaries.values()]
+        return max(minima) - min(minima)
+
+
+def chip_hcfirst_study(chips: Sequence[ChipProfile],
+                       rows_per_bank: int = 3072,
+                       banks: Tuple[int, ...] = (0, 5, 11),
+                       pseudo_channels: Tuple[int, ...] = (0, 1)
+                       ) -> ChipHcFirstStudy:
+    """Run the Fig. 5 study (Table 2: 3072 rows x 3 banks x 2 PCs x 8 ch)."""
+    summaries: Dict[str, Dict[str, DistributionSummary]] = {}
+    for chip in chips:
+        rows = analytic.stratified_rows(chip.geometry.rows, rows_per_bank)
+        collected: Dict[str, List[np.ndarray]] = {
+            name: [] for name in PATTERN_COLUMNS}
+        for channel in range(chip.geometry.channels):
+            for pc in pseudo_channels:
+                for bank in banks:
+                    hc = analytic.wcdp_hc_first(chip, channel, pc, bank,
+                                                rows)
+                    for name in PATTERN_COLUMNS:
+                        collected[name].append(hc[name])
+        summaries[chip.label] = {
+            name: DistributionSummary.of(np.concatenate(values))
+            for name, values in collected.items()}
+    return ChipHcFirstStudy(summaries)
+
+
+# ----------------------------------------------------------------------
+# Across channels (Figs. 6 and 7)
+# ----------------------------------------------------------------------
+
+@dataclass
+class ChannelStudy:
+    """Figs. 6/7: per-channel distributions for one chip."""
+
+    chip_label: str
+    metric: str  # "ber" or "hc_first"
+    #: pattern -> channel -> distribution summary.
+    summaries: Dict[str, Dict[int, DistributionSummary]]
+
+    def channel_means(self, pattern: str = "WCDP") -> Dict[int, float]:
+        """Channel -> mean of the metric."""
+        return {channel: summary.mean
+                for channel, summary in self.summaries[pattern].items()}
+
+    def extreme_ratio(self, pattern: str = "WCDP") -> float:
+        """Highest / lowest channel mean (Obsv. 8: 1.99x in Chip 0)."""
+        means = list(self.channel_means(pattern).values())
+        return max(means) / min(means)
+
+    def mean_spread(self, pattern: str = "Checkered0") -> float:
+        """Max - min channel mean (Obsv. 11's channel-level spread)."""
+        means = list(self.channel_means(pattern).values())
+        return max(means) - min(means)
+
+
+def channel_ber_study(chip: ChipProfile, rows_per_channel: int = 16384,
+                      hammer_count: int = metrics.BER_TEST_HAMMERS,
+                      bank: int = 0, pseudo_channel: int = 0,
+                      seed: int = 11, sampled: bool = True) -> ChannelStudy:
+    """Run the Fig. 6 study for one chip (see ``chip_ber_study`` for
+    the ``sampled`` flag)."""
+    rng = np.random.default_rng(seed + chip.spec.index)
+    rows = analytic.stratified_rows(chip.geometry.rows, rows_per_channel)
+    summaries: Dict[str, Dict[int, DistributionSummary]] = {
+        name: {} for name in PATTERN_COLUMNS}
+    for channel in range(chip.geometry.channels):
+        bers = analytic.wcdp_ber(chip, channel, pseudo_channel, bank, rows,
+                                 hammer_count, rng=rng, sampled=sampled)
+        for name in PATTERN_COLUMNS:
+            summaries[name][channel] = DistributionSummary.of(bers[name])
+    return ChannelStudy(chip.label, "ber", summaries)
+
+
+def channel_hcfirst_study(chip: ChipProfile, rows_per_bank: int = 3072,
+                          banks: Tuple[int, ...] = (0, 5, 11),
+                          pseudo_channels: Tuple[int, ...] = (0, 1)
+                          ) -> ChannelStudy:
+    """Run the Fig. 7 study for one chip."""
+    rows = analytic.stratified_rows(chip.geometry.rows, rows_per_bank)
+    summaries: Dict[str, Dict[int, DistributionSummary]] = {
+        name: {} for name in PATTERN_COLUMNS}
+    for channel in range(chip.geometry.channels):
+        collected: Dict[str, List[np.ndarray]] = {
+            name: [] for name in PATTERN_COLUMNS}
+        for pc in pseudo_channels:
+            for bank in banks:
+                hc = analytic.wcdp_hc_first(chip, channel, pc, bank, rows)
+                for name in PATTERN_COLUMNS:
+                    collected[name].append(hc[name])
+        for name in PATTERN_COLUMNS:
+            summaries[name][channel] = DistributionSummary.of(
+                np.concatenate(collected[name]))
+    return ChannelStudy(chip.label, "hc_first", summaries)
+
+
+def die_pairs(chip: ChipProfile) -> List[Tuple[int, int]]:
+    """Channel pairs sharing a die (Obsv. 8's groups of two)."""
+    by_die: Dict[int, List[int]] = {}
+    for channel in range(chip.geometry.channels):
+        by_die.setdefault(chip.geometry.die_of_channel(channel),
+                          []).append(channel)
+    return [tuple(channels) for channels in by_die.values()]
+
+
+# ----------------------------------------------------------------------
+# Across rows in a bank (Fig. 8)
+# ----------------------------------------------------------------------
+
+@dataclass
+class RowProfileStudy:
+    """Fig. 8: WCDP BER for every row of a bank in several channels."""
+
+    chip_label: str
+    channels: Tuple[int, ...]
+    rows: np.ndarray
+    #: channel -> per-row BER array (aligned with ``rows``).
+    ber_by_channel: Dict[int, np.ndarray]
+    #: Ground-truth subarray boundaries (for plot shading / validation).
+    subarray_boundaries: Tuple[int, ...]
+
+    def subarray_means(self, channel: int) -> List[float]:
+        """Mean BER of each fully covered subarray."""
+        ber = self.ber_by_channel[channel]
+        means = []
+        bounds = self.subarray_boundaries
+        for start, end in zip(bounds, bounds[1:]):
+            mask = (self.rows >= start) & (self.rows < end)
+            if mask.any():
+                means.append(float(ber[mask].mean()))
+        return means
+
+
+def row_ber_profile(chip: ChipProfile,
+                    channels: Tuple[int, ...] = (0, 3, 7),
+                    bank: int = 0, pseudo_channel: int = 0,
+                    row_stride: int = 1,
+                    hammer_count: int = metrics.BER_TEST_HAMMERS,
+                    seed: int = 13) -> RowProfileStudy:
+    """Run the Fig. 8 study: per-row WCDP BER across a bank."""
+    rng = np.random.default_rng(seed + chip.spec.index)
+    rows = np.arange(0, chip.geometry.rows, row_stride)
+    ber_by_channel = {}
+    for channel in channels:
+        bers = analytic.wcdp_ber(chip, channel, pseudo_channel, bank, rows,
+                                 hammer_count, rng=rng)
+        ber_by_channel[channel] = bers["WCDP"]
+    return RowProfileStudy(
+        chip_label=chip.label,
+        channels=tuple(channels),
+        rows=rows,
+        ber_by_channel=ber_by_channel,
+        subarray_boundaries=chip.geometry.subarrays.boundaries,
+    )
+
+
+# ----------------------------------------------------------------------
+# Across banks and pseudo channels (Fig. 9)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BankPoint:
+    """One marker of Fig. 9: a bank's mean BER and CV across its rows."""
+
+    channel: int
+    pseudo_channel: int
+    bank: int
+    mean_ber: float
+    cv: float
+
+
+@dataclass
+class BankVariationStudy:
+    """Fig. 9: BER variation across the 256 banks of one chip."""
+
+    chip_label: str
+    points: List[BankPoint] = field(default_factory=list)
+
+    def cluster_split(self) -> Tuple[List[BankPoint], List[BankPoint]]:
+        """Split the bimodal cloud at the median CV (Obsv. 16)."""
+        cvs = sorted(point.cv for point in self.points)
+        threshold = cvs[len(cvs) // 2]
+        low = [p for p in self.points if p.cv <= threshold]
+        high = [p for p in self.points if p.cv > threshold]
+        return low, high
+
+    def channel_spread(self) -> float:
+        """Max - min of per-channel mean BER (Obsv. 17)."""
+        by_channel: Dict[int, List[float]] = {}
+        for point in self.points:
+            by_channel.setdefault(point.channel, []).append(point.mean_ber)
+        means = [float(np.mean(v)) for v in by_channel.values()]
+        return max(means) - min(means)
+
+    def intra_channel_spread(self, channel: int) -> float:
+        """Max - min mean BER across banks within one channel."""
+        values = [p.mean_ber for p in self.points if p.channel == channel]
+        return max(values) - min(values)
+
+
+def bank_variation_study(chip: ChipProfile, rows_per_segment: int = 100,
+                         pattern: str = "Checkered0",
+                         hammer_count: int = metrics.BER_TEST_HAMMERS,
+                         seed: int = 17) -> BankVariationStudy:
+    """Run the Fig. 9 study (first/middle/last 100 rows of all 256 banks)."""
+    rng = np.random.default_rng(seed + chip.spec.index)
+    geometry = chip.geometry
+    rows = np.concatenate([
+        analytic.segment_rows(geometry.rows, "first", rows_per_segment),
+        analytic.segment_rows(geometry.rows, "middle", rows_per_segment),
+        analytic.segment_rows(geometry.rows, "last", rows_per_segment),
+    ])
+    study = BankVariationStudy(chip.label)
+    eff = analytic.effective_hammers(chip, hammer_count)
+    for channel, pc, bank in geometry.iter_banks():
+        grid = analytic.population_grid(chip, channel, pc, bank, rows,
+                                        pattern)
+        ber = grid.sampled_ber(eff, rng)
+        mean = float(ber.mean())
+        cv = float(ber.std() / mean) if mean > 0 else 0.0
+        study.points.append(BankPoint(channel, pc, bank, mean, cv))
+    return study

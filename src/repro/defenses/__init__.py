@@ -1,0 +1,34 @@
+"""Memory-controller RowHammer defenses (Section 8.2 made executable)."""
+
+from repro.defenses.base import (ControllerStats, DefendedDevice,
+                                 MitigationController)
+from repro.defenses.blockhammer import BlockHammer, CountingBloomFilter
+from repro.defenses.evaluate import (ATTACKS, DefenseReport,
+                                     burst_double_sided, defended_session,
+                                     evaluate, pick_vulnerable_victim,
+                                     rowpress_burst)
+from repro.defenses.graphene import Graphene
+from repro.defenses.heterogeneous import (HeterogeneousGraphene,
+                                          profile_local_thresholds)
+from repro.defenses.para import Para, RowPressAwarePara, para_probability_for
+
+__all__ = [
+    "ControllerStats",
+    "DefendedDevice",
+    "MitigationController",
+    "BlockHammer",
+    "CountingBloomFilter",
+    "ATTACKS",
+    "DefenseReport",
+    "burst_double_sided",
+    "defended_session",
+    "evaluate",
+    "pick_vulnerable_victim",
+    "rowpress_burst",
+    "Graphene",
+    "HeterogeneousGraphene",
+    "profile_local_thresholds",
+    "Para",
+    "RowPressAwarePara",
+    "para_probability_for",
+]

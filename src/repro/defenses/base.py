@@ -1,0 +1,175 @@
+"""Memory-controller-side RowHammer mitigation framework.
+
+Section 8.2: "HBM2 memory controller designers likely need to implement
+other read disturbance defense mechanisms in their designs because
+designers cannot rely on the undocumented TRR mechanism."  This package
+provides that layer: a :class:`MitigationController` observes the
+activation stream the way a memory controller would and issues
+*preventive refreshes* (activate + precharge on the would-be victims),
+and :class:`DefendedDevice` wires a controller in front of any simulated
+HBM2 stack so every attack in the repository can be replayed against it.
+
+Controllers operate on logical addresses and translate to physical
+adjacency through a *believed* row mapping.  Vendors hide their internal
+topologies; passing the wrong mapping models exactly the cost of that
+secrecy (the `test_ablation_defenses` benchmark quantifies it).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dram.device import HBM2Stack
+from repro.dram.commands import Command, CommandKind
+from repro.dram.geometry import RowAddress
+from repro.dram.row_mapping import IdentityMapping, RowMapping
+
+
+@dataclass
+class ControllerStats:
+    """Bookkeeping of a mitigation controller."""
+
+    observed_activations: int = 0
+    preventive_refreshes: int = 0
+    throttle_delay_ns: float = 0.0
+
+    def refresh_overhead(self) -> float:
+        """Preventive refreshes per observed activation."""
+        if self.observed_activations == 0:
+            return 0.0
+        return self.preventive_refreshes / self.observed_activations
+
+
+class MitigationController(abc.ABC):
+    """Observes activations; decides which victim rows to refresh.
+
+    Subclasses implement :meth:`observe`.  The believed mapping defaults
+    to identity (what a controller without vendor documentation must
+    assume).
+    """
+
+    def __init__(self, rows: int = 16384,
+                 believed_mapping: Optional[RowMapping] = None) -> None:
+        self.rows = rows
+        self.believed_mapping = believed_mapping or IdentityMapping(rows)
+        self.stats = ControllerStats()
+
+    @abc.abstractmethod
+    def observe(self, address: RowAddress, count: int,
+                t_on: Optional[float], now_ns: float) -> List[int]:
+        """Process ``count`` activations of a logical row.
+
+        Returns the *logical* rows to preventively refresh now.
+        """
+
+    def victims_of(self, logical_row: int) -> List[int]:
+        """Believed logical addresses of the row's physical neighbors."""
+        return self.believed_mapping.physical_neighbors(logical_row)
+
+    def throttle_ns(self, address: RowAddress, count: int,
+                    t_on: Optional[float], now_ns: float) -> float:
+        """Extra delay to impose before the activations (BlockHammer)."""
+        return 0.0
+
+    def on_window_rollover(self, now_ns: float) -> None:
+        """Hook invoked when a refresh window (tREFW) elapses."""
+
+
+class DefendedDevice:
+    """An HBM2 stack fronted by a mitigation controller.
+
+    Quacks like :class:`~repro.dram.device.HBM2Stack` for the SoftBender
+    session/interpreter (``execute``, row operations, ``geometry`` ...),
+    so any attack program runs unmodified against a defended system.
+    Preventive refreshes go through the real command path — they cost
+    time and, like any activation, disturb their own neighbors.
+    """
+
+    def __init__(self, device: HBM2Stack,
+                 controller: MitigationController) -> None:
+        self.device = device
+        self.controller = controller
+        self._window_start_ns = device.now_ns
+
+    # -- attribute passthrough -------------------------------------------
+
+    def __getattr__(self, name):
+        return getattr(self.device, name)
+
+    # -- command interface -------------------------------------------------
+
+    def execute(self, command: Command):
+        if command.kind is CommandKind.HAMMER:
+            address = RowAddress(command.channel, command.pseudo_channel,
+                                 command.bank, command.row)
+            return self.hammer(address, command.count, command.t_on)
+        if command.kind is CommandKind.ACT:
+            address = RowAddress(command.channel, command.pseudo_channel,
+                                 command.bank, command.row)
+            return self.activate(address)
+        return self.device.execute(command)
+
+    def run(self, commands) -> list:
+        return [self.execute(command) for command in commands]
+
+    # -- defended row operations --------------------------------------------
+
+    def hammer(self, address: RowAddress, count: int,
+               t_on: Optional[float] = None) -> None:
+        self._check_rollover()
+        delay = self.controller.throttle_ns(address, count, t_on,
+                                            self.device.now_ns)
+        if delay > 0:
+            self.device.wait(delay)
+            self.controller.stats.throttle_delay_ns += delay
+        self.device.hammer(address, count, t_on)
+        self._mitigate(address, count, t_on)
+
+    def activate(self, address: RowAddress) -> None:
+        self._check_rollover()
+        delay = self.controller.throttle_ns(address, 1, None,
+                                            self.device.now_ns)
+        if delay > 0:
+            self.device.wait(delay)
+            self.controller.stats.throttle_delay_ns += delay
+        self.device.activate(address)
+        self._mitigate(address, 1, None)
+
+    def read_row(self, address: RowAddress):
+        return self.device.read_row(address)
+
+    def write_row(self, address: RowAddress, data) -> None:
+        self.device.write_row(address, data)
+
+    def refresh(self, channel: int, pseudo_channel: int) -> None:
+        self._check_rollover()
+        self.device.refresh(channel, pseudo_channel)
+
+    def wait(self, duration_ns: float) -> None:
+        self.device.wait(duration_ns)
+
+    # -- internals ----------------------------------------------------------
+
+    def _mitigate(self, address: RowAddress, count: int,
+                  t_on: Optional[float]) -> None:
+        controller = self.controller
+        controller.stats.observed_activations += count
+        victims = controller.observe(address, count, t_on,
+                                     self.device.now_ns)
+        for logical_row in victims:
+            victim = address.with_row(logical_row)
+            bank = self.device._banks.get(victim.bank_key)
+            if bank is not None and bank.open_row is not None:
+                continue  # cannot interleave while the bank is open
+            self.device.activate(victim)
+            self.device.precharge(victim.channel, victim.pseudo_channel,
+                                  victim.bank)
+            controller.stats.preventive_refreshes += 1
+
+    def _check_rollover(self) -> None:
+        window = self.device.timings.t_refw
+        if self.device.now_ns - self._window_start_ns >= window:
+            self._window_start_ns = self.device.now_ns
+            self.controller.on_window_rollover(self.device.now_ns)

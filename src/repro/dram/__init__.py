@@ -1,0 +1,63 @@
+"""HBM2 DRAM device substrate.
+
+This package models an HBM2 stack at the level the paper's experiments
+observe it: geometry (channels, pseudo channels, banks, subarrays, rows),
+JESD235-style command timings, a command-execution engine with read
+disturbance and retention fault physics, logical-to-physical row mapping,
+on-die ECC codecs, and the undocumented in-DRAM TRR defense reverse
+engineered in Section 7 of the paper.
+"""
+
+from repro.dram.geometry import (
+    HBM2Geometry,
+    RowAddress,
+    SubarrayLayout,
+    DEFAULT_GEOMETRY,
+)
+from repro.dram.timing import TimingParameters, TimingError, DEFAULT_TIMINGS
+from repro.dram.commands import Command, CommandKind
+from repro.dram.cell_model import (
+    CellPopulation,
+    RowDisturbanceProfile,
+    sample_smallest_uniforms,
+)
+from repro.dram.disturbance import DisturbanceModel
+from repro.dram.retention import RetentionModel
+from repro.dram.row_mapping import (
+    RowMapping,
+    IdentityMapping,
+    XorScrambleMapping,
+    MirrorOddMapping,
+)
+from repro.dram.trr import TrrEngine, TrrConfig
+from repro.dram.mode_registers import ModeRegisters
+from repro.dram.ecc import SecdedCodec, Hamming74Codec
+from repro.dram.device import HBM2Stack, BankState
+
+__all__ = [
+    "HBM2Geometry",
+    "RowAddress",
+    "SubarrayLayout",
+    "DEFAULT_GEOMETRY",
+    "TimingParameters",
+    "TimingError",
+    "DEFAULT_TIMINGS",
+    "Command",
+    "CommandKind",
+    "CellPopulation",
+    "RowDisturbanceProfile",
+    "sample_smallest_uniforms",
+    "DisturbanceModel",
+    "RetentionModel",
+    "RowMapping",
+    "IdentityMapping",
+    "XorScrambleMapping",
+    "MirrorOddMapping",
+    "TrrEngine",
+    "TrrConfig",
+    "ModeRegisters",
+    "SecdedCodec",
+    "Hamming74Codec",
+    "HBM2Stack",
+    "BankState",
+]

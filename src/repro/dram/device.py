@@ -1,0 +1,650 @@
+"""HBM2 stack command-execution engine with fault physics.
+
+:class:`HBM2Stack` executes the command vocabulary of
+:mod:`repro.dram.commands` against simulated banks, maintaining:
+
+- row-buffer state machines and command timing accounting,
+- per-victim-row accumulated disturbance (in baseline hammer units; see
+  :mod:`repro.dram.disturbance`), materializing per-cell thresholds lazily
+  from the chip's statistical profile,
+- data retention clocks (a row's charge is restored by its own activation,
+  by rolling REF refresh, or by a TRR victim refresh),
+- the undocumented TRR engine of :mod:`repro.dram.trr`,
+- logical-to-physical row mapping (commands use logical addresses; physics
+  and TRR operate on physical rows).
+
+Bitflips are *committed* whenever a row's charge is restored: cells whose
+threshold lies below the accumulated disturbance (or whose retention time
+elapsed) latch their inverted value and — being discharged — cannot flip
+again until rewritten.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.cell_model import CellPopulation, RowDisturbanceProfile
+from repro.dram.commands import Command, CommandKind
+from repro.dram.disturbance import DEFAULT_DISTURBANCE, DisturbanceModel
+from repro.dram.geometry import (DEFAULT_GEOMETRY, HBM2Geometry, RowAddress,
+                                 adjacent_rows)
+from repro.dram.mode_registers import ModeRegisters
+from repro.dram.retention import DEFAULT_RETENTION, RetentionModel
+from repro.dram.row_mapping import IdentityMapping, RowMapping
+from repro.dram.seeding import derive_seed
+from repro.dram.timing import DEFAULT_TIMINGS, TimingError, TimingParameters
+from repro.dram.trr import TrrConfig, TrrEngine
+
+#: Victim-byte -> canonical data pattern name (Table 1 of the paper).
+_PATTERN_BY_VICTIM_BYTE = {
+    0x00: "Rowstripe0",
+    0xFF: "Rowstripe1",
+    0x55: "Checkered0",
+    0xAA: "Checkered1",
+}
+
+#: Flat per-row readback/write IO time (ns): 1 KiB over a pseudo channel.
+ROW_IO_NS = 107.0
+
+#: Fractional change in effective disturbance per degree C above the
+#: calibration temperature.  The paper pins Chip 0 at 82 C and reports
+#: all statistics at the chips' operating points; the temperature
+#: *sensitivity* follows the DDR4 literature it cites (RowHammer
+#: vulnerability grows mildly with temperature; SpyHammer exploits it).
+TEMPERATURE_HC_SENSITIVITY = 0.0025
+
+#: Retention time halves roughly every 10 C (standard DRAM behaviour).
+RETENTION_DOUBLING_C = 10.0
+
+
+def classify_victim_pattern(data: np.ndarray) -> str:
+    """Classify a row image into a canonical pattern name or ``custom``."""
+    data = np.asarray(data, dtype=np.uint8)
+    if data.size == 0:
+        return "custom"
+    first = int(data[0])
+    if not np.all(data == first):
+        return "custom"
+    return _PATTERN_BY_VICTIM_BYTE.get(first, "custom")
+
+
+class UniformProfileProvider:
+    """Default cell-profile provider: one population for every row.
+
+    Unit tests and examples that do not need the calibrated chip population
+    use this; :class:`repro.chips.profiles.ChipProfile` supplies the real,
+    spatially modulated provider.
+    """
+
+    def __init__(self, population: Optional[CellPopulation] = None,
+                 seed: int = 1, row_bits: int = 8192) -> None:
+        if population is None:
+            population = CellPopulation(f_weak=0.014, mu_weak=5.45)
+        self.population = population
+        self.seed = seed
+        self.row_bits = row_bits
+
+    def profile(self, address: RowAddress,
+                pattern: str) -> RowDisturbanceProfile:
+        """Profile for a (row, pattern) pair; uniform across the stack."""
+        seed = derive_seed(self.seed, address.channel,
+                           address.pseudo_channel, address.bank,
+                           address.row, hash_pattern(pattern))
+        return RowDisturbanceProfile(self.population, seed, self.row_bits)
+
+
+def hash_pattern(pattern: str) -> int:
+    """Stable integer id for a pattern name (order-independent)."""
+    value = 0
+    for char in pattern:
+        value = (value * 131 + ord(char)) & 0xFFFFFFFF
+    return value
+
+
+@dataclass
+class BankState:
+    """Row-buffer state of one bank."""
+
+    open_row: Optional[int] = None
+    open_since: float = 0.0
+
+
+@dataclass
+class _RowState:
+    """Lazy fault-physics state of one touched physical row."""
+
+    data: np.ndarray
+    acc_units: float = 0.0
+    restored_at: float = 0.0
+    already_flipped: Optional[np.ndarray] = None
+    pattern: str = "custom"
+    thresholds: Optional[np.ndarray] = None
+    #: Cheap lower bounds: the row's weakest cell threshold and weakest
+    #: retention time.  Commits below both skip cell materialization —
+    #: the fast path that keeps benign (non-hammering) traffic cheap.
+    min_threshold: Optional[float] = None
+    retention_floor_ns: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded command (DRAM-Bender-style debug trace)."""
+
+    time_ns: float
+    kind: str
+    channel: int = -1
+    pseudo_channel: int = -1
+    bank: int = -1
+    row: int = -1
+    count: int = 0
+
+    def __str__(self) -> str:
+        location = ""
+        if self.channel >= 0:
+            location = f" ch{self.channel} pc{self.pseudo_channel}"
+            if self.bank >= 0:
+                location += f" ba{self.bank}"
+            if self.row >= 0:
+                location += f" row {self.row}"
+        suffix = f" x{self.count}" if self.count > 1 else ""
+        return f"[{self.time_ns / 1.0e3:12.3f} us] {self.kind}" \
+               f"{location}{suffix}"
+
+
+@dataclass
+class DeviceStats:
+    """Command counters for tests and reporting."""
+
+    acts: int = 0
+    pres: int = 0
+    reads: int = 0
+    writes: int = 0
+    refs: int = 0
+    trr_victim_refreshes: int = 0
+    committed_bitflips: int = 0
+    ecc_corrections: int = 0
+
+
+class HBM2Stack:
+    """One simulated HBM2 stack (Section 3's device under test)."""
+
+    def __init__(self,
+                 geometry: HBM2Geometry = DEFAULT_GEOMETRY,
+                 timings: TimingParameters = DEFAULT_TIMINGS,
+                 disturbance: DisturbanceModel = DEFAULT_DISTURBANCE,
+                 retention: Optional[RetentionModel] = DEFAULT_RETENTION,
+                 trr_config: Optional[TrrConfig] = None,
+                 profile_provider=None,
+                 row_mapping: Optional[RowMapping] = None,
+                 disable_ecc: bool = True,
+                 calibration_temperature_c: Optional[float] = None) -> None:
+        self.geometry = geometry
+        self.timings = timings
+        self.disturbance = disturbance
+        self.retention = retention
+        #: Temperature the cell model was calibrated at (the chip's
+        #: operating point during characterization); ``None`` disables
+        #: temperature effects.
+        self.calibration_temperature_c = calibration_temperature_c
+        #: Current chip temperature (drive it from the thermal rig via
+        #: :meth:`set_temperature`).
+        self.temperature_c = calibration_temperature_c
+        self.mode_registers = ModeRegisters()
+        if disable_ecc:
+            # The paper's methodology (Section 3.1): clear the MR bit so
+            # raw bitflips are observable.  Pass ``disable_ecc=False`` to
+            # study the chip as it powers up (on-die SECDED active).
+            self.mode_registers.set_field(4, "ecc_enable", False)
+        if trr_config is None:
+            trr_config = TrrConfig(enabled=False)
+        self.trr_config = trr_config
+        if profile_provider is None:
+            profile_provider = UniformProfileProvider(row_bits=geometry.row_bits)
+        self.profile_provider = profile_provider
+        if row_mapping is None:
+            row_mapping = IdentityMapping(geometry.rows)
+        self.row_mapping = row_mapping
+        self.now_ns = 0.0
+        self.stats = DeviceStats()
+        self._trace: Optional[Deque[TraceEntry]] = None
+        self._banks: Dict[Tuple[int, int, int], BankState] = {}
+        self._rows: Dict[Tuple[int, int, int], Dict[int, _RowState]] = {}
+        self._trr: Dict[Tuple[int, int], TrrEngine] = {}
+        self._ref_pointer: Dict[Tuple[int, int], int] = {}
+        self._pc_ref_time: Dict[Tuple[int, int], Dict[int, float]] = {}
+        for channel in range(geometry.channels):
+            for pc in range(geometry.pseudo_channels):
+                self._trr[(channel, pc)] = TrrEngine(
+                    trr_config, geometry.banks, geometry.rows)
+                self._ref_pointer[(channel, pc)] = 0
+                self._pc_ref_time[(channel, pc)] = {}
+
+    # ------------------------------------------------------------------
+    # Command interface
+    # ------------------------------------------------------------------
+
+    def execute(self, command: Command) -> Optional[np.ndarray]:
+        """Execute one command; RD returns the row image."""
+        kind = command.kind
+        if kind is CommandKind.WAIT:
+            return self.wait(command.duration)
+        if kind is CommandKind.NOP:
+            return None
+        address = RowAddress(command.channel, command.pseudo_channel,
+                             command.bank, command.row)
+        if kind is CommandKind.REF:
+            return self.refresh(command.channel, command.pseudo_channel)
+        if kind is CommandKind.ACT:
+            return self.activate(address)
+        if kind is CommandKind.PRE:
+            return self.precharge(command.channel, command.pseudo_channel,
+                                  command.bank)
+        if kind is CommandKind.RD:
+            return self.read_row(address)
+        if kind is CommandKind.WR:
+            if command.data is None:
+                raise ValueError("WR command requires a row image")
+            return self.write_row(address, command.data)
+        if kind is CommandKind.HAMMER:
+            return self.hammer(address, command.count, command.t_on)
+        raise ValueError(f"unhandled command kind {kind}")
+
+    def run(self, commands: Iterable[Command]) -> List[Optional[np.ndarray]]:
+        """Execute a command sequence, collecting per-command results."""
+        return [self.execute(command) for command in commands]
+
+    # ------------------------------------------------------------------
+    # Row-level operations
+    # ------------------------------------------------------------------
+
+    def wait(self, duration_ns: float) -> None:
+        """Advance device time without issuing commands."""
+        if duration_ns < 0:
+            raise ValueError("duration must be non-negative")
+        self.now_ns += duration_ns
+
+    def activate(self, address: RowAddress) -> None:
+        """Open a row (logical address).  Restores the row's own charge."""
+        address.validate(self.geometry)
+        physical = self._to_physical(address)
+        bank = self._bank(physical)
+        if bank.open_row is not None:
+            raise TimingError(
+                f"ACT to bank {physical.bank_key} with row "
+                f"{bank.open_row} already open")
+        self._commit(physical)
+        self._trr[(physical.channel, physical.pseudo_channel)].on_activate(
+            physical.bank, physical.row)
+        bank.open_row = physical.row
+        bank.open_since = self.now_ns
+        self.stats.acts += 1
+        self._record("ACT", physical.channel, physical.pseudo_channel,
+                     physical.bank, physical.row)
+
+    def precharge(self, channel: int, pseudo_channel: int,
+                  bank_index: int) -> None:
+        """Close a bank, applying disturbance to the open row's neighbors."""
+        key = (channel, pseudo_channel, bank_index)
+        bank = self._banks.get(key)
+        if bank is None or bank.open_row is None:
+            self.stats.pres += 1
+            return
+        t_on = self.now_ns - bank.open_since
+        if t_on < self.timings.t_ras:
+            # The test platform honors tRAS: stretch the open time.
+            self.now_ns = bank.open_since + self.timings.t_ras
+            t_on = self.timings.t_ras
+        physical = RowAddress(channel, pseudo_channel, bank_index,
+                              bank.open_row)
+        self._disturb_neighbors(physical, count=1, t_on=t_on)
+        bank.open_row = None
+        self.now_ns += self.timings.t_rp
+        self.stats.pres += 1
+        self._record("PRE", channel, pseudo_channel, bank_index)
+
+    def read_row(self, address: RowAddress) -> np.ndarray:
+        """Activate-read-precharge cycle returning the full row image.
+
+        Committing happens at activation: disturbance and retention flips
+        latch into the stored data before it is driven out.
+        """
+        address.validate(self.geometry)
+        physical = self._to_physical(address)
+        bank = self._bank(physical)
+        if bank.open_row is not None and bank.open_row != physical.row:
+            raise TimingError("RD to a bank with a different row open")
+        opened_here = bank.open_row is None
+        if opened_here:
+            self.activate(address)
+        state = self._row_state(physical)
+        data = state.data.copy()
+        if self.mode_registers.ecc_enabled:
+            data = self._apply_on_die_ecc(state, data)
+        self.now_ns += self.timings.t_rcd + ROW_IO_NS
+        if opened_here:
+            self.precharge(physical.channel, physical.pseudo_channel,
+                           physical.bank)
+        self.stats.reads += 1
+        self._record("RD", physical.channel, physical.pseudo_channel,
+                     physical.bank, physical.row)
+        return data
+
+    def write_row(self, address: RowAddress, data: np.ndarray) -> None:
+        """Activate-write-precharge cycle storing a full row image.
+
+        Writing re-arms every cell: accumulated disturbance and the
+        flipped-cell record are cleared.
+        """
+        address.validate(self.geometry)
+        data = np.asarray(data, dtype=np.uint8)
+        if data.size != self.geometry.row_bytes:
+            raise ValueError(
+                f"row image must be {self.geometry.row_bytes} bytes")
+        physical = self._to_physical(address)
+        bank = self._bank(physical)
+        if bank.open_row is not None and bank.open_row != physical.row:
+            raise TimingError("WR to a bank with a different row open")
+        opened_here = bank.open_row is None
+        if opened_here:
+            # Write replaces content; skip the commit an ACT would do.
+            self._trr[(physical.channel,
+                       physical.pseudo_channel)].on_activate(
+                physical.bank, physical.row)
+            bank.open_row = physical.row
+            bank.open_since = self.now_ns
+            self.stats.acts += 1
+        rows = self._rows.setdefault(physical.bank_key, {})
+        rows[physical.row] = _RowState(
+            data=data.copy(), restored_at=self.now_ns,
+            pattern=classify_victim_pattern(data))
+        self.now_ns += self.timings.t_rcd + ROW_IO_NS
+        if opened_here:
+            self.precharge(physical.channel, physical.pseudo_channel,
+                           physical.bank)
+        self.stats.writes += 1
+        self._record("WR", physical.channel, physical.pseudo_channel,
+                     physical.bank, physical.row)
+
+    def hammer(self, address: RowAddress, count: int,
+               t_on: Optional[float] = None) -> None:
+        """Fused ACT/PRE cycles: ``count`` activations with on-time ``t_on``.
+
+        Semantically equivalent to the unrolled loop as long as no REF
+        interleaves; programs that interleave REFs issue shorter hammers.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        address.validate(self.geometry)
+        physical = self._to_physical(address)
+        bank = self._bank(physical)
+        if bank.open_row is not None:
+            raise TimingError("HAMMER requires a closed bank")
+        effective_t_on = self.timings.t_ras if t_on is None else max(
+            t_on, self.timings.t_ras)
+        self._commit(physical)
+        self._trr[(physical.channel, physical.pseudo_channel)].on_activate(
+            physical.bank, physical.row, count=count)
+        self._disturb_neighbors(physical, count=count, t_on=effective_t_on)
+        self.now_ns += count * self.timings.act_to_act(effective_t_on)
+        self.stats.acts += count
+        self.stats.pres += count
+        self._record("HAMMER", physical.channel,
+                     physical.pseudo_channel, physical.bank,
+                     physical.row, count)
+
+    def refresh(self, channel: int, pseudo_channel: int) -> None:
+        """One REF command: rolling refresh plus TRR victim refreshes."""
+        pc_key = (channel, pseudo_channel)
+        if pc_key not in self._trr:
+            raise ValueError(f"no such pseudo channel {pc_key}")
+        victims = self._trr[pc_key].on_refresh()
+        for bank_index, victim_row in victims:
+            physical = RowAddress(channel, pseudo_channel, bank_index,
+                                  victim_row)
+            self._commit(physical)
+            # A refresh internally activates the row, so a TRR victim
+            # refresh disturbs *its* neighbors by one activation — the
+            # lever the HalfDouble access pattern exploits (Section 8.1:
+            # TRR's victim refreshes act as near-aggressor activations).
+            self._disturb_neighbors(physical, count=1,
+                                    t_on=self.timings.t_ras)
+            self.stats.trr_victim_refreshes += 1
+        pointer = self._ref_pointer[pc_key]
+        per_ref = self.timings.rows_refreshed_per_ref
+        ref_times = self._pc_ref_time[pc_key]
+        for offset in range(per_ref):
+            row = (pointer + offset) % self.geometry.rows
+            ref_times[row] = self.now_ns
+            for bank_index in range(self.geometry.banks):
+                bank_rows = self._rows.get(
+                    (channel, pseudo_channel, bank_index))
+                if bank_rows and row in bank_rows:
+                    self._commit(RowAddress(channel, pseudo_channel,
+                                            bank_index, row))
+        self._ref_pointer[pc_key] = (pointer + per_ref) % self.geometry.rows
+        self.now_ns += self.timings.t_rfc
+        self.stats.refs += 1
+        self._record("REF", channel, pseudo_channel)
+
+    # ------------------------------------------------------------------
+    # Inspection helpers (no time advance, no state mutation)
+    # ------------------------------------------------------------------
+
+    def inspect_row(self, address: RowAddress) -> np.ndarray:
+        """Row image as a read *would* return it, without side effects."""
+        address.validate(self.geometry)
+        physical = self._to_physical(address)
+        state = self._rows.get(physical.bank_key, {}).get(physical.row)
+        if state is None:
+            return np.zeros(self.geometry.row_bytes, dtype=np.uint8)
+        flips = self._pending_flip_bits(physical, state)
+        data = state.data.copy()
+        _xor_bits(data, flips)
+        return data
+
+    def accumulated_units(self, address: RowAddress) -> float:
+        """Disturbance accumulated on a (logical) row since last restore."""
+        physical = self._to_physical(address.validate(self.geometry))
+        state = self._rows.get(physical.bank_key, {}).get(physical.row)
+        return 0.0 if state is None else state.acc_units
+
+    def trr_engine(self, channel: int, pseudo_channel: int) -> TrrEngine:
+        """The TRR engine of a pseudo channel (for probes and tests)."""
+        return self._trr[(channel, pseudo_channel)]
+
+    # ------------------------------------------------------------------
+    # Command tracing (debugging aid, off by default)
+    # ------------------------------------------------------------------
+
+    def enable_tracing(self, capacity: int = 4096) -> None:
+        """Record the last ``capacity`` commands in a ring buffer."""
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._trace = deque(maxlen=capacity)
+
+    def disable_tracing(self) -> None:
+        """Stop recording and drop the buffer."""
+        self._trace = None
+
+    def trace(self) -> List[TraceEntry]:
+        """The recorded command history, oldest first."""
+        if self._trace is None:
+            return []
+        return list(self._trace)
+
+    def _record(self, kind: str, channel: int = -1,
+                pseudo_channel: int = -1, bank: int = -1, row: int = -1,
+                count: int = 0) -> None:
+        if self._trace is not None:
+            self._trace.append(TraceEntry(
+                self.now_ns, kind, channel, pseudo_channel, bank, row,
+                count))
+
+    # ------------------------------------------------------------------
+    # Temperature coupling
+    # ------------------------------------------------------------------
+
+    def set_temperature(self, temperature_c: float) -> None:
+        """Update the chip temperature (e.g. from the thermal rig)."""
+        self.temperature_c = float(temperature_c)
+
+    def temperature_disturbance_factor(self) -> float:
+        """Disturbance multiplier at the current temperature.
+
+        1.0 at the calibration temperature; grows (shrinks) by
+        ``TEMPERATURE_HC_SENSITIVITY`` per degree above (below) it,
+        floored at 0.2.
+        """
+        if (self.calibration_temperature_c is None
+                or self.temperature_c is None):
+            return 1.0
+        delta = self.temperature_c - self.calibration_temperature_c
+        return max(0.2, 1.0 + TEMPERATURE_HC_SENSITIVITY * delta)
+
+    def retention_acceleration(self) -> float:
+        """Retention-time acceleration: 2x per RETENTION_DOUBLING_C."""
+        if (self.calibration_temperature_c is None
+                or self.temperature_c is None):
+            return 1.0
+        delta = self.temperature_c - self.calibration_temperature_c
+        return 2.0 ** (delta / RETENTION_DOUBLING_C)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _to_physical(self, address: RowAddress) -> RowAddress:
+        return address.with_row(self.row_mapping.to_physical(address.row))
+
+    def _bank(self, physical: RowAddress) -> BankState:
+        return self._banks.setdefault(physical.bank_key, BankState())
+
+    def _row_state(self, physical: RowAddress) -> _RowState:
+        rows = self._rows.setdefault(physical.bank_key, {})
+        state = rows.get(physical.row)
+        if state is None:
+            state = _RowState(
+                data=np.zeros(self.geometry.row_bytes, dtype=np.uint8),
+                restored_at=0.0, pattern="Rowstripe0")
+            rows[physical.row] = state
+        return state
+
+    def _disturb_neighbors(self, physical: RowAddress, count: int,
+                           t_on: float) -> None:
+        radius = self.disturbance.blast_radius
+        temperature_factor = self.temperature_disturbance_factor()
+        for neighbor in adjacent_rows(physical, self.geometry, radius):
+            distance = abs(neighbor.row - physical.row)
+            units = count * temperature_factor \
+                * self.disturbance.units_per_activation(t_on, distance)
+            if units <= 0:
+                continue
+            state = self._row_state(neighbor)
+            state.acc_units += units
+
+    def _last_restore(self, physical: RowAddress, state: _RowState) -> float:
+        pc_time = self._pc_ref_time[(physical.channel,
+                                     physical.pseudo_channel)]
+        return max(state.restored_at, pc_time.get(physical.row, 0.0))
+
+    def _pending_flip_bits(self, physical: RowAddress,
+                           state: _RowState) -> np.ndarray:
+        """Bit positions flipping at the next restore (not yet committed)."""
+        flips: List[np.ndarray] = []
+        if state.acc_units > 0:
+            if state.min_threshold is None:
+                # The analytic weak minimum equals materialize()'s
+                # weakest weak cell bit-for-bit (shared order-statistics
+                # stream); the strong population is truncated at -3
+                # sigma, so the combined bound is exact.
+                profile = self.profile_provider.profile(physical,
+                                                        state.pattern)
+                population = profile.population
+                strong_floor = 10.0 ** (population.mu_strong
+                                        - 3.0 * population.sigma_strong)
+                state.min_threshold = min(float(profile.hc_first()),
+                                          strong_floor)
+            if state.acc_units >= state.min_threshold:
+                thresholds = self._thresholds_for(physical, state)
+                flips.append(np.flatnonzero(
+                    thresholds <= state.acc_units))
+        if self.retention is not None:
+            elapsed = self.now_ns - self._last_restore(physical, state)
+            if elapsed > 0:
+                effective = elapsed * self.retention_acceleration()
+                if state.retention_floor_ns is None:
+                    state.retention_floor_ns = \
+                        self.retention.row_retention_ns(physical)
+                if effective >= state.retention_floor_ns:
+                    flips.append(self.retention.failing_bits(physical,
+                                                             effective))
+        if not flips:
+            return np.empty(0, dtype=np.int64)
+        candidates = np.unique(np.concatenate(flips)).astype(np.int64)
+        if state.already_flipped is not None:
+            candidates = candidates[~state.already_flipped[candidates]]
+        return candidates
+
+    def _thresholds_for(self, physical: RowAddress,
+                        state: _RowState) -> np.ndarray:
+        if state.thresholds is None:
+            profile = self.profile_provider.profile(physical, state.pattern)
+            state.thresholds = profile.materialize()
+        return state.thresholds
+
+    def _apply_on_die_ecc(self, state: _RowState,
+                          data: np.ndarray) -> np.ndarray:
+        """On-die SECDED view of a row: single-bit flips per 64-bit word
+        are corrected on the fly; multi-bit words pass through unchanged.
+
+        Chips power up with on-die ECC enabled; the paper clears the MR
+        bit precisely because this masking hides the raw bitflips
+        (Section 3.1).  The model idealizes the hidden parity cells as
+        flip-free and does not emulate miscorrection.
+        """
+        if state.already_flipped is None or not state.already_flipped.any():
+            return data
+        flips_per_word = state.already_flipped.reshape(-1, 64).sum(axis=1)
+        correctable_words = np.flatnonzero(flips_per_word == 1)
+        if correctable_words.size == 0:
+            return data
+        corrected = data.copy()
+        flat = state.already_flipped.reshape(-1, 64)
+        for word in correctable_words:
+            offset = int(np.flatnonzero(flat[word])[0])
+            bit = word * 64 + offset
+            corrected[bit // 8] ^= np.uint8(1 << (7 - bit % 8))
+            self.stats.ecc_corrections += 1
+        return corrected
+
+    def _commit(self, physical: RowAddress) -> None:
+        """Restore a row's charge, latching any pending bitflips."""
+        state = self._rows.get(physical.bank_key, {}).get(physical.row)
+        if state is None:
+            return
+        flips = self._pending_flip_bits(physical, state)
+        if flips.size:
+            if state.already_flipped is None:
+                state.already_flipped = np.zeros(
+                    self.geometry.row_bits, dtype=bool)
+            _xor_bits(state.data, flips)
+            state.already_flipped[flips] = True
+            self.stats.committed_bitflips += int(flips.size)
+        state.acc_units = 0.0
+        state.restored_at = self.now_ns
+
+
+def _xor_bits(data: np.ndarray, bit_positions: np.ndarray) -> None:
+    """Flip the given bit positions (MSB-first within each byte) in place."""
+    if bit_positions.size == 0:
+        return
+    byte_index = bit_positions // 8
+    bit_in_byte = 7 - (bit_positions % 8)
+    np.bitwise_xor.at(data, byte_index,
+                      (1 << bit_in_byte).astype(np.uint8))

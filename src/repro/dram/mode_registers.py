@@ -1,0 +1,113 @@
+"""HBM2 mode registers.
+
+The paper manipulates two mode-register-controlled features (Section 3.1):
+
+- **on-die ECC** is disabled by clearing the corresponding MR bit, so raw
+  bitflips are observable,
+- the **documented TRR Mode** (JESD235) is explicitly *not* entered; the
+  undocumented TRR the paper uncovers operates regardless.
+
+We model the small MR subset the experiments touch, with JESD235-style
+field packing so programs can exercise realistic MR writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class ModeRegisterError(Exception):
+    """Illegal mode-register access."""
+
+
+#: MR index -> (field name -> bit position) for the modelled subset.
+_FIELDS: Dict[int, Dict[str, int]] = {
+    # MR4 hosts ECC and parity controls in JESD235.
+    4: {"ecc_enable": 0, "dm_enable": 1, "parity_enable": 2},
+    # MR3 hosts bank-group / TRR-adjacent controls; we model TRR Mode here.
+    3: {"trr_mode_enable": 0, "trr_mode_ban": 4},
+}
+
+#: TRR Mode target bank occupies MR3 bits [3:1].
+_TRR_BANK_SHIFT = 1
+_TRR_BANK_MASK = 0b111
+
+
+@dataclass
+class ModeRegisters:
+    """Register file with the subset of MRs the experiments exercise."""
+
+    registers: Dict[int, int] = field(
+        default_factory=lambda: {index: 0 for index in range(16)})
+
+    def __post_init__(self) -> None:
+        # Chips power up with on-die ECC enabled; tests must disable it.
+        self.set_field(4, "ecc_enable", True)
+
+    def write(self, index: int, value: int) -> None:
+        """Raw MR write (8-bit payload)."""
+        self._check_index(index)
+        if not 0 <= value <= 0xFF:
+            raise ModeRegisterError("mode register payload must be 8 bits")
+        self.registers[index] = value
+
+    def read(self, index: int) -> int:
+        """Raw MR read."""
+        self._check_index(index)
+        return self.registers[index]
+
+    def set_field(self, index: int, name: str, value: bool) -> None:
+        """Set a named single-bit field."""
+        bit = self._field_bit(index, name)
+        if value:
+            self.registers[index] |= (1 << bit)
+        else:
+            self.registers[index] &= ~(1 << bit)
+
+    def get_field(self, index: int, name: str) -> bool:
+        """Read a named single-bit field."""
+        bit = self._field_bit(index, name)
+        return bool(self.registers[index] & (1 << bit))
+
+    @property
+    def ecc_enabled(self) -> bool:
+        """Whether on-die ECC is active (tests clear this; Section 3.1)."""
+        return self.get_field(4, "ecc_enable")
+
+    @property
+    def trr_mode_enabled(self) -> bool:
+        """Whether the *documented* JESD235 TRR Mode is entered."""
+        return self.get_field(3, "trr_mode_enable")
+
+    def enter_trr_mode(self, target_bank: int) -> None:
+        """Enter documented TRR Mode against ``target_bank``."""
+        if not 0 <= target_bank <= _TRR_BANK_MASK:
+            raise ModeRegisterError("TRR Mode bank must fit in 3 bits")
+        value = self.registers[3]
+        value &= ~(_TRR_BANK_MASK << _TRR_BANK_SHIFT)
+        value |= target_bank << _TRR_BANK_SHIFT
+        self.registers[3] = value
+        self.set_field(3, "trr_mode_enable", True)
+
+    def exit_trr_mode(self) -> None:
+        """Leave documented TRR Mode."""
+        self.set_field(3, "trr_mode_enable", False)
+
+    @property
+    def trr_mode_bank(self) -> int:
+        """Bank targeted by documented TRR Mode."""
+        return (self.registers[3] >> _TRR_BANK_SHIFT) & _TRR_BANK_MASK
+
+    @staticmethod
+    def _check_index(index: int) -> None:
+        if not 0 <= index < 16:
+            raise ModeRegisterError(f"mode register {index} does not exist")
+
+    @staticmethod
+    def _field_bit(index: int, name: str) -> int:
+        fields = _FIELDS.get(index)
+        if fields is None or name not in fields:
+            raise ModeRegisterError(
+                f"mode register {index} has no field {name!r}")
+        return fields[name]

@@ -1,0 +1,169 @@
+"""Logical-to-physical DRAM row address mapping.
+
+DRAM manufacturers remap memory-controller-visible (logical) row addresses
+to internal physical rows for repair and layout reasons.  To identify
+physically adjacent aggressor rows, the paper reverse-engineers the mapping
+following prior work (Section 3.1).  We implement the common mapping
+families seen in real chips; each simulated chip is assigned one, and the
+reverse-engineering routine in
+:mod:`repro.bender.routines.mapping_reveng` recovers it from single-sided
+hammer experiments alone.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+class RowMapping(abc.ABC):
+    """Bijective logical <-> physical row mapping within a bank."""
+
+    def __init__(self, rows: int) -> None:
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        self.rows = rows
+
+    @abc.abstractmethod
+    def to_physical(self, logical: int) -> int:
+        """Map a logical row to its physical row."""
+
+    @abc.abstractmethod
+    def to_logical(self, physical: int) -> int:
+        """Map a physical row back to the logical address."""
+
+    def _check(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} out of range [0, {self.rows})")
+
+    def physical_neighbors(self, logical: int, radius: int = 1):
+        """Logical addresses of the rows physically adjacent to ``logical``.
+
+        This is the operation an attacker needs: given a victim's logical
+        address, find the logical addresses to activate so the *physical*
+        neighbors are hammered.
+        """
+        self._check(logical)
+        physical = self.to_physical(logical)
+        neighbors = []
+        for offset in range(-radius, radius + 1):
+            if offset == 0:
+                continue
+            candidate = physical + offset
+            if 0 <= candidate < self.rows:
+                neighbors.append(self.to_logical(candidate))
+        return neighbors
+
+    @property
+    def name(self) -> str:
+        """Family name used by the reverse-engineering report."""
+        return type(self).__name__
+
+
+class IdentityMapping(RowMapping):
+    """Logical addresses equal physical addresses."""
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        return logical
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        return physical
+
+
+@dataclass(frozen=True)
+class _XorSpec:
+    """Parameters of an XOR scramble: target bit receives XOR of source."""
+
+    target_bit: int
+    source_bit: int
+
+
+class XorScrambleMapping(RowMapping):
+    """Vendor-style XOR scramble: one address bit is XORed with another.
+
+    A common real-chip scheme flips row address bit ``target`` whenever bit
+    ``source`` is set, which shuffles adjacency within 8-row groups.  The
+    transform is an involution, so forward and inverse coincide.
+    """
+
+    def __init__(self, rows: int, target_bit: int = 1,
+                 source_bit: int = 2) -> None:
+        super().__init__(rows)
+        if target_bit == source_bit:
+            raise ValueError("target and source bits must differ")
+        if rows <= max(1 << target_bit, 1 << source_bit):
+            raise ValueError("scrambled bits exceed the row address width")
+        self._spec = _XorSpec(target_bit, source_bit)
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        if logical & (1 << self._spec.source_bit):
+            return logical ^ (1 << self._spec.target_bit)
+        return logical
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        return self.to_physical(physical)  # involution
+
+
+class MirrorOddMapping(RowMapping):
+    """Low-bit swap inside 4-row groups (the "mirrored" vendor layout).
+
+    Odd/even pairs inside each 4-row group are reordered as
+    ``0, 1, 2, 3 -> 0, 2, 1, 3`` physically, a pattern observed on several
+    DDR4 vendors and adopted here as a third distinct family.
+    """
+
+    _PERMUTATION = (0, 2, 1, 3)
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        group = logical & ~0x3
+        return group | self._PERMUTATION[logical & 0x3]
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        return self.to_physical(physical)  # the permutation is an involution
+
+
+class BlockInterleaveMapping(RowMapping):
+    """Even/odd interleave inside 8-row groups.
+
+    Physically, logical rows ``0..7`` of each group land at
+    ``0, 2, 4, 6, 1, 3, 5, 7`` — the layout some vendors use to pair
+    true- and anti-cell rows.  Unlike the XOR/mirror involutions, the
+    displacement between logically and physically adjacent rows can
+    exceed 2, so a memory controller that assumes an identity mapping
+    refreshes rows that are *never* the real victims (the
+    hiding-internal-topology cost quantified in the defense ablation).
+    """
+
+    _TO_PHYSICAL = (0, 2, 4, 6, 1, 3, 5, 7)
+    _TO_LOGICAL = (0, 4, 1, 5, 2, 6, 3, 7)
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        group = logical & ~0x7
+        return group | self._TO_PHYSICAL[logical & 0x7]
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        group = physical & ~0x7
+        return group | self._TO_LOGICAL[physical & 0x7]
+
+
+MAPPING_FAMILIES = {
+    "IdentityMapping": IdentityMapping,
+    "XorScrambleMapping": XorScrambleMapping,
+    "MirrorOddMapping": MirrorOddMapping,
+    "BlockInterleaveMapping": BlockInterleaveMapping,
+}
+
+
+def make_mapping(family: str, rows: int) -> RowMapping:
+    """Instantiate a mapping family by name."""
+    if family not in MAPPING_FAMILIES:
+        raise ValueError(f"unknown mapping family {family!r}")
+    return MAPPING_FAMILIES[family](rows)

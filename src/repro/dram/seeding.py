@@ -1,0 +1,126 @@
+"""Deterministic seed derivation for the statistical fault models.
+
+Every random quantity in the substrate (cell thresholds, retention ladders,
+pattern affinities) must be a pure function of the chip seed and the
+coordinates involved, so that re-testing any row reproduces the same cells
+without storing the full 4 GiB state.  This module provides a splitmix64-
+based mixer that folds an arbitrary sequence of integers into a 64-bit seed
+suitable for ``numpy.random.Philox``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def splitmix64(value: int) -> int:
+    """One splitmix64 scrambling round (public-domain constants)."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def derive_seed(*components: int) -> int:
+    """Fold integer components into one well-mixed 64-bit seed."""
+    state = 0x243F6A8885A308D3  # pi fractional bits: fixed namespace
+    for component in components:
+        state = splitmix64((state ^ (component & _MASK64)) & _MASK64)
+    return state
+
+
+def generator_for(*components: int) -> np.random.Generator:
+    """Philox generator keyed by the mixed components."""
+    seed = derive_seed(*components)
+    key = np.array([seed, splitmix64(seed)], dtype=np.uint64)
+    return np.random.Generator(np.random.Philox(key=key))
+
+
+def uniform_for(*components: int) -> float:
+    """One deterministic U(0,1) draw keyed by the components.
+
+    Used for per-coordinate modulation factors (e.g. a channel's pattern
+    affinity) where creating a full generator would be wasteful.
+    """
+    return splitmix64(derive_seed(*components)) / float(_MASK64 + 1)
+
+
+def normal_for(*components: int) -> float:
+    """One deterministic standard-normal draw keyed by the components."""
+    # Box-Muller on two decorrelated uniforms derived from the same key.
+    u1 = uniform_for(*components, 0x55AA)
+    u2 = uniform_for(*components, 0xAA55)
+    u1 = max(u1, 1.0e-12)
+    return float(np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2))
+
+
+# ----------------------------------------------------------------------
+# Vectorized mirrors.
+#
+# The experiment sweeps touch hundreds of thousands of rows; the helpers
+# below fold one varying integer array through exactly the same splitmix64
+# chain as the scalar functions, so vectorized statistics are
+# *bit-identical* to what the device engine computes row by row.
+# ----------------------------------------------------------------------
+
+_INIT_STATE = 0x243F6A8885A308D3
+
+
+def splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`splitmix64` over a uint64 array."""
+    values = values.astype(np.uint64, copy=True)
+    values += np.uint64(0x9E3779B97F4A7C15)
+    values = (values ^ (values >> np.uint64(30))) \
+        * np.uint64(0xBF58476D1CE4E5B9)
+    values = (values ^ (values >> np.uint64(27))) \
+        * np.uint64(0x94D049BB133111EB)
+    return values ^ (values >> np.uint64(31))
+
+
+def seed_array_for(pre: tuple, varying: np.ndarray,
+                   post: tuple = ()) -> np.ndarray:
+    """Vector of ``derive_seed(*pre, v, *post)`` for each ``v``."""
+    state = _INIT_STATE
+    for component in pre:
+        state = splitmix64((state ^ (component & _MASK64)) & _MASK64)
+    states = splitmix64_array(
+        np.uint64(state) ^ np.asarray(varying, dtype=np.uint64))
+    for component in post:
+        states = splitmix64_array(
+            states ^ np.uint64(component & _MASK64))
+    return states
+
+
+def uniform_array_for(pre: tuple, varying: np.ndarray,
+                      post: tuple = ()) -> np.ndarray:
+    """Vector of ``uniform_for(*pre, v, *post)`` for each ``v``."""
+    seeds = seed_array_for(pre, varying, post)
+    return splitmix64_array(seeds).astype(np.float64) / float(_MASK64 + 1)
+
+
+def normal_array_for(pre: tuple, varying: np.ndarray,
+                     post: tuple = ()) -> np.ndarray:
+    """Vector of ``normal_for(*pre, v, *post)`` for each ``v``."""
+    u1 = uniform_array_for(pre, varying, post + (0x55AA,))
+    u2 = uniform_array_for(pre, varying, post + (0xAA55,))
+    u1 = np.maximum(u1, 1.0e-12)
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
+
+def uniforms_from_seeds(seeds: np.ndarray, post: tuple) -> np.ndarray:
+    """Vector of ``uniform_for(seed, *post)`` over an array of seeds.
+
+    Each seed is folded as the *first component* of a fresh chain, exactly
+    like the scalar ``uniform_for(seed, *post)`` — so draws keyed by a
+    precomputed ``derive_seed`` value (e.g. a row profile seed) match the
+    scalar path bit-for-bit.
+    """
+    states = splitmix64_array(
+        np.uint64(_INIT_STATE) ^ np.asarray(seeds, dtype=np.uint64))
+    for component in post:
+        states = splitmix64_array(states ^ np.uint64(component & _MASK64))
+    return splitmix64_array(states).astype(np.float64) / float(_MASK64 + 1)

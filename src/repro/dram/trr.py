@@ -1,0 +1,178 @@
+"""Undocumented in-DRAM Target Row Refresh (TRR) engine.
+
+Section 7 of the paper reverse-engineers a proprietary TRR mechanism in
+Chip 0 (operating *on top of* the documented JESD235 TRR Mode, and active
+even when TRR Mode is not entered).  The uncovered behaviour:
+
+- **Obsv. 24**: every 17th REF command is *TRR-capable* (can perform a
+  victim refresh).
+- **Obsv. 25**: when a row R is detected as an aggressor, both neighbors
+  R-1 and R+1 are refreshed.
+- **Obsv. 26**: the *first row activated after a TRR-capable REF* is always
+  detected as an aggressor.
+- **Obsv. 27**: a row activated at least half as many times as the total
+  activation count between two REF commands is detected as an aggressor.
+
+The paper further shows (Fig. 14) that a bypass pattern needs **at least 4
+dummy rows**; with 3 or fewer dummies the mechanism still catches the real
+aggressors even though neither published rule fires.  We model this with a
+small sampler CAM of capacity 4 that latches the first distinct rows
+activated after a TRR-capable REF — a strict generalization of Obsv. 26
+that reproduces the >= 4 dummy requirement (documented as an inference in
+DESIGN.md).  Detected aggressors accumulate until the next TRR-capable REF,
+which refreshes their neighbors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class TrrConfig:
+    """Parameters of the undocumented TRR sampler."""
+
+    #: Every Nth REF command is TRR-capable (Obsv. 24).
+    capable_interval: int = 17
+    #: Capacity of the first-activated-rows CAM (reproduces the >= 4
+    #: dummy-row requirement of Fig. 14; generalizes Obsv. 26).
+    cam_capacity: int = 4
+    #: Enable the per-window majority activation-count rule (Obsv. 27).
+    count_rule: bool = True
+    #: Enable the first-activation CAM rule (Obsv. 26).
+    first_act_rule: bool = True
+    #: Master enable; chips without the proprietary mechanism disable it.
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capable_interval < 1:
+            raise ValueError("capable_interval must be at least 1")
+        if self.cam_capacity < 1:
+            raise ValueError("cam_capacity must be at least 1")
+
+
+@dataclass
+class _BankTracker:
+    """Per-bank sampler state."""
+
+    #: Distinct rows activated since the last TRR-capable REF, in first-
+    #: activation order, truncated to the CAM capacity.
+    cam: List[int] = field(default_factory=list)
+    cam_members: Set[int] = field(default_factory=set)
+    #: Activation counts in the current REF-to-REF window.
+    window_counts: Dict[int, int] = field(default_factory=dict)
+    window_total: int = 0
+    #: Aggressors flagged by the count rule, pending the next capable REF.
+    pending: Set[int] = field(default_factory=set)
+
+
+class TrrEngine:
+    """Sampler + victim-refresh logic for one pseudo channel.
+
+    The device calls :meth:`on_activate` for every row activation and
+    :meth:`on_refresh` for every REF; the latter returns the list of
+    ``(bank, victim_row)`` pairs the DRAM internally refreshes when the REF
+    is TRR-capable.
+    """
+
+    def __init__(self, config: TrrConfig, banks: int, rows: int) -> None:
+        self.config = config
+        self.banks = banks
+        self.rows = rows
+        self.ref_count = 0
+        self._trackers = [_BankTracker() for __ in range(banks)]
+        #: History of (ref index, detected aggressors) for probing tests.
+        self.detection_log: List[Tuple[int, Dict[int, List[int]]]] = []
+
+    def reset(self) -> None:
+        """Forget all sampler state (power-on condition)."""
+        self.ref_count = 0
+        self._trackers = [_BankTracker() for __ in range(self.banks)]
+        self.detection_log.clear()
+
+    @property
+    def refs_until_capable(self) -> int:
+        """REF commands remaining until the next TRR-capable one."""
+        interval = self.config.capable_interval
+        remainder = self.ref_count % interval
+        return interval - remainder
+
+    def is_capable_ref(self, ref_index: int) -> bool:
+        """Whether the ``ref_index``-th REF (1-based) is TRR-capable."""
+        return ref_index % self.config.capable_interval == 0
+
+    def on_activate(self, bank: int, row: int, count: int = 1) -> None:
+        """Record ``count`` activations of ``row`` (fused hammers pass >1)."""
+        if not self.config.enabled:
+            return
+        if not 0 <= bank < self.banks:
+            raise ValueError(f"bank {bank} out of range")
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} out of range")
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        tracker = self._trackers[bank]
+        if (self.config.first_act_rule
+                and len(tracker.cam) < self.config.cam_capacity
+                and row not in tracker.cam_members):
+            tracker.cam.append(row)
+            tracker.cam_members.add(row)
+        tracker.window_counts[row] = tracker.window_counts.get(row, 0) + count
+        tracker.window_total += count
+
+    def note_window(self, bank: int,
+                    ordered_counts: Sequence[Tuple[int, int]]) -> None:
+        """Fast path: record a whole REF-to-REF window of activations.
+
+        ``ordered_counts`` lists ``(row, count)`` in first-activation
+        order; semantically identical to interleaved :meth:`on_activate`
+        calls where each row's first activation follows the given order.
+        """
+        for row, count in ordered_counts:
+            self.on_activate(bank, row, count)
+
+    def on_refresh(self) -> List[Tuple[int, int]]:
+        """Process one REF command.
+
+        Closes every bank's activation window (applying the count rule) and,
+        if this REF is TRR-capable, returns the ``(bank, victim_row)`` pairs
+        to refresh and re-arms the CAM.
+        """
+        if not self.config.enabled:
+            return []
+        self.ref_count += 1
+        victims: List[Tuple[int, int]] = []
+        capable = self.is_capable_ref(self.ref_count)
+        detected_by_bank: Dict[int, List[int]] = {}
+        for bank, tracker in enumerate(self._trackers):
+            self._apply_count_rule(tracker)
+            tracker.window_counts = {}
+            tracker.window_total = 0
+            if not capable:
+                continue
+            detected = set(tracker.pending)
+            if self.config.first_act_rule:
+                detected.update(tracker.cam)
+            if detected:
+                detected_by_bank[bank] = sorted(detected)
+            for aggressor in detected:
+                for victim in (aggressor - 1, aggressor + 1):
+                    if 0 <= victim < self.rows:
+                        victims.append((bank, victim))
+            tracker.pending.clear()
+            tracker.cam = []
+            tracker.cam_members = set()
+        if capable:
+            self.detection_log.append((self.ref_count, detected_by_bank))
+        return victims
+
+    def _apply_count_rule(self, tracker: _BankTracker) -> None:
+        if not self.config.count_rule or tracker.window_total == 0:
+            return
+        total = tracker.window_total
+        for row, count in tracker.window_counts.items():
+            # "More than half" with the paper's own example of 5-of-10
+            # counting as detected: threshold is >= half.
+            if 2 * count >= total:
+                tracker.pending.add(row)

@@ -1,0 +1,48 @@
+"""CLI runner: ``python -m repro.experiments [ids...] [--scale S]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.base import default_scale
+from repro.experiments.registry import (EXPERIMENTS, EXTENSIONS,
+                                        run_experiment)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.")
+    parser.add_argument("ids", nargs="*",
+                        help="experiment ids (default: all paper "
+                             "artifacts); one of: "
+                             + ", ".join(list(EXPERIMENTS)
+                                         + list(EXTENSIONS)))
+    parser.add_argument("--scale", type=float, default=None,
+                        help="population scale (default: HBMSIM_SCALE "
+                             "env or 1.0)")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    args = parser.parse_args(argv)
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        for experiment_id in EXTENSIONS:
+            print(experiment_id)
+        return 0
+    scale = args.scale if args.scale is not None else default_scale()
+    ids = args.ids or list(EXPERIMENTS)
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id, scale)
+        elapsed = time.time() - start
+        print(f"\n=== {result.experiment_id}: {result.title} "
+              f"({elapsed:.1f}s, scale {scale}) ===")
+        print(result.text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

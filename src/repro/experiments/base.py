@@ -1,0 +1,48 @@
+"""Common experiment result type and scaling helpers."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    experiment_id: str
+    title: str
+    #: Rendered plain-text report (the rows/series the paper shows).
+    text: str
+    #: Raw measured numbers, keyed per series.
+    data: Dict[str, Any] = field(default_factory=dict)
+    #: Headline values from the paper for side-by-side comparison.
+    paper_reference: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def scaled(count: int, scale: float, minimum: int = 8) -> int:
+    """Scale a population size, clamped to a useful minimum."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return max(minimum, int(round(count * scale)))
+
+
+def default_scale() -> float:
+    """Experiment scale from the ``HBMSIM_SCALE`` environment variable.
+
+    Full-population runs use 1.0; the benchmark suite defaults to a
+    fraction so the whole harness finishes in minutes.  The statistics
+    the experiments report are population means/extremes and are stable
+    under stratified subsampling.
+    """
+    value = os.environ.get("HBMSIM_SCALE", "")
+    if not value:
+        return 1.0
+    scale = float(value)
+    if scale <= 0:
+        raise ValueError("HBMSIM_SCALE must be positive")
+    return scale

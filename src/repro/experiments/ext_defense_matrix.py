@@ -1,0 +1,72 @@
+"""Extension experiment: the Section 8.2 defense matrix.
+
+Not a paper artifact — it executes the paper's *implications for future
+defenses*: memory-controller mitigations (PARA, RowPress-aware PARA,
+Graphene, BlockHammer) against this repository's attack scenarios, plus
+the benign-workload cost of each.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_table
+from repro.chips.profiles import make_chip
+from repro.defenses import (BlockHammer, Graphene, Para,
+                            RowPressAwarePara, evaluate,
+                            para_probability_for, pick_vulnerable_victim)
+from repro.experiments.base import ExperimentResult, scaled
+from repro.workloads import benign_trace, measure_benign_overhead
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Run the defense matrix (attack protection + benign overhead)."""
+    chip = make_chip(0)
+    victim = pick_vulnerable_victim(chip)
+    p = para_probability_for(14_000)
+    factories = {
+        "none": lambda: None,
+        "PARA": lambda: Para(probability=p,
+                             believed_mapping=chip.row_mapping()),
+        "RowPress-PARA": lambda: RowPressAwarePara(
+            probability=p, believed_mapping=chip.row_mapping()),
+        "Graphene": lambda: Graphene(
+            threshold=3500, believed_mapping=chip.row_mapping()),
+        "BlockHammer": lambda: BlockHammer(
+            believed_mapping=chip.row_mapping()),
+    }
+    trace = benign_trace(
+        total_activations=scaled(60_000, scale, 10_000))
+    rows = []
+    data = {}
+    for name, factory in factories.items():
+        reports = evaluate(chip, factory, name, victim)
+        benign = measure_benign_overhead(chip, factory, name, trace)
+        ds = reports["double_sided_burst"]
+        rp = reports["rowpress_burst"]
+        rows.append([
+            name,
+            "blocked" if ds.protected else f"{ds.bitflips} flips",
+            "blocked" if rp.protected else f"{rp.bitflips} flips",
+            f"{benign.refreshes_per_kilo_act:.2f}",
+            f"{benign.slowdown_fraction:.2%}",
+        ])
+        data[name] = {
+            "double_sided_flips": ds.bitflips,
+            "rowpress_flips": rp.bitflips,
+            "benign_refreshes_per_kilo_act":
+                benign.refreshes_per_kilo_act,
+            "benign_slowdown": benign.slowdown_fraction,
+            "attack_throttle_ms": ds.throttle_delay_ms,
+        }
+    text = render_table(
+        ["Defense", "Double-sided", "RowPress",
+         "Benign refreshes/kACT", "Benign slowdown"],
+        rows,
+        title="Extension: memory-controller defense matrix "
+              "(Section 8.2)")
+    paper = {
+        "expectation": "controller-side defenses needed; "
+                       "count-based ones are RowPress-blind "
+                       "(Takeaways 7 and 9)",
+    }
+    return ExperimentResult("ext-defenses", "Defense matrix", text, data,
+                            paper)

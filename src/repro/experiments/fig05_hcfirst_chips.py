@@ -1,0 +1,65 @@
+"""Fig. 5: HC_first across the six HBM2 chips and four patterns.
+
+Paper headlines (Observations 4-6, Takeaway 2):
+
+- the most vulnerable row flips after only 14531 activations (Chip 5),
+- per-chip minimum HC_first: 18087, 16611, 15500, 17164, 15500, 14531,
+- minimum HC_first differs by up to 3556 across chips,
+- mean HC_first of Chip 5 is 10.59% above Chip 2 for Rowstripe0.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_table
+from repro.chips.profiles import all_chips
+from repro.core.spatial import PATTERN_COLUMNS, chip_hcfirst_study
+from repro.experiments.base import ExperimentResult, scaled
+
+#: Paper Table of per-chip minima (Obsv. 4/5).
+PAPER_MINIMA = {
+    "Chip 0": 18087, "Chip 1": 16611, "Chip 2": 15500,
+    "Chip 3": 17164, "Chip 4": 15500, "Chip 5": 14531,
+}
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Run the Fig. 5 study at the requested population scale."""
+    chips = all_chips()
+    study = chip_hcfirst_study(chips,
+                               rows_per_bank=scaled(3072, scale, 64))
+    rows = []
+    data = {}
+    for label, by_pattern in study.summaries.items():
+        for pattern in PATTERN_COLUMNS:
+            summary = by_pattern[pattern]
+            rows.append([label, pattern, round(summary.mean),
+                         round(summary.median), round(summary.minimum)])
+            data.setdefault(label, {})[pattern] = {
+                "mean": summary.mean, "median": summary.median,
+                "min": summary.minimum}
+    minima = {label: by_pattern["WCDP"].minimum
+              for label, by_pattern in study.summaries.items()}
+    data["minima"] = minima
+    data["minimum_spread"] = study.minimum_spread()
+    r0_ratio = (study.summaries["Chip 5"]["Rowstripe0"].mean
+                / study.summaries["Chip 2"]["Rowstripe0"].mean)
+    data["chip5_over_chip2_rowstripe0"] = r0_ratio
+    footer_lines = ["", "Per-chip minimum HC_first (WCDP) vs paper:"]
+    for label, minimum in minima.items():
+        footer_lines.append(
+            f"  {label}: measured {minimum:.0f}  paper "
+            f"{PAPER_MINIMA[label]}")
+    footer_lines.append(
+        f"Minimum spread across chips: {data['minimum_spread']:.0f} "
+        "(paper: 3556)")
+    footer_lines.append(
+        f"Chip5/Chip2 mean HC_first (Rowstripe0): {r0_ratio:.3f} "
+        "(paper: 1.106)")
+    text = render_table(
+        ["Chip", "Pattern", "Mean", "Median", "Min"], rows,
+        title="Fig. 5: HC_first across chips and data patterns")
+    text += "\n" + "\n".join(footer_lines)
+    paper = {"minima": PAPER_MINIMA, "minimum_spread": 3556,
+             "chip5_over_chip2_rowstripe0": 1.1059}
+    return ExperimentResult("fig05", "HC_first across chips", text, data,
+                            paper)

@@ -1,0 +1,69 @@
+"""Fig. 7: HC_first across the 3D-stacked channels of each chip.
+
+Paper headlines (Observations 12-13):
+
+- channels differ in their HC_first distributions; in Chip 1 the CH3/CH4
+  pair holds more small-HC_first rows (matching its higher BER in Fig. 6),
+- the distribution shifts with the data pattern; in Chip 1 CH0 the median
+  HC_first is 103905 for Rowstripe0 vs 75990 for Rowstripe1 (1.37x).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.reporting import render_table
+from repro.chips.profiles import all_chips
+from repro.core.spatial import channel_hcfirst_study
+from repro.experiments.base import ExperimentResult, scaled
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Run the Fig. 7 study at the requested population scale."""
+    chips = all_chips()
+    rows_per_bank = scaled(3072, scale, 64)
+    rows = []
+    data: Dict[str, Dict] = {}
+    for chip in chips:
+        study = channel_hcfirst_study(chip, rows_per_bank=rows_per_bank)
+        per_channel = {}
+        for channel in range(chip.geometry.channels):
+            summary = study.summaries["WCDP"][channel]
+            rows.append([chip.label, f"CH{channel}",
+                         round(summary.median), round(summary.minimum)])
+            per_channel[channel] = {
+                "median": summary.median, "min": summary.minimum}
+        data[chip.label] = {
+            "wcdp_by_channel": per_channel,
+            "rowstripe_medians_ch0": {
+                "Rowstripe0": study.summaries["Rowstripe0"][0].median,
+                "Rowstripe1": study.summaries["Rowstripe1"][0].median,
+            },
+        }
+    chip1 = data["Chip 1"]["rowstripe_medians_ch0"]
+    ratio = max(chip1["Rowstripe0"], chip1["Rowstripe1"]) \
+        / min(chip1["Rowstripe0"], chip1["Rowstripe1"])
+    data["chip1_ch0_rowstripe_ratio"] = ratio
+    chip1_mins = {ch: v["min"]
+                  for ch, v in data["Chip 1"]["wcdp_by_channel"].items()}
+    vulnerable = sorted(chip1_mins, key=chip1_mins.get)[:2]
+    data["chip1_most_vulnerable_channels"] = vulnerable
+    footer = [
+        "",
+        "Chip 1 CH0 Rowstripe0 vs Rowstripe1 median HC_first: "
+        f"{chip1['Rowstripe0']:.0f} vs {chip1['Rowstripe1']:.0f} "
+        f"(ratio {ratio:.2f}; paper: 103905 vs 75990, 1.37x)",
+        f"Chip 1 channels with smallest HC_first: {vulnerable} "
+        "(paper: the CH3/CH4 die pair)",
+    ]
+    text = render_table(
+        ["Chip", "Channel", "Median WCDP HC_first", "Min WCDP HC_first"],
+        rows, title="Fig. 7: HC_first across channels") \
+        + "\n" + "\n".join(footer)
+    paper = {
+        "chip1_ch0_rowstripe0_median": 103905,
+        "chip1_ch0_rowstripe1_median": 75990,
+        "chip1_most_vulnerable_channels": [3, 4],
+    }
+    return ExperimentResult("fig07", "HC_first across channels", text,
+                            data, paper)

@@ -1,0 +1,67 @@
+"""Fig. 13: HC_first with increasing aggressor-row on-time.
+
+Paper headlines (Observation 23, Takeaway 7):
+
+- average (minimum) HC_first across chips: 83689 (29183) at tRAS,
+  1519 (335) at tREFI, 376 (123) at 9*tREFI, and 1 (1) at 16 ms,
+- the average HC_first reduction at 35.1 us is 222.57x,
+- only rows observable within a 32 ms refresh window at every on-time are
+  included (the paper's grey row-count boxes).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_table
+from repro.chips.profiles import all_chips
+from repro.core.rowpress import (ROWPRESS_HCFIRST_T_ONS,
+                                 rowpress_hcfirst_study)
+from repro.experiments.base import ExperimentResult, scaled
+
+#: Paper's mean (min) HC_first at the four on-times.
+PAPER_MEANS = {29.0: 83689, 3.9e3: 1519, 35.1e3: 376, 16.0e6: 1}
+PAPER_MINS = {29.0: 29183, 3.9e3: 335, 35.1e3: 123, 16.0e6: 1}
+
+
+def _label(t_on: float) -> str:
+    if t_on < 1000:
+        return f"{t_on:.0f} ns"
+    if t_on < 1.0e6:
+        return f"{t_on / 1000:.1f} us"
+    return f"{t_on / 1.0e6:.0f} ms"
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Run the Fig. 13 study at the requested population scale."""
+    chips = all_chips()
+    study = rowpress_hcfirst_study(
+        chips, rows_per_channel=scaled(384, scale, 32))
+    rows = []
+    data = {"mean": {}, "min": {}, "included_rows": study.included_rows}
+    for t_on in study.t_ons:
+        mean = study.mean_at(t_on)
+        minimum = study.min_at(t_on)
+        data["mean"][t_on] = mean
+        data["min"][t_on] = minimum
+        rows.append([_label(t_on), f"{mean:.0f}", f"{minimum:.0f}",
+                     f"{PAPER_MEANS[t_on]}", f"{PAPER_MINS[t_on]}"])
+    reduction = study.reduction_factor(35.1e3)
+    data["reduction_at_35us"] = reduction
+    data["hc_first_of_one_at_16ms"] = data["mean"][16.0e6] <= 1.5
+    footer = [
+        "",
+        f"Mean HC_first reduction at 35.1 us: {reduction:.1f}x "
+        "(paper: 222.57x)",
+        f"HC_first reaches 1 at 16 ms: {data['hc_first_of_one_at_16ms']} "
+        "(paper: yes, for every chip)",
+        "Included rows per chip (observable within the refresh window at "
+        f"every on-time): {study.included_rows}",
+    ]
+    text = render_table(
+        ["t_AggON", "Mean HC_first", "Min HC_first", "Paper mean",
+         "Paper min"], rows,
+        title="Fig. 13: HC_first vs aggressor row on-time (Checkered0)") \
+        + "\n" + "\n".join(footer)
+    paper = {"mean": PAPER_MEANS, "min": PAPER_MINS,
+             "reduction_at_35us": 222.57}
+    return ExperimentResult("fig13", "RowPress HC_first sweep", text,
+                            data, paper)

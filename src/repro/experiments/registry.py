@@ -1,0 +1,67 @@
+"""Registry and runner for the per-table/per-figure experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (fig03_temperature, fig04_ber_chips,
+                               fig05_hcfirst_chips, fig06_ber_channels,
+                               fig07_hcfirst_channels, fig08_ber_rows,
+                               fig09_bank_variation, fig10_hcnth,
+                               fig11_additional_hc, fig12_rowpress_ber,
+                               fig13_rowpress_hcfirst, fig14_trr_bypass,
+                               fig15_wordlevel, sec7_trr_reveng, tables)
+from repro.experiments.base import ExperimentResult
+
+#: Experiment id -> runner, in paper order.
+EXPERIMENTS: Dict[str, Callable[[float], ExperimentResult]] = {
+    "table1": tables.run_table1,
+    "table2": tables.run_table2,
+    "table3": tables.run_table3,
+    "fig03": fig03_temperature.run,
+    "fig04": fig04_ber_chips.run,
+    "fig05": fig05_hcfirst_chips.run,
+    "fig06": fig06_ber_channels.run,
+    "fig07": fig07_hcfirst_channels.run,
+    "fig08": fig08_ber_rows.run,
+    "fig09": fig09_bank_variation.run,
+    "fig10": fig10_hcnth.run,
+    "fig11": fig11_additional_hc.run,
+    "fig12": fig12_rowpress_ber.run,
+    "fig13": fig13_rowpress_hcfirst.run,
+    "sec7": sec7_trr_reveng.run,
+    "fig14": fig14_trr_bypass.run,
+    "fig15": fig15_wordlevel.run,
+}
+
+
+#: Extension experiments executing the paper's Section 8 implications
+#: (not paper artifacts; excluded from run_all's paper-order sweep).
+EXTENSIONS: Dict[str, Callable[[float], ExperimentResult]] = {}
+
+
+def _register_extensions() -> None:
+    from repro.experiments import ext_defense_matrix, ext_temperature
+
+    EXTENSIONS["ext-defenses"] = ext_defense_matrix.run
+    EXTENSIONS["ext-temperature"] = ext_temperature.run
+
+
+_register_extensions()
+
+
+def run_experiment(experiment_id: str,
+                   scale: float = 1.0) -> ExperimentResult:
+    """Run one experiment (paper artifact or extension) by id."""
+    if experiment_id in EXPERIMENTS:
+        return EXPERIMENTS[experiment_id](scale)
+    if experiment_id in EXTENSIONS:
+        return EXTENSIONS[experiment_id](scale)
+    raise KeyError(
+        f"unknown experiment {experiment_id!r}; available: "
+        f"{', '.join(list(EXPERIMENTS) + list(EXTENSIONS))}")
+
+
+def run_all(scale: float = 1.0) -> List[ExperimentResult]:
+    """Run every paper experiment in paper order."""
+    return [runner(scale) for runner in EXPERIMENTS.values()]

@@ -1,0 +1,77 @@
+"""Tables 1-3: experiment configuration tables.
+
+These tables are methodological (data patterns, tested component counts,
+chip labels); reproducing them verifies the configuration of this library
+matches the paper's setup exactly.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_table
+from repro.chips.profiles import CHIP_SPECS
+from repro.core.patterns import ALL_PATTERNS
+from repro.experiments.base import ExperimentResult
+
+#: Table 2 of the paper: components tested per experiment type.
+TABLE2_COMPONENTS = {
+    "RowHammer BER": {"rows": 16384, "banks": 1, "pseudo_channels": 1,
+                      "channels": 8},
+    "RowHammer HCfirst": {"rows": 3072, "banks": 3, "pseudo_channels": 2,
+                          "channels": 8},
+    "RowPress BER": {"rows": 384, "banks": 1, "pseudo_channels": 1,
+                     "channels": 3},
+    "RowPress HCfirst": {"rows": 384, "banks": 1, "pseudo_channels": 1,
+                         "channels": 3},
+}
+
+
+def run_table1(scale: float = 1.0) -> ExperimentResult:
+    """Table 1: data patterns used in the experiments."""
+    rows = []
+    for pattern in ALL_PATTERNS:
+        rows.append([
+            pattern.name,
+            f"0x{pattern.victim_byte:02X}",
+            f"0x{pattern.aggressor_byte:02X}",
+            f"0x{pattern.far_byte:02X}",
+        ])
+    text = render_table(
+        ["Pattern", "Victim (V)", "Aggressors (V +- 1)", "V +- [2:8]"],
+        rows, title="Table 1: data patterns")
+    data = {pattern.name: {
+        "victim": pattern.victim_byte,
+        "aggressor": pattern.aggressor_byte,
+        "far": pattern.far_byte} for pattern in ALL_PATTERNS}
+    paper = {
+        "Rowstripe0": {"victim": 0x00, "aggressor": 0xFF, "far": 0x00},
+        "Rowstripe1": {"victim": 0xFF, "aggressor": 0x00, "far": 0xFF},
+        "Checkered0": {"victim": 0x55, "aggressor": 0xAA, "far": 0x55},
+        "Checkered1": {"victim": 0xAA, "aggressor": 0x55, "far": 0xAA},
+    }
+    return ExperimentResult("table1", "Data patterns", text, data, paper)
+
+
+def run_table2(scale: float = 1.0) -> ExperimentResult:
+    """Table 2: tested DRAM components per experiment type."""
+    rows = [[name, spec["rows"], spec["banks"], spec["pseudo_channels"],
+             spec["channels"]]
+            for name, spec in TABLE2_COMPONENTS.items()]
+    text = render_table(
+        ["Experiment Type", "Rows (Per Bank)", "Banks", "Pseudo Channels",
+         "Channels"],
+        rows, title="Table 2: tested DRAM components")
+    return ExperimentResult("table2", "Tested components", text,
+                            dict(TABLE2_COMPONENTS),
+                            dict(TABLE2_COMPONENTS))
+
+
+def run_table3(scale: float = 1.0) -> ExperimentResult:
+    """Table 3: chip labels per FPGA board."""
+    rows = [[spec.board, spec.label] for spec in CHIP_SPECS]
+    text = render_table(["FPGA Board", "Chip Label"], rows,
+                        title="Table 3: HBM2 chip labels")
+    data = {spec.label: spec.board for spec in CHIP_SPECS}
+    paper = {"Chip 0": "Bittware XUPVVH"}
+    paper.update({f"Chip {i}": "AMD Xilinx Alveo U50"
+                  for i in range(1, 6)})
+    return ExperimentResult("table3", "Chip labels", text, data, paper)

@@ -1,0 +1,17 @@
+"""Temperature-control rig: heating pad, fan, Arduino controller (Fig. 2)."""
+
+from repro.thermal.controller import TemperatureController
+from repro.thermal.plant import ThermalPlant
+from repro.thermal.trace import (SAMPLE_PERIOD_S, TRACE_DURATION_S,
+                                 TemperatureTrace, all_traces,
+                                 chip_temperature_trace)
+
+__all__ = [
+    "TemperatureController",
+    "ThermalPlant",
+    "SAMPLE_PERIOD_S",
+    "TRACE_DURATION_S",
+    "TemperatureTrace",
+    "all_traces",
+    "chip_temperature_trace",
+]

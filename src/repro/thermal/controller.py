@@ -1,0 +1,92 @@
+"""Arduino-style temperature controller (Fig. 2, element 4).
+
+The controller polls the chip's on-die temperature sensor through the
+FPGA, receives a target temperature from the host, and drives the heating
+pad and cooling fan.  A bang-bang law with hysteresis plus a proportional
+trim reproduces the tight +-0.5 C regulation Fig. 3 shows for Chip 0 at
+82 C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.thermal.plant import ThermalPlant
+
+
+@dataclass
+class TemperatureController:
+    """Closed-loop heater/fan controller for one chip."""
+
+    plant: ThermalPlant
+    target_c: float
+    hysteresis_c: float = 0.45
+    proportional_gain: float = 0.12
+    sample_period_s: float = 5.0
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0))
+    heater_duty: float = 0.0
+    fan_duty: float = 0.0
+    history: List[Tuple[float, float]] = field(default_factory=list)
+
+    def step(self) -> float:
+        """One control cycle: sample, decide, actuate.
+
+        Returns the sensor reading recorded for this cycle.
+        """
+        reading = self.plant.sensor_reading(self.rng)
+        error = self.target_c - reading
+        hold_duty = max(0.0, (self.target_c - self.plant.ambient_c
+                              - self.plant.activity_rise_c)
+                        / self.plant.heater_gain_c)
+        if error > self.hysteresis_c:
+            self.heater_duty = min(
+                1.0, hold_duty + self.proportional_gain * error)
+            self.fan_duty = 0.0
+        elif error < -self.hysteresis_c:
+            self.heater_duty = max(0.0, hold_duty * 0.7)
+            self.fan_duty = min(
+                1.0, self.proportional_gain * -error)
+        else:
+            # Inside the hysteresis band: hold with a trickle of heat that
+            # balances losses at the set point.
+            self.heater_duty = max(
+                0.0, (self.target_c - self.plant.ambient_c
+                      - self.plant.activity_rise_c)
+                / self.plant.heater_gain_c)
+            self.fan_duty = 0.0
+        self.plant.step(self.sample_period_s, self.heater_duty,
+                        self.fan_duty)
+        now = len(self.history) * self.sample_period_s
+        self.history.append((now, reading))
+        return reading
+
+    def run(self, duration_s: float) -> np.ndarray:
+        """Run the loop for ``duration_s``; return the sensor trace."""
+        steps = int(duration_s // self.sample_period_s)
+        return np.array([self.step() for __ in range(steps)])
+
+    def couple(self, device) -> None:
+        """Push every future sensor reading into a device's temperature.
+
+        Connects the rig to the fault physics: a hotter chip disturbs
+        more easily and retains for less time.
+        """
+        original_step = self.step
+
+        def coupled_step() -> float:
+            reading = original_step()
+            device.set_temperature(reading)
+            return reading
+
+        self.step = coupled_step  # type: ignore[method-assign]
+
+    def settled(self, tolerance_c: float = 1.0, window: int = 60) -> bool:
+        """Whether the last ``window`` samples sit within tolerance."""
+        if len(self.history) < window:
+            return False
+        recent = np.array([t for __, t in self.history[-window:]])
+        return bool(np.all(np.abs(recent - self.target_c) <= tolerance_c))

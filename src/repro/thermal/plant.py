@@ -1,0 +1,69 @@
+"""First-order thermal model of an HBM2 chip on an FPGA board.
+
+The paper's rig (Fig. 2) heats Chip 0 with a silicone pad and cools it
+with a fan, holding 82 C; the other five chips run uncontrolled but
+stable.  A first-order lumped model captures everything Fig. 3 shows:
+
+    dT/dt = (T_ambient + R * P_heater - T) / tau - k_fan * fan * (T - T_ambient) / tau
+
+with self-heating from the chip's own activity folded into the ambient
+offset, plus measurement noise in the on-die sensor (JESD235 exposes chip
+temperature through a mode register, which the Arduino polls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ThermalPlant:
+    """Lumped thermal state of one chip + board."""
+
+    ambient_c: float = 38.0
+    #: Thermal time constant (s): FPGA heatsink assemblies settle in minutes.
+    tau_s: float = 90.0
+    #: Heater pad coupling (degrees C of steady-state rise at full power).
+    heater_gain_c: float = 60.0
+    #: Fan effectiveness (fraction of excess-over-ambient removed).
+    fan_gain: float = 0.8
+    #: Self-heating from chip activity (C above ambient when idle-tested).
+    activity_rise_c: float = 9.0
+    temperature_c: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.tau_s <= 0:
+            raise ValueError("tau_s must be positive")
+        if self.temperature_c == 0.0:
+            self.temperature_c = self.ambient_c + self.activity_rise_c
+
+    def step(self, dt_s: float, heater: float = 0.0,
+             fan: float = 0.0) -> float:
+        """Advance the plant ``dt_s`` seconds with actuator settings.
+
+        ``heater`` and ``fan`` are duty cycles in [0, 1].  Returns the new
+        chip temperature.
+        """
+        if dt_s < 0:
+            raise ValueError("dt_s must be non-negative")
+        if not 0.0 <= heater <= 1.0 or not 0.0 <= fan <= 1.0:
+            raise ValueError("actuator duty cycles must lie in [0, 1]")
+        target = (self.ambient_c + self.activity_rise_c
+                  + self.heater_gain_c * heater)
+        # Exponential relaxation toward the actuator-defined equilibrium,
+        # with the fan increasing the effective coupling to ambient.
+        effective_tau = self.tau_s / (1.0 + self.fan_gain * fan)
+        alpha = 1.0 - np.exp(-dt_s / effective_tau)
+        fan_pull = self.fan_gain * fan * (self.temperature_c
+                                          - self.ambient_c)
+        self.temperature_c += alpha * (target - self.temperature_c
+                                       - fan_pull)
+        return self.temperature_c
+
+    def sensor_reading(self, rng: np.random.Generator,
+                       noise_c: float = 0.15) -> float:
+        """On-die temperature sensor sample (quantized to 0.25 C)."""
+        noisy = self.temperature_c + rng.normal(0.0, noise_c)
+        return round(noisy * 4.0) / 4.0

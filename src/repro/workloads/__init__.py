@@ -1,0 +1,12 @@
+"""Synthetic memory workloads for defense-overhead evaluation."""
+
+from repro.workloads.traces import AccessTrace, benign_trace
+from repro.workloads.overhead import (BenignOverheadReport,
+                                      measure_benign_overhead)
+
+__all__ = [
+    "AccessTrace",
+    "benign_trace",
+    "BenignOverheadReport",
+    "measure_benign_overhead",
+]

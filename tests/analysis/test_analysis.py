@@ -1,0 +1,133 @@
+"""Tests for the statistics, fitting, and reporting helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (bimodality_coefficient,
+                            coefficient_of_variation, compare_line,
+                            evaluate_polynomial, linear_regression,
+                            loglog_interpolate, pearson_correlation,
+                            percent, polynomial_fit, quantiles,
+                            relative_difference, render_series,
+                            render_table, summarize, within_factor)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200)
+        y = x * 0.5 + rng.normal(size=200)
+        assert pearson_correlation(x, y) == pytest.approx(
+            np.corrcoef(x, y)[0, 1])
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones(5), np.arange(5.0))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.arange(4.0), np.arange(5.0))
+
+
+class TestFits:
+    def test_polynomial_recovers_coefficients(self):
+        x = np.linspace(0, 10, 50)
+        y = 3 * x ** 2 - 2 * x + 1
+        coefficients = polynomial_fit(x, y, 2)
+        assert np.allclose(coefficients, [3, -2, 1], atol=1e-8)
+
+    def test_evaluate(self):
+        assert evaluate_polynomial(np.array([1.0, 0.0]), np.array([5.0]))[0] \
+            == 5.0
+
+    def test_linear_regression(self):
+        slope, intercept = linear_regression(np.arange(10.0),
+                                             2 * np.arange(10.0) + 3)
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(3.0)
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(ValueError):
+            polynomial_fit(np.array([1.0]), np.array([1.0]), 2)
+
+    def test_loglog_interpolation_exact_on_powerlaw(self):
+        x = np.array([1.0, 10.0, 100.0])
+        y = x ** 2
+        interpolated = loglog_interpolate(x, y, np.array([3.16227766]))
+        assert interpolated[0] == pytest.approx(10.0, rel=1e-6)
+
+    def test_loglog_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            loglog_interpolate(np.array([0.0, 1.0]), np.array([1.0, 2.0]),
+                               np.array([0.5]))
+
+
+class TestStats:
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["median"] == 2.0
+        assert summary["count"] == 3
+
+    def test_cv(self):
+        assert coefficient_of_variation([2.0, 2.0]) == 0.0
+
+    def test_quantiles(self):
+        q = quantiles(np.arange(101.0), qs=(0.5,))
+        assert q[0.5] == 50.0
+
+    def test_bimodality_detects_two_modes(self):
+        bimodal = np.concatenate([np.zeros(100), np.ones(100)])
+        unimodal = np.random.default_rng(0).normal(size=200)
+        assert bimodality_coefficient(bimodal) > 0.555
+        assert bimodality_coefficient(unimodal) < 0.555
+
+    def test_relative_difference(self):
+        assert relative_difference(1.0, 1.0) == 0.0
+        assert relative_difference(1.0, 3.0) == pytest.approx(1.0)
+        assert relative_difference(0.0, 0.0) == 0.0
+
+    @given(st.floats(min_value=0.01, max_value=100.0),
+           st.floats(min_value=1.0, max_value=10.0))
+    @settings(max_examples=50)
+    def test_within_factor_symmetric(self, value, factor):
+        assert within_factor(value, value, factor)
+        assert within_factor(value * factor, value, factor)
+        assert not within_factor(value * factor * 1.01, value, factor)
+
+
+class TestReporting:
+    def test_render_table_aligns(self):
+        text = render_table(["A", "Bee"], [[1, 2.5], ["x", 30000.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert "30,000" in lines[3]
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["A"], [[1, 2]])
+
+    def test_render_table_title(self):
+        text = render_table(["A"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_render_series(self):
+        text = render_series("s", [1, 2], [0.5, 0.25])
+        assert "s" in text and "0.5" in text
+
+    def test_percent(self):
+        assert percent(0.0302) == "3.02%"
+
+    def test_compare_line(self):
+        line = compare_line("metric", 1.99, 2.01)
+        assert "paper=1.99" in line and "measured=2.01" in line

@@ -1,0 +1,77 @@
+"""Additional attack-library coverage: parameter edges and scaling."""
+
+import pytest
+
+from repro.attacks import half_double_disturbance, run_many_sided
+from repro.attacks.templating import ExploitTemplate
+from repro.dram.geometry import RowAddress
+
+
+class TestHalfDoubleScaling:
+    def test_contribution_scales_with_windows(self, chip0):
+        short = half_double_disturbance(chip0,
+                                        RowAddress(0, 0, 0, 5200),
+                                        windows=68)
+        long = half_double_disturbance(chip0,
+                                       RowAddress(0, 0, 0, 5200),
+                                       windows=204)
+        assert long.trr_contribution > 2 * short.trr_contribution
+
+    def test_zero_windows_rejected(self, chip0):
+        with pytest.raises(ValueError):
+            half_double_disturbance(chip0, RowAddress(0, 0, 0, 5200),
+                                    windows=0)
+
+    def test_forces_the_mechanism_regardless_of_chip(self, chip5):
+        """The comparison instruments the TRR engine explicitly (on vs
+        off), so it quantifies the mechanism even on chips that do not
+        ship it — Chip 5's cells under a Chip-0-style defense."""
+        result = half_double_disturbance(chip5,
+                                         RowAddress(0, 0, 0, 5200),
+                                         windows=68)
+        assert result.amplification > 1.2
+        assert result.trr_victim_refreshes > 0
+
+
+class TestManySidedVariants:
+    def test_four_pairs_still_works(self, chip0):
+        """With 4 pairs the first two fill the CAM and the last pair
+        still gets enough budget ((78 - 6) / 2 = 36 per side)."""
+        result = run_many_sided(chip0,
+                                victim_rows=[5000, 5008, 5016, 5024],
+                                windows=16410)
+        assert result.target_acts_per_aggressor >= 30
+        assert result.flips[5024] > 0
+        assert result.flips[5000] == 0
+
+    def test_single_pair_rejected(self, chip0):
+        """One pair alone cannot dodge the count rule: its two
+        aggressors always hold exactly half the window's activations
+        each, so the attack is rejected as unbuildable."""
+        with pytest.raises(ValueError):
+            run_many_sided(chip0, victim_rows=[5000], windows=10)
+
+    def test_sacrificial_acts_validation(self, chip0):
+        with pytest.raises(ValueError):
+            run_many_sided(chip0, victim_rows=[5000, 5008],
+                           sacrificial_acts=0, windows=10)
+
+    def test_empty_victims_rejected(self, chip0):
+        with pytest.raises(ValueError):
+            run_many_sided(chip0, victim_rows=[])
+
+
+class TestTemplateEdges:
+    def test_no_matches(self):
+        import numpy as np
+
+        template = ExploitTemplate("t", bit_offsets=(63,),
+                                   word_stride=128)
+        assert template.matches(np.array([0, 1, 64, 100])).size == 0
+
+    def test_stride_one_matches_any_word(self):
+        import numpy as np
+
+        template = ExploitTemplate("t", bit_offsets=(0,), word_stride=1)
+        positions = np.array([0, 64, 128, 65])
+        assert template.matches(positions).tolist() == [0, 64, 128]

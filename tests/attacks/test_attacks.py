@@ -1,0 +1,115 @@
+"""Tests for the attack library (Section 8.1 implications)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (PTE_TEMPLATE, ExploitTemplate, TemplatingCampaign,
+                           half_double_disturbance, run_many_sided)
+from repro.dram.geometry import RowAddress
+
+
+class TestHalfDouble:
+    @pytest.fixture(scope="class")
+    def result(self, chip0):
+        return half_double_disturbance(chip0, RowAddress(0, 0, 0, 5200),
+                                       windows=170)
+
+    def test_trr_amplifies_the_attack(self, result):
+        """Section 8.1: TRR's victim refreshes help the attacker."""
+        assert result.units_with_trr > result.units_without_trr
+        assert result.amplification > 1.2
+
+    def test_trr_contribution_tracks_refreshes(self, result):
+        """Each capable-REF refresh of the two near rows delivers ~1
+        unit; the contribution should be within 2x of that estimate."""
+        capable_refs = result.windows // 17
+        expected = capable_refs * 1.0
+        assert result.trr_contribution == pytest.approx(expected,
+                                                        rel=0.8)
+
+    def test_without_trr_only_distance_two(self, chip0, result):
+        """The TRR-free baseline is pure distance-2 coupling."""
+        per_act = chip0.disturbance.units_per_activation(29.0, 2)
+        expected = (2 * result.far_acts_per_window * result.windows
+                    * per_act)
+        assert result.units_without_trr == pytest.approx(expected,
+                                                         rel=0.1)
+
+    def test_victim_near_bank_edge_rejected(self, chip0):
+        with pytest.raises(ValueError):
+            half_double_disturbance(chip0, RowAddress(0, 0, 0, 1),
+                                    windows=10)
+
+
+class TestManySided:
+    @pytest.fixture(scope="class")
+    def result(self, chip0):
+        return run_many_sided(chip0, victim_rows=[5000, 5008, 5016])
+
+    def test_target_pair_flips(self, result):
+        """The pair behind the sampler-filling pairs escapes TRR."""
+        assert result.flips[5016] > 0
+
+    def test_sacrificial_victims_protected(self, result):
+        """The front pairs are tracked and their victims refreshed."""
+        assert result.flips[5000] == 0
+        assert result.flips[5008] == 0
+
+    def test_budget_respected(self, result):
+        acts = (result.pair_count - 1) * 2 \
+            + 2 * result.target_acts_per_aggressor
+        assert acts <= 78
+        # The count rule would fire at half the window total.
+        assert 2 * result.target_acts_per_aggressor < acts
+
+    def test_close_victims_rejected(self, chip0):
+        with pytest.raises(ValueError):
+            run_many_sided(chip0, victim_rows=[5000, 5002], windows=10)
+
+    def test_too_many_pairs_rejected(self, chip0):
+        with pytest.raises(ValueError):
+            run_many_sided(chip0,
+                           victim_rows=list(range(4000, 4400, 8)),
+                           windows=10)
+
+
+class TestTemplating:
+    def test_template_validation(self):
+        with pytest.raises(ValueError):
+            ExploitTemplate("bad", bit_offsets=())
+        with pytest.raises(ValueError):
+            ExploitTemplate("bad", bit_offsets=(64,))
+
+    def test_template_matching(self):
+        template = ExploitTemplate("t", bit_offsets=(0, 1),
+                                   word_stride=2)
+        positions = np.array([0, 1, 2, 64, 128, 129])
+        usable = template.matches(positions)
+        # Word 0 offsets 0,1 match; word 1 (odd) filtered; word 2 (bit
+        # 128, 129) offsets 0,1 match.
+        assert usable.tolist() == [0, 1, 128, 129]
+
+    def test_best_channel_first_ordering(self, chip0):
+        campaign = TemplatingCampaign(chip0)
+        order = campaign.best_channel_first()
+        assert sorted(order) == list(range(8))
+        # Chip 0's most vulnerable die pair is (0, 7).
+        assert order[0] in (0, 7)
+
+    def test_vulnerable_channel_templates_faster(self, chip0):
+        campaign = TemplatingCampaign(chip0)
+        order = campaign.best_channel_first()
+        rows = range(4096, 4156)
+        best = campaign.scan_channel(order[0], rows)
+        worst = campaign.scan_channel(order[-1], rows)
+        assert best.hit_rate > worst.hit_rate
+        assert best.simulated_seconds > 0
+
+    def test_hits_are_template_conformant(self, chip0):
+        campaign = TemplatingCampaign(chip0)
+        result = campaign.scan_channel(0, range(4096, 4126))
+        for __, positions in result.exploitable:
+            offsets = positions % 64
+            words = positions // 64
+            assert np.isin(offsets, PTE_TEMPLATE.bit_offsets).all()
+            assert (words % PTE_TEMPLATE.word_stride == 0).all()

@@ -1,0 +1,132 @@
+"""Tests for the SoftBender assembly language."""
+
+import numpy as np
+import pytest
+
+from repro.bender.assembler import AssemblyError, assemble
+from repro.dram.commands import CommandKind
+
+
+class TestBasics:
+    def test_empty_program(self):
+        assert list(assemble("").flatten()) == []
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+        ; full-line comment
+        # another
+        NOP   ; trailing comment
+        """)
+        kinds = [c.kind for c in program.flatten()]
+        assert kinds == [CommandKind.NOP]
+
+    def test_each_mnemonic(self):
+        program = assemble("""
+        ACT 0 1 2 300
+        PRE 0 1 2
+        REF 0 1
+        WAIT 3900
+        WR 0 1 2 300 0xAA
+        RD 0 1 2 300
+        HAMMER 0 1 2 299 1000 58.0
+        """)
+        kinds = [c.kind for c in program.flatten()]
+        assert kinds == [CommandKind.ACT, CommandKind.PRE,
+                         CommandKind.REF, CommandKind.WAIT,
+                         CommandKind.WR, CommandKind.RD,
+                         CommandKind.HAMMER]
+
+    def test_wr_fill_byte(self):
+        program = assemble("WR 0 0 0 5 0x5A")
+        command = next(program.flatten())
+        assert np.all(command.data == 0x5A)
+
+    def test_hex_and_decimal_operands(self):
+        program = assemble("ACT 0 0 0x0F 0x1000")
+        command = next(program.flatten())
+        assert command.bank == 15
+        assert command.row == 4096
+
+    def test_tagged_read(self):
+        from repro.bender.program import ReadRequest
+
+        program = assemble("RD 0 0 0 100 tag=victim")
+        command = next(program.flatten())
+        assert isinstance(command, ReadRequest)
+        assert command.tag == "victim"
+
+    def test_hammer_on_time_optional(self):
+        program = assemble("HAMMER 0 0 0 10 500")
+        command = next(program.flatten())
+        assert command.count == 500
+        assert command.t_on is None
+
+
+class TestLoops:
+    def test_loop_expansion(self):
+        program = assemble("""
+        LOOP 3
+          REF 0 0
+        ENDLOOP
+        """)
+        assert program.static_command_count() == 3
+
+    def test_nested_loops(self):
+        program = assemble("""
+        LOOP 2
+          LOOP 5
+            NOP
+          ENDLOOP
+          WAIT 1
+        ENDLOOP
+        """)
+        assert program.static_command_count() == 2 * (5 + 1)
+
+    def test_unclosed_loop_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("LOOP 3\nNOP\n")
+
+    def test_stray_endloop_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("ENDLOOP")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "BOGUS 1 2 3",
+        "ACT 0 0 0",            # missing row
+        "WR 0 0 0 5 0x100",     # fill byte too large
+        "WAIT -5",
+        "LOOP -1",
+        "RD 0 0 0 5 victim",    # tag without tag=
+        "RD 0 0 0 5 tag=",      # empty tag
+        "ACT 0 0 0 banana",
+    ])
+    def test_rejected(self, source):
+        with pytest.raises(AssemblyError):
+            assemble(source)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("NOP\nNOP\nBOGUS")
+        assert excinfo.value.line_number == 3
+
+
+class TestEndToEnd:
+    def test_assembled_hammer_test_runs(self, plain_session):
+        """A full characterization written in assembly flips bits."""
+        source = """
+        ; double-sided hammer on victim 5000
+        WR 0 0 0 5000 0x55
+        WR 0 0 0 4999 0xAA
+        WR 0 0 0 5001 0xAA
+        LOOP 50
+          HAMMER 0 0 0 4999 8000
+          HAMMER 0 0 0 5001 8000
+        ENDLOOP
+        RD 0 0 0 5000 tag=victim
+        """
+        result = plain_session.run(assemble(source))
+        observed = result.read("victim")
+        expected = np.full(1024, 0x55, dtype=np.uint8)
+        assert not np.array_equal(observed, expected)

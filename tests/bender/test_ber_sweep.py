@@ -1,0 +1,71 @@
+"""Tests for the BER S-curve routine."""
+
+import numpy as np
+import pytest
+
+from repro.bender.routines.ber_sweep import (BerCurve, geometric_counts,
+                                             measure_ber_curve)
+from repro.core.patterns import CHECKERED0
+from repro.dram.geometry import RowAddress
+
+VICTIM = RowAddress(0, 0, 0, 5000)
+
+
+class TestGeometricCounts:
+    def test_endpoints_and_monotonicity(self):
+        counts = geometric_counts(10_000, 1_000_000, 5)
+        assert counts[0] == 10_000
+        assert counts[-1] == 1_000_000
+        assert list(counts) == sorted(counts)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            geometric_counts(100, 50)
+        with pytest.raises(ValueError):
+            geometric_counts(100, 200, points=1)
+
+
+class TestCurve:
+    @pytest.fixture(scope="class")
+    def curve(self, chip0_class):
+        from repro.bender.host import BenderSession
+
+        session = BenderSession(chip0_class.make_device(),
+                                mapping=chip0_class.row_mapping())
+        return measure_ber_curve(session, VICTIM, CHECKERED0,
+                                 geometric_counts(32_000, 1_024_000, 6))
+
+    @pytest.fixture(scope="class")
+    def chip0_class(self):
+        from repro.chips.profiles import make_chip
+
+        return make_chip(0)
+
+    def test_monotone_nondecreasing(self, curve):
+        assert all(b >= a for a, b in zip(curve.bers, curve.bers[1:]))
+
+    def test_onset_brackets_hc_first(self, curve, chip0_class):
+        hc_first = chip0_class.profile(VICTIM, "Checkered0").hc_first()
+        onset = curve.onset
+        assert onset is not None
+        assert onset >= hc_first * 0.9
+        # The previous swept point (if any) must sit below HC_first.
+        index = curve.hammer_counts.index(onset)
+        if index > 0:
+            assert curve.hammer_counts[index - 1] < hc_first
+
+    def test_matches_analytic_cdf(self, curve, chip0_class):
+        """The exact-device S-curve follows the mixture CDF."""
+        population = chip0_class.cell_population(VICTIM, "Checkered0")
+        for count, measured in zip(curve.hammer_counts, curve.bers):
+            expected = population.ber(count)
+            assert measured == pytest.approx(expected, abs=0.01)
+
+    def test_interpolation(self, curve):
+        mid = (curve.hammer_counts[2] + curve.hammer_counts[3]) / 2
+        value = curve.interpolate(mid)
+        assert curve.bers[2] <= value <= curve.bers[3]
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            BerCurve(VICTIM, "Checkered0", (1, 2), (0.1,))

@@ -1,0 +1,119 @@
+"""Round-trip tests for the assembler/disassembler pair."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bender.assembler import assemble, disassemble
+from repro.bender.program import Loop, TestProgram
+from repro.dram import commands as cmd
+from repro.dram.geometry import RowAddress
+
+
+def commands_equal(a, b) -> bool:
+    if a.kind is not b.kind:
+        return False
+    fields = ("channel", "pseudo_channel", "bank", "row", "count",
+              "t_on", "duration")
+    for field in fields:
+        if getattr(a, field) != getattr(b, field):
+            return False
+    if (a.data is None) != (b.data is None):
+        return False
+    if a.data is not None and not np.array_equal(a.data, b.data):
+        return False
+    return getattr(a, "tag", None) == getattr(b, "tag", None)
+
+
+class TestDisassemble:
+    def test_simple_program(self):
+        program = TestProgram()
+        program.append(cmd.act(0, 1, 2, 300))
+        program.append(cmd.pre(0, 1, 2))
+        text = disassemble(program)
+        assert "ACT 0 1 2 300" in text
+        assert "PRE 0 1 2" in text
+
+    def test_loop_indentation(self):
+        program = TestProgram()
+        with program.loop(4) as body:
+            body.refresh(0, 0)
+        text = disassemble(program)
+        assert text.splitlines() == ["LOOP 4", "  REF 0 0", "ENDLOOP"]
+
+    def test_non_uniform_wr_rejected(self):
+        program = TestProgram()
+        data = np.zeros(1024, dtype=np.uint8)
+        data[0] = 1
+        program.write_row(RowAddress(0, 0, 0, 5), data)
+        with pytest.raises(ValueError):
+            disassemble(program)
+
+    def test_empty_program(self):
+        assert disassemble(TestProgram()) == ""
+
+
+_address = st.tuples(st.integers(0, 7), st.integers(0, 1),
+                     st.integers(0, 15), st.integers(0, 16383))
+
+
+@st.composite
+def _instruction(draw):
+    kind = draw(st.sampled_from(
+        ["ACT", "PRE", "REF", "WAIT", "WR", "RD", "RDTAG", "HAMMER",
+         "NOP"]))
+    ch, pc, bank, row = draw(_address)
+    if kind == "ACT":
+        return cmd.act(ch, pc, bank, row)
+    if kind == "PRE":
+        return cmd.pre(ch, pc, bank)
+    if kind == "REF":
+        return cmd.ref(ch, pc)
+    if kind == "WAIT":
+        return cmd.wait(float(draw(st.integers(0, 10 ** 7))))
+    if kind == "WR":
+        fill = draw(st.integers(0, 255))
+        return cmd.wr(ch, pc, bank, row,
+                      np.full(1024, fill, dtype=np.uint8))
+    if kind == "RD":
+        return cmd.rd(ch, pc, bank, row)
+    if kind == "RDTAG":
+        from repro.bender.program import tagged_read
+
+        tag = draw(st.text(alphabet="abcxyz_0123456789", min_size=1,
+                           max_size=8))
+        return tagged_read(RowAddress(ch, pc, bank, row), tag)
+    if kind == "HAMMER":
+        count = draw(st.integers(1, 10 ** 6))
+        t_on = draw(st.one_of(st.none(),
+                              st.integers(29, 10 ** 5).map(float)))
+        return cmd.hammer(ch, pc, bank, row, count, t_on)
+    return cmd.Command(cmd.CommandKind.NOP)
+
+
+@st.composite
+def _program(draw):
+    program = TestProgram()
+    for __ in range(draw(st.integers(0, 6))):
+        if draw(st.booleans()):
+            loop = Loop(draw(st.integers(0, 5)))
+            for __ in range(draw(st.integers(1, 3))):
+                loop.body.append(draw(_instruction()))
+            program.append(loop)
+        else:
+            program.append(draw(_instruction()))
+    return program
+
+
+class TestRoundTrip:
+    @given(_program())
+    @settings(max_examples=60, deadline=None)
+    def test_assemble_disassemble_identity(self, program):
+        text = disassemble(program)
+        rebuilt = assemble(text)
+        original = list(program.flatten())
+        recovered = list(rebuilt.flatten())
+        assert len(original) == len(recovered)
+        for a, b in zip(original, recovered):
+            assert commands_equal(a, b), (a, b)

@@ -1,0 +1,89 @@
+"""Tests for the interpreter and host session."""
+
+import numpy as np
+import pytest
+
+from repro.bender.host import BenderSession, RefreshWindowExceeded
+from repro.bender.program import TestProgram
+from repro.dram.geometry import RowAddress
+
+ADDR = RowAddress(0, 0, 0, 100)
+
+
+class TestInterpreter:
+    def test_collects_tagged_reads(self, plain_session):
+        program = TestProgram("p")
+        program.write_row(ADDR, np.full(1024, 0xAA, dtype=np.uint8))
+        program.read_row(ADDR, "victim")
+        result = plain_session.run(program)
+        assert np.array_equal(result.read("victim"),
+                              np.full(1024, 0xAA, dtype=np.uint8))
+
+    def test_repeated_tag_collects_all(self, plain_session):
+        program = TestProgram("p")
+        program.write_row(ADDR, np.zeros(1024, dtype=np.uint8))
+        with program.loop(3) as body:
+            body.read_row(ADDR, "r")
+        result = plain_session.run(program)
+        assert len(result.read_all("r")) == 3
+        with pytest.raises(KeyError):
+            result.read("r")  # ambiguous: 3 results
+
+    def test_unknown_tag_raises(self, plain_session):
+        result = plain_session.run(TestProgram("empty"))
+        with pytest.raises(KeyError):
+            result.read_all("nope")
+
+    def test_statistics(self, plain_session):
+        program = TestProgram("p")
+        program.write_row(ADDR, np.zeros(1024, dtype=np.uint8))
+        program.read_row(ADDR, "r")
+        result = plain_session.run(program)
+        assert result.commands_executed == 2
+        assert result.elapsed_ns > 0
+
+
+class TestRefreshWindowGuard:
+    def test_within_window_passes(self, plain_session):
+        plain_session.begin_refresh_window()
+        plain_session.device.wait(10.0e6)
+        plain_session.assert_within_refresh_window()
+
+    def test_exceeding_window_raises(self, plain_session):
+        plain_session.begin_refresh_window()
+        plain_session.device.wait(33.0e6)
+        with pytest.raises(RefreshWindowExceeded):
+            plain_session.assert_within_refresh_window()
+
+    def test_unstarted_window_raises(self, plain_session):
+        with pytest.raises(RuntimeError):
+            plain_session.assert_within_refresh_window()
+
+
+class TestMappingHelpers:
+    def test_aggressors_of_uses_physical_adjacency(self, session, chip0):
+        mapping = chip0.row_mapping()
+        victim_physical = RowAddress(0, 0, 0, 5000)
+        aggressors = session.aggressors_of(victim_physical)
+        physical_rows = sorted(mapping.to_physical(a.row)
+                               for a in aggressors)
+        assert physical_rows == [4999, 5001]
+
+    def test_bank_edge_victim_has_one_aggressor(self, session):
+        assert len(session.aggressors_of(RowAddress(0, 0, 0, 0))) == 1
+
+    def test_missing_mapping_raises(self, plain_device):
+        session = BenderSession(plain_device)
+        with pytest.raises(RuntimeError):
+            session.aggressors_of(ADDR)
+
+    def test_physical_roundtrip(self, session):
+        physical = RowAddress(0, 0, 0, 5001)
+        logical = session.logical_of_physical(physical)
+        assert session.physical_of_logical(logical) == physical
+
+    def test_physical_row_io(self, session):
+        physical = RowAddress(0, 0, 0, 5000)
+        image = np.full(1024, 0x5A, dtype=np.uint8)
+        session.write_physical_row(physical, image)
+        assert np.array_equal(session.read_physical_row(physical), image)

@@ -1,0 +1,113 @@
+"""Tests for the SoftBender program DSL."""
+
+import numpy as np
+import pytest
+
+from repro.bender.program import (Loop, ReadRequest, TestProgram,
+                                  tagged_read)
+from repro.dram.commands import CommandKind
+from repro.dram.geometry import RowAddress
+
+ADDR = RowAddress(0, 0, 0, 100)
+OTHER = RowAddress(0, 0, 0, 102)
+
+
+class TestBuilder:
+    def test_write_read_pair(self):
+        program = TestProgram()
+        program.write_row(ADDR, np.zeros(1024, dtype=np.uint8))
+        program.read_row(ADDR, "victim")
+        kinds = [c.kind for c in program.flatten()]
+        assert kinds == [CommandKind.WR, CommandKind.RD]
+
+    def test_tagged_read_carries_tag(self):
+        read = tagged_read(ADDR, "abc")
+        assert isinstance(read, ReadRequest)
+        assert read.tag == "abc"
+        assert read.row == 100
+
+    def test_hammer(self):
+        program = TestProgram().hammer(ADDR, 1000, t_on=58.0)
+        command = next(program.flatten())
+        assert command.kind is CommandKind.HAMMER
+        assert command.count == 1000
+        assert command.t_on == 58.0
+
+    def test_activate_precharge(self):
+        program = TestProgram().activate(ADDR).precharge(ADDR)
+        kinds = [c.kind for c in program.flatten()]
+        assert kinds == [CommandKind.ACT, CommandKind.PRE]
+
+    def test_refresh_and_wait(self):
+        program = TestProgram().refresh(1, 0).wait(500.0)
+        commands = list(program.flatten())
+        assert commands[0].kind is CommandKind.REF
+        assert commands[0].channel == 1
+        assert commands[1].kind is CommandKind.WAIT
+        assert commands[1].duration == 500.0
+
+
+class TestDoubleSided:
+    def test_counts_per_side(self):
+        program = TestProgram()
+        program.hammer_double_sided(ADDR, OTHER, 1000)
+        per_row = {}
+        for command in program.flatten():
+            per_row[command.row] = per_row.get(command.row, 0) \
+                + command.count
+        assert per_row == {100: 1000, 102: 1000}
+
+    def test_interleave_chunks(self):
+        program = TestProgram()
+        program.hammer_double_sided(ADDR, OTHER, 1000, interleave=100)
+        commands = list(program.flatten())
+        assert len(commands) == 20  # 10 chunks x 2 sides
+        rows = [c.row for c in commands[:4]]
+        assert rows == [100, 102, 100, 102]
+
+    def test_tail_chunk(self):
+        program = TestProgram()
+        program.hammer_double_sided(ADDR, OTHER, 1050, interleave=100)
+        total = sum(c.count for c in program.flatten())
+        assert total == 2100
+
+    def test_zero_count_is_noop(self):
+        program = TestProgram()
+        program.hammer_double_sided(ADDR, OTHER, 0)
+        assert list(program.flatten()) == []
+
+    def test_invalid_interleave(self):
+        with pytest.raises(ValueError):
+            TestProgram().hammer_double_sided(ADDR, OTHER, 10, interleave=0)
+
+
+class TestLoops:
+    def test_loop_unrolls(self):
+        program = TestProgram()
+        with program.loop(3) as body:
+            body.refresh(0, 0)
+        kinds = [c.kind for c in program.flatten()]
+        assert kinds == [CommandKind.REF] * 3
+
+    def test_nested_loops(self):
+        program = TestProgram()
+        with program.loop(2) as outer:
+            with outer.loop(3) as inner:
+                inner.wait(1.0)
+        assert program.static_command_count() == 6
+
+    def test_loop_aborted_on_exception(self):
+        program = TestProgram()
+        with pytest.raises(RuntimeError):
+            with program.loop(5) as body:
+                body.wait(1.0)
+                raise RuntimeError("boom")
+        assert program.instructions == []
+
+    def test_negative_loop_count_rejected(self):
+        with pytest.raises(ValueError):
+            Loop(-1)
+
+    def test_static_count_with_hammer(self):
+        program = TestProgram().hammer(ADDR, 1_000_000)
+        assert program.static_command_count() == 1  # fused

@@ -1,0 +1,144 @@
+"""Tests for the SoftBender test routines."""
+
+import numpy as np
+import pytest
+
+from repro.bender.routines import (find_boundaries, identify_mapping,
+                                   initialize_window, measure_hc_nth,
+                                   measure_row_ber, observe_adjacency,
+                                   profile_row_retention, rows_are_coupled,
+                                   search_hc_first, window_rows)
+from repro.bender.routines.retention_profile import find_side_channel_rows
+from repro.core.patterns import CHECKERED0, ROWSTRIPE1
+from repro.dram.geometry import RowAddress
+
+VICTIM = RowAddress(0, 0, 0, 5000)
+
+
+class TestRowInit:
+    def test_window_rows_span_radius(self, session):
+        rows = window_rows(session, VICTIM)
+        assert [r.row for r in rows] == list(range(4992, 5009))
+
+    def test_window_clipped_at_bank_edge(self, session):
+        rows = window_rows(session, RowAddress(0, 0, 0, 2))
+        assert [r.row for r in rows] == list(range(0, 11))
+
+    def test_initialize_window_writes_pattern(self, session):
+        initialize_window(session, VICTIM, CHECKERED0)
+        victim_data = session.read_physical_row(VICTIM)
+        aggressor_data = session.read_physical_row(VICTIM.neighbor(1))
+        far_data = session.read_physical_row(VICTIM.neighbor(3))
+        assert np.all(victim_data == 0x55)
+        assert np.all(aggressor_data == 0xAA)
+        assert np.all(far_data == 0x55)
+
+
+class TestBerRoutine:
+    def test_measure_ber_agrees_with_analytic(self, session, chip0):
+        result = measure_row_ber(session, VICTIM, CHECKERED0,
+                                 hammer_count=512_000)
+        profile = chip0.profile(VICTIM, "Checkered0")
+        assert result.ber == pytest.approx(
+            profile.expected_ber(512_000), abs=0.006)
+
+    def test_flip_positions_count_matches(self, session):
+        result = measure_row_ber(session, VICTIM, CHECKERED0,
+                                 hammer_count=512_000)
+        assert result.flip_positions.size == result.bitflips
+        assert result.total_bits == 8192
+
+    def test_zero_hammers_zero_flips(self, session):
+        result = measure_row_ber(session, VICTIM, CHECKERED0,
+                                 hammer_count=0)
+        assert result.bitflips == 0
+
+
+class TestHcFirstRoutine:
+    def test_search_matches_analytic(self, session, chip0):
+        result = search_hc_first(session, VICTIM, CHECKERED0)
+        profile = chip0.profile(VICTIM, "Checkered0")
+        assert result.found
+        assert result.hc_first == pytest.approx(profile.hc_first(),
+                                                rel=0.02)
+
+    def test_search_exhausts_budget_gracefully(self, session):
+        result = search_hc_first(session, VICTIM, CHECKERED0,
+                                 max_hammers=1000)
+        assert not result.found
+        assert result.hc_first is None
+
+    def test_hc_nth_monotone_and_matches_first(self, session, chip0):
+        result = measure_hc_nth(session, VICTIM, CHECKERED0, n=5)
+        assert result is not None
+        assert all(b >= a for a, b in zip(result.hc_nth, result.hc_nth[1:]))
+        profile = chip0.profile(VICTIM, "Checkered0")
+        expected = profile.hc_nth(5)
+        assert result.hc_nth[0] == pytest.approx(expected[0], rel=0.02)
+        assert result.hc_nth[4] == pytest.approx(expected[4], rel=0.03)
+
+    def test_hc_nth_normalized(self, session):
+        result = measure_hc_nth(session, VICTIM, CHECKERED0, n=3)
+        normalized = result.normalized()
+        assert normalized[0] == 1.0
+        assert normalized[-1] >= 1.0
+
+
+class TestRetentionRoutine:
+    def test_profile_matches_model(self, session, chip0):
+        address = RowAddress(0, 0, 0, 3050)
+        profile = profile_row_retention(session, address, max_steps=48)
+        truth = chip0.retention.row_retention_ns(address)
+        if profile.found:
+            assert profile.retention_ns >= truth
+            assert profile.retention_ns - truth < 64.0e6
+
+    def test_side_channel_rows_share_time(self, session):
+        candidates = [RowAddress(0, 0, 0, row)
+                      for row in range(3000, 3120)]
+        group = find_side_channel_rows(session, candidates, group_size=2)
+        assert len(group) == 2
+        assert group[0].retention_ns == group[1].retention_ns
+
+
+class TestMappingReveng:
+    def test_observe_adjacency_finds_neighbors(self, session, chip0):
+        mapping = chip0.row_mapping()
+        logical = 2048
+        observation = observe_adjacency(session, 0, 0, 0, logical)
+        predicted = set(mapping.physical_neighbors(logical))
+        assert observation.flipped_logical
+        assert observation.flipped_logical <= predicted
+
+    def test_identify_recovers_family(self, chip0, chip4):
+        for chip in (chip0, chip4):
+            session_device = chip.make_device()
+            from repro.bender.host import BenderSession
+
+            session = BenderSession(session_device)
+            mapping = identify_mapping(
+                session, probe_rows=tuple(range(2048, 2072)))
+            assert mapping.name == chip.spec.mapping_family
+
+
+class TestSubarrayReveng:
+    def test_coupled_within_subarray(self, session):
+        assert rows_are_coupled(session, 0, 0, 0, 500)
+
+    def test_uncoupled_at_boundary(self, session):
+        # Rows 831 | 832 straddle the first subarray boundary.
+        assert not rows_are_coupled(session, 0, 0, 0, 831)
+
+    def test_find_boundaries_in_range(self, session, chip0):
+        report = find_boundaries(session, row_range=range(800, 900))
+        assert 832 in report.boundaries
+
+    def test_recovered_sizes(self, chip0):
+        """Scanning the first three subarrays recovers 832/832/768."""
+        from repro.bender.host import BenderSession
+
+        session = BenderSession(chip0.make_device(),
+                                mapping=chip0.row_mapping())
+        report = find_boundaries(session, row_range=range(0, 2440))
+        assert report.boundaries[:4] == (0, 832, 1664, 2432)
+        assert report.sizes[:3] == (832, 832, 768)

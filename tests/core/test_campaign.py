@@ -1,0 +1,55 @@
+"""Tests for the high-level characterization campaign."""
+
+import pytest
+
+from repro.core.campaign import characterize_chip
+
+
+@pytest.fixture(scope="module")
+def report(chip0_module):
+    return characterize_chip(chip0_module, scale=0.02)
+
+
+@pytest.fixture(scope="module")
+def chip0_module():
+    from repro.chips.profiles import make_chip
+
+    return make_chip(0)
+
+
+class TestReportContent:
+    def test_covers_all_channels(self, report):
+        assert sorted(report.channels) == list(range(8))
+
+    def test_ranking_consistent_with_means(self, report):
+        bers = [report.channels[c][0] for c in report.channel_ranking]
+        assert bers == sorted(bers, reverse=True)
+
+    def test_chip0_worst_pair(self, report):
+        """CH0/CH7 lead Chip 0's ranking (Obsv. 8)."""
+        assert set(report.channel_ranking[:2]) == {0, 7}
+
+    def test_chip_aggregates(self, report):
+        assert report.chip_mean_ber == pytest.approx(
+            sum(b for b, __ in report.channels.values()) / 8)
+        assert report.chip_min_hc_first == min(
+            hc for __, hc in report.channels.values())
+
+    def test_subarray_resilience_visible(self, report):
+        assert report.subarray_resilience < 0.8
+
+    def test_rowpress_series_monotone(self, report):
+        values = [report.rowpress_hc[t]
+                  for t in sorted(report.rowpress_hc)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+        assert report.rowpress_hc[16.0e6] == pytest.approx(1.0, abs=0.1)
+
+    def test_render_contains_key_lines(self, report):
+        text = report.render()
+        assert "Chip 0 characterization" in text
+        assert "Channel ranking" in text
+        assert "RowPress HC_first" in text
+
+    def test_invalid_scale_rejected(self, chip0_module):
+        with pytest.raises(ValueError):
+            characterize_chip(chip0_module, scale=0.0)

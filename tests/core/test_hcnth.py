@@ -1,0 +1,76 @@
+"""Tests for the Section 5 HC_nth study."""
+
+import numpy as np
+import pytest
+
+from repro.core.hcnth import (HcNthStudy, RowHcNth, hcnth_study,
+                              most_vulnerable_channels)
+
+
+@pytest.fixture(scope="module")
+def study():
+    from repro.chips.profiles import make_chip
+
+    return hcnth_study([make_chip(0), make_chip(4)], rows_per_segment=16)
+
+
+class TestChannelSelection:
+    def test_returns_two_channels(self, chip0):
+        channels = most_vulnerable_channels(chip0)
+        assert len(channels) == 2
+        assert all(0 <= c < 8 for c in channels)
+
+    def test_deterministic(self, chip0):
+        assert most_vulnerable_channels(chip0) == \
+            most_vulnerable_channels(chip0)
+
+
+class TestRowHcNth:
+    def test_properties(self):
+        row = RowHcNth("Chip 0", 0, 1, "Checkered0",
+                       np.array([100.0, 120.0, 180.0]))
+        assert row.hc_first == 100.0
+        assert np.allclose(row.normalized, [1.0, 1.2, 1.8])
+        assert row.additional_to_last == 80.0
+
+
+class TestStudy:
+    def test_population_size(self, study):
+        # 2 chips x 2 channels x 3 segments x 16 rows x 4 patterns.
+        assert len(study.measurements) == 2 * 2 * 3 * 16 * 4
+
+    def test_normalized_first_is_one(self, study):
+        matrix = study.normalized_matrix()
+        assert np.allclose(matrix[:, 0], 1.0)
+
+    def test_normalized_monotone(self, study):
+        matrix = study.normalized_matrix()
+        assert np.all(np.diff(matrix, axis=1) >= 0)
+
+    def test_obsv18_average_below_2x(self, study):
+        """Fewer than 2x HC_first hammers induce 10 bitflips on average."""
+        assert study.mean_normalized()[-1] < 2.0
+
+    def test_obsv18_range(self, study):
+        lo, hi = study.normalized_range()
+        assert lo < 1.3
+        assert hi > 2.5
+
+    def test_obsv19_pattern_effect_moderate(self, study):
+        effect = study.pattern_effect()
+        values = list(effect.values())
+        spread = (max(values) - min(values)) / min(values)
+        assert spread < 0.35  # "moderately affected"
+
+    def test_obsv20_negative_correlation(self, study):
+        correlations = study.chip_correlations()
+        assert all(value < 0.1 for value in correlations.values())
+        assert np.mean(list(correlations.values())) < -0.1
+
+    def test_chip_fit_shapes(self, study):
+        coefficients = study.chip_fit("Chip 0", degree=2)
+        assert coefficients.shape == (3,)
+
+    def test_empty_filter_rejected(self, study):
+        with pytest.raises(ValueError):
+            study.normalized_matrix("NoSuchPattern")

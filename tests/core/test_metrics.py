@@ -1,0 +1,95 @@
+"""Tests for the vulnerability metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics
+
+
+def image(byte: int, size: int = 1024) -> np.ndarray:
+    return np.full(size, byte, dtype=np.uint8)
+
+
+class TestBitflipCounting:
+    def test_identical_rows_zero(self):
+        assert metrics.count_bitflips(image(0x55), image(0x55)) == 0
+
+    def test_single_bit(self):
+        observed = image(0x55)
+        observed[0] = 0x54
+        assert metrics.count_bitflips(image(0x55), observed) == 1
+
+    def test_full_inversion(self):
+        assert metrics.count_bitflips(image(0x00), image(0xFF)) == 8192
+
+    def test_positions_match_count(self):
+        observed = image(0x00)
+        observed[[3, 100, 1000]] = 0x80
+        positions = metrics.bitflip_positions(image(0x00), observed)
+        assert positions.tolist() == [3 * 8, 100 * 8, 1000 * 8]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.count_bitflips(image(0, 10), image(0, 11))
+
+    @given(st.sets(st.integers(min_value=0, max_value=8191), max_size=30))
+    @settings(max_examples=50)
+    def test_count_equals_injected_flips(self, positions):
+        expected = image(0x55)
+        observed = expected.copy()
+        for position in positions:
+            observed[position // 8] ^= (1 << (7 - position % 8))
+        assert metrics.count_bitflips(expected, observed) == len(positions)
+        recovered = metrics.bitflip_positions(expected, observed)
+        assert set(recovered.tolist()) == positions
+
+
+class TestBer:
+    def test_ber_fraction(self):
+        observed = image(0x00)
+        observed[0] = 0xFF
+        assert metrics.ber(image(0x00), observed) == pytest.approx(8 / 8192)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.ber(np.array([], dtype=np.uint8),
+                        np.array([], dtype=np.uint8))
+
+
+class TestRowMeasurement:
+    def test_bitflips_property(self):
+        measurement = metrics.RowMeasurement(
+            chip=0, channel=1, pseudo_channel=0, bank=2, row=3,
+            pattern="Checkered0", ber=0.0302, hc_first=14531)
+        assert measurement.bitflips == 247  # the paper's headline count
+
+
+class TestSummaries:
+    def test_summarize(self):
+        summary = metrics.summarize_bers([0.01, 0.02, 0.03])
+        assert summary["mean"] == pytest.approx(0.02)
+        assert summary["min"] == 0.01
+        assert summary["max"] == 0.03
+        assert summary["count"] == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.summarize_bers([])
+
+    def test_cv(self):
+        assert metrics.coefficient_of_variation([1.0, 1.0]) == 0.0
+        assert metrics.coefficient_of_variation([1.0, 3.0]) == \
+            pytest.approx(0.5)
+
+    def test_cv_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.coefficient_of_variation([-1.0, 1.0])
+
+
+class TestConstants:
+    def test_paper_constants(self):
+        assert metrics.WCDP_TIE_BREAK_HAMMERS == 256_000
+        assert metrics.ROWPRESS_BER_HAMMERS == 150_000
+        assert metrics.BER_TEST_HAMMERS > metrics.WCDP_TIE_BREAK_HAMMERS

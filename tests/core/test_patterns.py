@@ -1,0 +1,77 @@
+"""Tests for the Table 1 data patterns."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import (ALL_PATTERNS, CHECKERED0, CHECKERED1,
+                                 PATTERNS_BY_NAME, ROWSTRIPE0, ROWSTRIPE1,
+                                 pattern_by_name, select_wcdp)
+
+
+class TestTable1:
+    def test_four_patterns(self):
+        assert len(ALL_PATTERNS) == 4
+
+    @pytest.mark.parametrize("pattern,victim,aggressor,far", [
+        (ROWSTRIPE0, 0x00, 0xFF, 0x00),
+        (ROWSTRIPE1, 0xFF, 0x00, 0xFF),
+        (CHECKERED0, 0x55, 0xAA, 0x55),
+        (CHECKERED1, 0xAA, 0x55, 0xAA),
+    ])
+    def test_byte_assignments(self, pattern, victim, aggressor, far):
+        assert pattern.victim_byte == victim
+        assert pattern.aggressor_byte == aggressor
+        assert pattern.far_byte == far
+
+    def test_row_images(self):
+        assert np.all(CHECKERED0.victim_row() == 0x55)
+        assert np.all(CHECKERED0.aggressor_row() == 0xAA)
+        assert np.all(CHECKERED0.far_row() == 0x55)
+
+    def test_row_image_by_distance(self):
+        assert np.all(CHECKERED0.row_image(0) == 0x55)
+        assert np.all(CHECKERED0.row_image(1) == 0xAA)
+        assert np.all(CHECKERED0.row_image(-1) == 0xAA)
+        assert np.all(CHECKERED0.row_image(8) == 0x55)
+
+    def test_row_image_beyond_radius_rejected(self):
+        with pytest.raises(ValueError):
+            CHECKERED0.row_image(9)
+
+    def test_is_checkered(self):
+        assert CHECKERED0.is_checkered and CHECKERED1.is_checkered
+        assert not ROWSTRIPE0.is_checkered
+
+    def test_victim_polarity(self):
+        assert ROWSTRIPE0.victim_polarity == 0
+        assert ROWSTRIPE1.victim_polarity == 1
+        assert CHECKERED0.victim_polarity == 0
+        assert CHECKERED1.victim_polarity == 1
+
+    def test_lookup(self):
+        assert pattern_by_name("Checkered0") is CHECKERED0
+        with pytest.raises(ValueError):
+            pattern_by_name("nope")
+
+    def test_registry_complete(self):
+        assert set(PATTERNS_BY_NAME) == {
+            "Rowstripe0", "Rowstripe1", "Checkered0", "Checkered1"}
+
+
+class TestWcdpSelection:
+    def test_unique_minimum_wins(self):
+        wcdp = select_wcdp({"A": 100.0, "B": 50.0}, {})
+        assert wcdp == "B"
+
+    def test_tie_broken_by_ber(self):
+        wcdp = select_wcdp({"A": 50.0, "B": 50.0},
+                           {"A": 0.01, "B": 0.02})
+        assert wcdp == "B"
+
+    def test_tie_without_ber_rejected(self):
+        with pytest.raises(ValueError):
+            select_wcdp({"A": 50.0, "B": 50.0}, {"A": 0.01})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_wcdp({}, {})

@@ -1,0 +1,104 @@
+"""Tests for the Section 7 TRR-bypass attack."""
+
+import numpy as np
+import pytest
+
+from repro.core.trr_bypass import (AttackConfig, attack_effective_hammers,
+                                   bypass_study, dummy_rows_for,
+                                   run_attack_exact)
+from repro.core.patterns import CHECKERED0
+from repro.dram.geometry import RowAddress
+
+
+class TestAttackConfig:
+    def test_budget_is_78(self):
+        assert AttackConfig(4, 18).budget == 78
+
+    def test_paper_dummy_acts_example(self):
+        """4 dummies at 18 aggressor acts: (78 - 36) // 4 = 10 each."""
+        assert AttackConfig(4, 18).dummy_acts_each == 10
+
+    def test_windows_two_trefw(self):
+        assert AttackConfig(4, 18).total_windows == 2 * 8205
+
+    def test_count_rule_safe(self):
+        assert AttackConfig(8, 34).count_rule_safe
+        assert AttackConfig(4, 18).count_rule_safe
+
+    def test_aggressors_above_budget_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(4, 40)
+
+    def test_no_room_for_dummies_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(20, 36)
+
+
+class TestDummyRows:
+    def test_far_from_victim(self):
+        victim = RowAddress(0, 0, 0, 5000)
+        rows = dummy_rows_for(victim, AttackConfig(8, 34), 16384)
+        assert len(rows) == 8
+        assert all(abs(row - 5000) > 2 for row in rows)
+        assert len(set(rows)) == 8
+
+
+class TestEffectiveHammers:
+    def test_bypassed_accumulates_full_window(self, chip0):
+        config = AttackConfig(8, 34)
+        assert attack_effective_hammers(chip0, config, bypassed=True) == \
+            34 * 8205
+
+    def test_detected_caps_at_cadence(self, chip0):
+        config = AttackConfig(2, 34)
+        assert attack_effective_hammers(chip0, config, bypassed=False) == \
+            34 * 17
+
+
+class TestBypassStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.chips.profiles import make_chip
+
+        rows = np.arange(0, 16384, 128)
+        return bypass_study(make_chip(0),
+                            dummy_counts=(1, 3, 4, 6, 8),
+                            aggressor_acts=(18, 24, 30, 34), rows=rows)
+
+    def test_fewer_than_four_dummies_fail(self, study):
+        for dummies in (1, 3):
+            for acts in (18, 34):
+                assert study.mean_ber(dummies, acts) < 1e-5
+
+    def test_four_dummies_succeed(self, study):
+        assert study.mean_ber(4, 34) > 1e-3
+
+    def test_ber_grows_with_aggressor_acts(self, study):
+        means = [study.mean_ber(8, acts) for acts in (18, 24, 30, 34)]
+        assert all(b > a for a, b in zip(means, means[1:]))
+
+    def test_scaling_order_of_magnitude(self, study):
+        """Paper: 10.28x from 18 to 34 acts; require the same decade."""
+        scaling = study.acts_scaling(8)
+        assert 4.0 < scaling[34] < 30.0
+
+    def test_dummies_beyond_four_equivalent(self, study):
+        assert study.dummy_sensitivity(34) < 0.002
+
+
+class TestExactAttack:
+    def test_exact_attack_validates_bypass_threshold(self, chip0):
+        """Command-accurate runs (every REF, every TRR sample) confirm
+        >= 4 dummies bypass and 3 do not, on a reduced window count."""
+        from repro.bender.host import BenderSession
+
+        victim = RowAddress(0, 0, 0, 5000)
+        flips = {}
+        for dummies in (3, 4):
+            session = BenderSession(chip0.make_device(),
+                                    mapping=chip0.row_mapping())
+            config = AttackConfig(dummy_rows=dummies, aggressor_acts=34)
+            flips[dummies] = run_attack_exact(session, victim, config,
+                                              CHECKERED0)
+        assert flips[3] == 0
+        assert flips[4] > 0

@@ -1,0 +1,68 @@
+"""Tests for the Section 8 word-level / ECC analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.wordlevel import (secded_outcomes, word_level_study)
+
+
+@pytest.fixture(scope="module")
+def study():
+    from repro.chips.profiles import make_chip
+
+    return word_level_study(make_chip(4), rows_per_channel=512)
+
+
+class TestHistogram:
+    def test_all_patterns_present(self, study):
+        assert set(study.histogram) == {
+            "Rowstripe0", "Rowstripe1", "Checkered0", "Checkered1"}
+
+    def test_buckets_structure(self, study):
+        for buckets in study.histogram.values():
+            assert set(buckets) == {1, 2, 3}
+            assert all(v >= 0 for v in buckets.values())
+
+    def test_substantial_words_beyond_secded(self, study):
+        """Section 8: words with >2 bitflips are plentiful (974,935 of
+        18M, i.e. ~5%, for Checkered0 in the paper)."""
+        beyond = study.words_beyond_secded("Checkered0")
+        fraction = beyond / study.total_words
+        assert 0.005 < fraction < 0.15
+
+    def test_most_flipped_words_have_multiple_flips(self, study):
+        """'Most words with at least one bitflip actually have more than
+        one' (Section 8.1)."""
+        assert study.multi_flip_fraction("Checkered0") > 0.5
+
+    def test_max_flips_reaches_double_digits(self, study):
+        """The paper finds a word with 16 bitflips."""
+        assert study.max_flips["Checkered0"] >= 8
+
+    def test_max_flips_bounded_by_word(self, study):
+        assert all(value <= 64 for value in study.max_flips.values())
+
+    def test_secded_classes(self, study):
+        classes = study.secded_classes("Checkered0")
+        assert classes["correctable"] == study.histogram["Checkered0"][1]
+        assert classes["potentially_undetectable"] == \
+            study.histogram["Checkered0"][3]
+
+
+class TestSecdedOutcomes:
+    def test_outcomes_sum(self, study):
+        outcomes = secded_outcomes(study, "Checkered0", sample_size=200)
+        total = (outcomes.ok + outcomes.corrected + outcomes.detected
+                 + outcomes.miscorrected)
+        assert total == outcomes.sampled_words == 200
+
+    def test_single_flips_always_corrected(self, study):
+        outcomes = secded_outcomes(study, "Checkered0", sample_size=300)
+        assert outcomes.corrected > 0
+
+    def test_silent_failures_exist(self, study):
+        """>2-flip words can silently miscorrect — the security payload
+        of the Section 8 argument."""
+        outcomes = secded_outcomes(study, "Checkered0", sample_size=400)
+        assert outcomes.miscorrected > 0
+        assert outcomes.silent_failure_fraction > 0.0

@@ -1,0 +1,200 @@
+"""Unit tests for the mitigation controllers."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.blockhammer import BlockHammer, CountingBloomFilter
+from repro.defenses.graphene import Graphene, _BankTable
+from repro.defenses.para import (Para, RowPressAwarePara,
+                                 para_probability_for)
+from repro.dram.geometry import RowAddress
+
+ADDR = RowAddress(0, 0, 0, 1000)
+
+
+class TestParaProbability:
+    def test_design_equation(self):
+        p = para_probability_for(14_000, failure_probability=1e-9)
+        # (1 - p/2)^N must be at most the failure probability.
+        assert (1 - p / 2) ** 14_000 <= 1e-9 * 1.01
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            para_probability_for(0)
+        with pytest.raises(ValueError):
+            para_probability_for(1000, failure_probability=1.5)
+
+
+class TestPara:
+    def test_sampling_rate(self):
+        para = Para(probability=0.01)
+        victims = para.observe(ADDR, 100_000, None, 0.0)
+        assert len(victims) == pytest.approx(1000, rel=0.2)
+
+    def test_victims_are_neighbors(self):
+        para = Para(probability=1.0)
+        victims = set(para.observe(ADDR, 10, None, 0.0))
+        assert victims <= {999, 1001}
+
+    def test_zero_count(self):
+        assert Para(probability=0.5).observe(ADDR, 0, None, 0.0) == []
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Para(probability=0.0)
+
+    def test_rowpress_aware_scales_with_on_time(self):
+        plain = Para(probability=0.001, seed=1)
+        aware = RowPressAwarePara(probability=0.001, seed=1)
+        base = len(aware.observe(ADDR, 10_000, 29.0, 0.0))
+        pressed = len(aware.observe(ADDR, 10_000, 35.1e3, 0.0))
+        assert pressed > base * 10
+        # Plain PARA cannot tell the difference.
+        a = len(plain.observe(ADDR, 10_000, None, 0.0))
+        b = len(plain.observe(ADDR, 10_000, None, 0.0))
+        assert abs(a - b) < max(a, b)  # same order regardless of on-time
+
+
+class TestMisraGries:
+    def test_exact_below_capacity(self):
+        table = _BankTable(entries=4)
+        assert table.add(1, 10) == 10
+        assert table.add(1, 5) == 15
+
+    def test_decrement_all_on_overflow(self):
+        table = _BankTable(entries=2)
+        table.add(1, 5)
+        table.add(2, 3)
+        table.add(3, 3)  # evicts by decrementing
+        # Row 2's counter (3) was consumed; row 3 may hold the rest.
+        assert table.spill > 0
+
+    def test_undercount_bounded(self):
+        """Misra-Gries guarantee: estimate >= true - W/(entries+1)."""
+        rng = np.random.default_rng(0)
+        table = _BankTable(entries=8)
+        true_counts = {}
+        for __ in range(3000):
+            row = int(rng.integers(0, 50))
+            table.add(row, 1)
+            true_counts[row] = true_counts.get(row, 0) + 1
+        window = sum(true_counts.values())
+        bound = window / (8 + 1)
+        for row, true in true_counts.items():
+            estimate = table.counters.get(row, 0)
+            assert estimate >= true - bound - 1
+
+
+class TestGraphene:
+    def test_fires_at_threshold(self):
+        graphene = Graphene(threshold=100, entries=8)
+        victims = graphene.observe(ADDR, 100, None, 0.0)
+        assert set(victims) == {999, 1001}
+
+    def test_counter_resets_after_firing(self):
+        graphene = Graphene(threshold=100, entries=8)
+        graphene.observe(ADDR, 100, None, 0.0)
+        assert graphene.observe(ADDR, 99, None, 0.0) == []
+
+    def test_below_threshold_silent(self):
+        graphene = Graphene(threshold=100, entries=8)
+        assert graphene.observe(ADDR, 99, None, 0.0) == []
+
+    def test_no_escape_through_eviction(self):
+        """A heavy hitter cannot hide behind many one-off rows as long
+        as its share exceeds the Misra-Gries bound W/(entries+1)."""
+        graphene = Graphene(threshold=500, entries=4)
+        fired = False
+        for round_index in range(600):
+            # Hitter rate 3/8 of the stream: true count 1800 of W=4800,
+            # bound 4800/5 = 960, so the estimate stays >= 840 > 500.
+            if graphene.observe(ADDR, 3, None, 0.0):
+                fired = True
+            for noise_row in range(5):
+                graphene.observe(
+                    RowAddress(0, 0, 0, 2000 + (round_index * 5
+                                                + noise_row) % 500),
+                    1, None, 0.0)
+        assert fired
+
+    def test_window_rollover_clears(self):
+        graphene = Graphene(threshold=100, entries=8)
+        graphene.observe(ADDR, 99, None, 0.0)
+        graphene.on_window_rollover(1.0)
+        assert graphene.observe(ADDR, 99, None, 0.0) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Graphene(threshold=0)
+        with pytest.raises(ValueError):
+            Graphene(entries=0)
+
+
+class TestCountingBloomFilter:
+    def test_never_undercounts(self):
+        cbf = CountingBloomFilter(size=256)
+        rng = np.random.default_rng(0)
+        true = {}
+        for __ in range(500):
+            key = int(rng.integers(0, 40))
+            cbf.add(key)
+            true[key] = true.get(key, 0) + 1
+        for key, count in true.items():
+            assert cbf.estimate(key) >= count
+
+    def test_clear(self):
+        cbf = CountingBloomFilter(size=64)
+        cbf.add(7, 10)
+        cbf.clear()
+        assert cbf.estimate(7) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(size=4)
+
+
+class TestBlockHammer:
+    def test_no_throttle_below_blacklist(self):
+        controller = BlockHammer(blacklist_threshold=1000)
+        assert controller.throttle_ns(ADDR, 100, None, 0.0) == 0.0
+
+    def test_throttles_above_blacklist(self):
+        controller = BlockHammer(blacklist_threshold=100,
+                                 max_safe_activations=8192)
+        controller.observe(ADDR, 200, None, 0.0)
+        delay = controller.throttle_ns(ADDR, 64, None, 0.0)
+        assert delay > 0
+
+    def test_pacing_caps_rate(self):
+        """After throttling, a row's activations are paced to at most
+        max_safe per refresh window."""
+        controller = BlockHammer(blacklist_threshold=100,
+                                 max_safe_activations=8192)
+        now = 0.0
+        total = 0
+        while now < 32.0e6:  # one refresh window
+            delay = controller.throttle_ns(ADDR, 64, None, now)
+            now += delay
+            if now >= 32.0e6:
+                break
+            controller.observe(ADDR, 64, None, now)
+            total += 64
+            now += 64 * 45.0
+        assert total <= 8192 * 1.05
+
+    def test_blacklist_flag(self):
+        controller = BlockHammer(blacklist_threshold=100)
+        assert not controller.is_blacklisted(ADDR)
+        controller.observe(ADDR, 200, None, 0.0)
+        assert controller.is_blacklisted(ADDR)
+
+    def test_rollover_clears_filter(self):
+        controller = BlockHammer(blacklist_threshold=100)
+        controller.observe(ADDR, 200, None, 0.0)
+        controller.on_window_rollover(32.0e6)
+        assert not controller.is_blacklisted(ADDR)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            BlockHammer(blacklist_threshold=8192,
+                        max_safe_activations=8192)

@@ -1,0 +1,192 @@
+"""Integration tests: attacks vs defended devices."""
+
+import pytest
+
+from repro.defenses import (BlockHammer, Graphene, HeterogeneousGraphene,
+                            Para, RowPressAwarePara, burst_double_sided,
+                            defended_session, evaluate,
+                            para_probability_for, pick_vulnerable_victim,
+                            rowpress_burst)
+from repro.dram.geometry import RowAddress
+
+
+@pytest.fixture(scope="module")
+def victim(chip0_module):
+    return pick_vulnerable_victim(chip0_module)
+
+
+@pytest.fixture(scope="module")
+def chip0_module():
+    from repro.chips.profiles import make_chip
+
+    return make_chip(0)
+
+
+@pytest.fixture(scope="module")
+def para_p(chip0_module):
+    return para_probability_for(14_000)
+
+
+class TestUndefendedBaseline:
+    def test_double_sided_flips(self, chip0_module, victim):
+        session = defended_session(chip0_module, None)
+        assert burst_double_sided(session, victim) > 0
+
+    def test_rowpress_flips(self, chip0_module, victim):
+        session = defended_session(chip0_module, None)
+        assert rowpress_burst(session, victim) > 0
+
+
+class TestParaDefense:
+    def test_blocks_double_sided(self, chip0_module, victim, para_p):
+        controller = Para(probability=para_p,
+                          believed_mapping=chip0_module.row_mapping())
+        session = defended_session(chip0_module, controller)
+        assert burst_double_sided(session, victim) == 0
+        assert controller.stats.preventive_refreshes > 0
+
+    def test_overhead_near_design_probability(self, chip0_module, victim,
+                                              para_p):
+        controller = Para(probability=para_p,
+                          believed_mapping=chip0_module.row_mapping())
+        session = defended_session(chip0_module, controller)
+        burst_double_sided(session, victim)
+        assert controller.stats.refresh_overhead() == pytest.approx(
+            para_p, rel=0.25)
+
+    def test_plain_para_misses_rowpress(self, chip0_module, victim,
+                                        para_p):
+        """Takeaway 7's defense gap: activation-count-based sampling
+        undercounts long-open aggressors."""
+        controller = Para(probability=para_p,
+                          believed_mapping=chip0_module.row_mapping())
+        session = defended_session(chip0_module, controller)
+        assert rowpress_burst(session, victim) > 0
+
+    def test_rowpress_aware_para_closes_the_gap(self, chip0_module,
+                                                victim, para_p):
+        controller = RowPressAwarePara(
+            probability=para_p,
+            believed_mapping=chip0_module.row_mapping())
+        session = defended_session(chip0_module, controller)
+        assert rowpress_burst(session, victim) == 0
+
+
+class TestGrapheneDefense:
+    def test_blocks_double_sided_cheaply(self, chip0_module, victim,
+                                         para_p):
+        controller = Graphene(
+            threshold=3500,
+            believed_mapping=chip0_module.row_mapping())
+        session = defended_session(chip0_module, controller)
+        assert burst_double_sided(session, victim) == 0
+        # Deterministic counting refreshes far less often than PARA.
+        assert controller.stats.refresh_overhead() < para_p
+
+    def test_xor_scramble_halves_protection_but_survives(
+            self, chip0_module, victim):
+        """Chip 0's XOR scramble displaces rows by at most 2, so an
+        identity-assuming controller still lands one of its two victim
+        refreshes on the real victim — protection degrades but holds."""
+        controller = Graphene(threshold=3500, believed_mapping=None)
+        session = defended_session(chip0_module, controller)
+        assert burst_double_sided(session, victim) == 0
+
+    def test_wrong_mapping_breaks_graphene(self, chip0_module):
+        """Vendors hiding their row scramble hurts defenses: under the
+        block-interleave layout the physically adjacent aggressors live
+        far away logically, so an identity-assuming controller refreshes
+        rows that are never the real victims."""
+        from repro.bender.host import BenderSession
+        from repro.defenses.base import DefendedDevice
+        from repro.dram.device import HBM2Stack
+        from repro.dram.row_mapping import BlockInterleaveMapping
+        from repro.dram.trr import TrrConfig
+
+        mapping = BlockInterleaveMapping(chip0_module.geometry.rows)
+
+        def session_with(controller):
+            device = HBM2Stack(profile_provider=chip0_module,
+                               retention=chip0_module.retention,
+                               trr_config=TrrConfig(enabled=False),
+                               row_mapping=mapping)
+            if controller is not None:
+                device = DefendedDevice(device, controller)
+            return BenderSession(device, mapping=mapping)
+
+        # Physical row 3 of a group: its logical address under the
+        # interleave has both physical neighbors > 2 logical rows away.
+        victim = RowAddress(0, 0, 0, 155)  # 155 % 8 == 3
+        blind = Graphene(threshold=3500, believed_mapping=None)
+        assert burst_double_sided(session_with(blind), victim) > 0
+        informed = Graphene(threshold=3500, believed_mapping=mapping)
+        assert burst_double_sided(session_with(informed), victim) == 0
+
+
+class TestBlockHammerDefense:
+    def test_throttling_blocks_double_sided(self, chip0_module, victim):
+        controller = BlockHammer(
+            believed_mapping=chip0_module.row_mapping())
+        session = defended_session(chip0_module, controller)
+        assert burst_double_sided(session, victim) == 0
+        assert controller.stats.preventive_refreshes == 0
+        assert controller.stats.throttle_delay_ns > 1.0e9
+
+
+class TestHeterogeneousGraphene:
+    @pytest.fixture(scope="class")
+    def controller_factory(self, chip0_module):
+        def factory():
+            return HeterogeneousGraphene(
+                chip0_module,
+                believed_mapping=chip0_module.row_mapping(),
+                rows_per_subarray=8)
+
+        return factory
+
+    def test_still_protects_weak_rows(self, chip0_module, victim,
+                                      controller_factory):
+        session = defended_session(chip0_module, controller_factory())
+        assert burst_double_sided(session, victim) == 0
+
+    def test_local_thresholds_exceed_uniform(self, controller_factory):
+        """Section 8.2: adapting to the heterogeneity buys headroom —
+        resilient subarrays tolerate far more activations before a
+        preventive refresh."""
+        controller = controller_factory()
+        assert controller.mean_threshold() > \
+            1.5 * controller.uniform_equivalent_threshold()
+
+    def test_saves_refreshes_on_resilient_rows(self, chip0_module,
+                                               controller_factory):
+        """Hammering a resilient-subarray row: the uniform design pays
+        preventive refreshes the local silicon does not need."""
+        layout = chip0_module.geometry.subarrays
+        resilient_row = layout.rows_of(layout.last_subarray)[400]
+        target = RowAddress(3, 0, 0, resilient_row)
+        hetero = controller_factory()
+        uniform = Graphene(
+            threshold=hetero.uniform_equivalent_threshold(),
+            believed_mapping=chip0_module.row_mapping())
+        flips = {}
+        for name, controller in (("hetero", hetero),
+                                 ("uniform", uniform)):
+            session = defended_session(chip0_module, controller)
+            flips[name] = burst_double_sided(session, target,
+                                             hammer_count=100_000)
+        assert flips["hetero"] == 0 and flips["uniform"] == 0
+        assert hetero.stats.preventive_refreshes < \
+            uniform.stats.preventive_refreshes
+
+
+class TestEvaluateHarness:
+    def test_reports_structure(self, chip0_module, victim, para_p):
+        reports = evaluate(
+            chip0_module,
+            lambda: Para(probability=para_p,
+                         believed_mapping=chip0_module.row_mapping()),
+            "para", victim)
+        assert set(reports) == {"double_sided_burst", "rowpress_burst"}
+        for report in reports.values():
+            assert report.defense == "para"
+            assert report.observed_activations > 0

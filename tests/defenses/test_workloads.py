@@ -1,0 +1,93 @@
+"""Tests for the benign-workload traces and overhead measurement."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import (BlockHammer, Graphene, Para,
+                            para_probability_for)
+from repro.workloads import benign_trace, measure_benign_overhead
+
+
+@pytest.fixture(scope="module")
+def chip():
+    from repro.chips.profiles import make_chip
+
+    return make_chip(0)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return benign_trace(total_activations=30_000)
+
+
+class TestTraceGeneration:
+    def test_total_activations(self, trace):
+        assert trace.total_activations == 30_000
+
+    def test_zipf_popularity_shape(self, trace):
+        """Hot rows exist but stay benign (single-digit percent share)."""
+        share = trace.hottest_row_share()
+        assert 0.005 < share < 0.08
+
+    def test_broad_row_coverage(self, trace):
+        assert trace.distinct_rows > 5_000
+
+    def test_deterministic(self):
+        a = benign_trace(total_activations=5_000, seed=9)
+        b = benign_trace(total_activations=5_000, seed=9)
+        assert a.epochs == b.epochs
+
+    def test_seed_changes_trace(self):
+        a = benign_trace(total_activations=5_000, seed=9)
+        b = benign_trace(total_activations=5_000, seed=10)
+        assert a.epochs != b.epochs
+
+    def test_exponent_controls_concentration(self):
+        flat = benign_trace(total_activations=20_000, zipf_exponent=0.2)
+        hot = benign_trace(total_activations=20_000, zipf_exponent=1.4)
+        assert hot.hottest_row_share() > 3 * flat.hottest_row_share()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            benign_trace(total_activations=0)
+        with pytest.raises(ValueError):
+            benign_trace(zipf_exponent=3.5)
+
+
+class TestBenignOverhead:
+    def test_no_defense_no_overhead(self, chip, trace):
+        report = measure_benign_overhead(chip, lambda: None, "none",
+                                         trace)
+        assert report.preventive_refreshes == 0
+        assert report.slowdown_fraction == 0.0
+        assert report.corrupted_rows == 0
+
+    def test_para_overhead_equals_probability(self, chip, trace):
+        p = para_probability_for(14_000)
+        report = measure_benign_overhead(
+            chip,
+            lambda: Para(probability=p,
+                         believed_mapping=chip.row_mapping()),
+            "para", trace)
+        assert report.refreshes_per_kilo_act == pytest.approx(
+            1000 * p, rel=0.25)
+        assert report.corrupted_rows == 0
+
+    def test_graphene_near_free_on_benign(self, chip, trace):
+        report = measure_benign_overhead(
+            chip,
+            lambda: Graphene(threshold=3500,
+                             believed_mapping=chip.row_mapping()),
+            "graphene", trace)
+        assert report.refreshes_per_kilo_act < 0.1
+        assert report.corrupted_rows == 0
+
+    def test_blockhammer_does_not_slow_benign(self, chip, trace):
+        """The whole point of blacklisting: benign rows never get
+        throttled."""
+        report = measure_benign_overhead(
+            chip,
+            lambda: BlockHammer(believed_mapping=chip.row_mapping()),
+            "blockhammer", trace)
+        assert report.slowdown_fraction < 0.01
+        assert report.corrupted_rows == 0

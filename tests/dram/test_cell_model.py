@@ -1,0 +1,244 @@
+"""Tests for the two-population cell threshold model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.cell_model import (CellPopulation, RowDisturbanceProfile,
+                                   expected_hc_first,
+                                   order_stats_from_draws,
+                                   sample_clustered_positions,
+                                   sample_smallest_uniforms, solve_mu_weak)
+
+
+def make_population(**overrides) -> CellPopulation:
+    params = {"f_weak": 0.014, "mu_weak": 5.5}
+    params.update(overrides)
+    return CellPopulation(**params)
+
+
+class TestOrderStats:
+    @given(st.integers(min_value=1, max_value=300),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=100)
+    def test_sorted_and_in_unit_interval(self, n, k):
+        k = min(k, n)
+        rng = np.random.default_rng(0)
+        stats = sample_smallest_uniforms(n, k, rng)
+        assert np.all(np.diff(stats) >= 0)
+        assert np.all(stats >= 0) and np.all(stats <= 1)
+
+    def test_prefix_consistency(self):
+        """First k1 of k2 > k1 order stats are identical given the same
+        draw stream — the analytic/exact consistency guarantee."""
+        draws = np.random.default_rng(7).random(10)
+        full = order_stats_from_draws(100, draws)
+        prefix = order_stats_from_draws(100, draws[:4])
+        assert np.allclose(full[:4], prefix)
+
+    def test_minimum_distribution_median(self):
+        """Median of U_(1) for n draws is 1 - 0.5**(1/n)."""
+        n = 64
+        rng = np.random.default_rng(3)
+        minima = [sample_smallest_uniforms(n, 1, rng)[0]
+                  for __ in range(4000)]
+        expected = 1.0 - 0.5 ** (1.0 / n)
+        assert np.median(minima) == pytest.approx(expected, rel=0.1)
+
+    def test_batch_shape(self):
+        draws = np.random.default_rng(1).random((5, 3))
+        stats = order_stats_from_draws(50, draws)
+        assert stats.shape == (5, 3)
+        assert np.all(np.diff(stats, axis=1) >= 0)
+
+    def test_invalid_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_smallest_uniforms(0, 1, rng)
+        with pytest.raises(ValueError):
+            sample_smallest_uniforms(5, 6, rng)
+
+
+class TestCellPopulation:
+    def test_ber_monotone_in_hammers(self):
+        pop = make_population()
+        bers = [pop.ber(h) for h in (1e4, 1e5, 1e6, 1e7, 1e8)]
+        assert all(b <= a for b, a in zip(bers, bers[1:]))
+
+    def test_ber_zero_below_everything(self):
+        assert make_population().ber(0) == 0.0
+        assert make_population().ber(-5) == 0.0
+
+    def test_ber_saturates_at_polarity_cap(self):
+        pop = make_population(flippable_strong_fraction=0.5)
+        saturated = pop.ber(1e12)
+        assert saturated == pytest.approx(
+            pop.f_weak + (1 - pop.f_weak) * 0.5, rel=1e-6)
+
+    def test_ber_array_matches_scalar(self):
+        pop = make_population()
+        hammers = np.array([0.0, 1e5, 5e5, 1e7])
+        array = pop.ber_array(hammers)
+        scalar = [pop.ber(h) for h in hammers]
+        assert np.allclose(array, scalar)
+
+    def test_weak_regime_plateau(self):
+        """In the RowHammer regime BER plateaus near f_weak."""
+        pop = make_population(mu_strong=9.0)
+        assert pop.ber(10 ** 6.8) == pytest.approx(pop.f_weak, rel=0.05)
+
+    def test_hammers_for_ber_inverts_ber(self):
+        pop = make_population(mu_strong=12.0)  # isolate the weak term
+        target = 0.005
+        hammers = pop.hammers_for_ber(target)
+        assert pop.ber(hammers) == pytest.approx(target, rel=1e-6)
+
+    def test_hammers_for_ber_rejects_above_plateau(self):
+        pop = make_population()
+        with pytest.raises(ValueError):
+            pop.hammers_for_ber(pop.f_weak * 2)
+
+    def test_weak_cell_count(self):
+        assert make_population(f_weak=0.014).weak_cell_count(8192) == 115
+
+    def test_with_coupling_shifts_thresholds(self):
+        pop = make_population()
+        boosted = pop.with_coupling(2.0)
+        # Twice the coupling means the same BER at half the hammers.
+        assert boosted.ber(1e5) == pytest.approx(pop.ber(2e5), rel=1e-9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_population(f_weak=0.0)
+        with pytest.raises(ValueError):
+            make_population(sigma_weak=-1.0)
+        with pytest.raises(ValueError):
+            make_population(flippable_strong_fraction=1.5)
+
+    def test_smallest_thresholds_sorted(self):
+        pop = make_population()
+        rng = np.random.default_rng(0)
+        thresholds = pop.sample_smallest_thresholds(8192, 10, rng)
+        assert np.all(np.diff(thresholds) >= 0)
+
+    def test_materialize_has_row_bits_entries(self):
+        pop = make_population()
+        thresholds = pop.materialize_thresholds(
+            8192, np.random.default_rng(0))
+        assert thresholds.shape == (8192,)
+
+    def test_materialize_weak_count(self):
+        # Push the strong population far away so the count is unambiguous.
+        pop = make_population(mu_strong=12.0)
+        thresholds = pop.materialize_thresholds(
+            8192, np.random.default_rng(0))
+        weak = np.sum(thresholds < 1.0e8)
+        assert weak == pop.weak_cell_count(8192)
+
+    def test_materialize_infinite_for_protected_polarity(self):
+        pop = make_population(flippable_strong_fraction=0.5)
+        thresholds = pop.materialize_thresholds(
+            8192, np.random.default_rng(0))
+        infinite_fraction = np.isinf(thresholds).mean()
+        assert 0.4 < infinite_fraction < 0.6
+
+
+class TestRowDisturbanceProfile:
+    def make_profile(self, seed=77):
+        return RowDisturbanceProfile(make_population(), seed)
+
+    def test_hc_first_deterministic(self):
+        profile = self.make_profile()
+        assert profile.hc_first() == profile.hc_first()
+
+    def test_hc_first_scales_with_amplification(self):
+        profile = self.make_profile()
+        base = profile.hc_first()
+        amplified = profile.hc_first(amplification=10.0)
+        assert amplified == pytest.approx(base / 10.0, rel=1e-9)
+
+    def test_hc_first_floors_at_one(self):
+        profile = self.make_profile()
+        assert profile.hc_first(amplification=1e12) == 1.0
+
+    def test_hc_nth_prefix_matches_hc_first(self):
+        profile = self.make_profile()
+        assert profile.hc_nth(10)[0] == pytest.approx(profile.hc_first())
+
+    def test_hc_nth_monotone(self):
+        profile = self.make_profile()
+        assert np.all(np.diff(profile.hc_nth(10)) >= 0)
+
+    def test_materialize_min_matches_hc_first(self):
+        """The exact engine's weakest cell IS the analytic HC_first."""
+        profile = self.make_profile()
+        thresholds = profile.materialize()
+        assert thresholds.min() == pytest.approx(profile.hc_first(),
+                                                 rel=1e-9)
+
+    def test_materialize_k_smallest_match_hc_nth(self):
+        profile = self.make_profile()
+        thresholds = np.sort(profile.materialize())[:10]
+        assert np.allclose(thresholds, profile.hc_nth(10))
+
+    def test_sampled_ber_close_to_expected(self):
+        profile = self.make_profile()
+        expected = profile.expected_ber(5e5)
+        sampled = profile.sampled_ber(5e5)
+        assert sampled == pytest.approx(expected, abs=0.01)
+
+    def test_different_seeds_differ(self):
+        a = RowDisturbanceProfile(make_population(), 1)
+        b = RowDisturbanceProfile(make_population(), 2)
+        assert a.hc_first() != b.hc_first()
+
+
+class TestCalibrationHelpers:
+    def test_solve_and_expected_are_inverse(self):
+        mu = solve_mu_weak(100_000, 0.014, 8192)
+        assert expected_hc_first(mu, 0.014, 8192) == pytest.approx(
+            100_000, rel=1e-9)
+
+    @given(st.floats(min_value=1e4, max_value=1e6),
+           st.floats(min_value=0.002, max_value=0.05))
+    @settings(max_examples=50)
+    def test_solver_roundtrip_property(self, target, f_weak):
+        mu = solve_mu_weak(target, f_weak, 8192)
+        assert expected_hc_first(mu, f_weak, 8192) == pytest.approx(
+            target, rel=1e-6)
+
+    def test_solver_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            solve_mu_weak(0.0, 0.01, 8192)
+
+
+class TestClusteredPositions:
+    def test_positions_distinct_and_in_range(self):
+        rng = np.random.default_rng(5)
+        positions = sample_clustered_positions(8192, 200, rng)
+        assert positions.size == 200
+        assert np.unique(positions).size == 200
+        assert positions.min() >= 0 and positions.max() < 8192
+
+    def test_clustering_beats_uniform(self):
+        """Gamma-weighted placement concentrates cells into fewer words
+        than uniform placement would."""
+        rng = np.random.default_rng(5)
+        occupied_clustered = []
+        occupied_uniform = []
+        for __ in range(40):
+            clustered = sample_clustered_positions(8192, 80, rng)
+            uniform = rng.choice(8192, size=80, replace=False)
+            occupied_clustered.append(np.unique(clustered // 64).size)
+            occupied_uniform.append(np.unique(uniform // 64).size)
+        assert np.mean(occupied_clustered) < 0.7 * np.mean(occupied_uniform)
+
+    def test_full_row_allowed(self):
+        rng = np.random.default_rng(0)
+        positions = sample_clustered_positions(256, 256, rng)
+        assert np.array_equal(np.sort(positions), np.arange(256))
+
+    def test_too_many_cells_rejected(self):
+        with pytest.raises(ValueError):
+            sample_clustered_positions(64, 65, np.random.default_rng(0))

@@ -1,0 +1,62 @@
+"""Tests for the command constructors."""
+
+import numpy as np
+import pytest
+
+from repro.dram import commands as cmd
+from repro.dram.commands import Command, CommandKind
+
+
+class TestConstructors:
+    def test_act(self):
+        command = cmd.act(1, 0, 2, 300, t_on=58.0)
+        assert command.kind is CommandKind.ACT
+        assert (command.channel, command.pseudo_channel, command.bank,
+                command.row) == (1, 0, 2, 300)
+        assert command.t_on == 58.0
+
+    def test_pre(self):
+        command = cmd.pre(1, 1, 5)
+        assert command.kind is CommandKind.PRE
+        assert command.bank == 5
+
+    def test_rd(self):
+        assert cmd.rd(0, 0, 0, 9).kind is CommandKind.RD
+
+    def test_wr_carries_data(self):
+        image = np.full(1024, 0x42, dtype=np.uint8)
+        command = cmd.wr(0, 0, 0, 9, image)
+        assert command.kind is CommandKind.WR
+        assert np.array_equal(command.data, image)
+
+    def test_ref(self):
+        command = cmd.ref(3, 1)
+        assert command.kind is CommandKind.REF
+        assert (command.channel, command.pseudo_channel) == (3, 1)
+
+    def test_hammer(self):
+        command = cmd.hammer(0, 0, 0, 9, 5000, 3900.0)
+        assert command.kind is CommandKind.HAMMER
+        assert command.count == 5000
+        assert command.t_on == 3900.0
+
+    def test_wait(self):
+        command = cmd.wait(123.0)
+        assert command.kind is CommandKind.WAIT
+        assert command.duration == 123.0
+
+
+class TestValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.HAMMER, count=-1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.WAIT, duration=-1.0)
+
+    def test_is_row_command(self):
+        assert cmd.act(0, 0, 0, 1).is_row_command
+        assert cmd.hammer(0, 0, 0, 1, 10).is_row_command
+        assert not cmd.ref(0, 0).is_row_command
+        assert not cmd.wait(1.0).is_row_command

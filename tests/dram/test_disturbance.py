@@ -1,0 +1,105 @@
+"""Tests for the RowPress amplification model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.disturbance import (DEFAULT_DISTURBANCE, DisturbanceModel)
+
+
+class TestAmplification:
+    def test_baseline_is_one(self):
+        assert DEFAULT_DISTURBANCE.amplification(29.0) == 1.0
+
+    def test_below_baseline_clamps_to_one(self):
+        assert DEFAULT_DISTURBANCE.amplification(1.0) == 1.0
+
+    def test_anchor_at_trefi(self):
+        """Mean HC_first drops 83689 -> 1519 at tREFI (Fig. 13)."""
+        assert DEFAULT_DISTURBANCE.amplification(3.9e3) == pytest.approx(
+            55.09, rel=1e-6)
+
+    def test_anchor_at_9_trefi_is_paper_value(self):
+        """The paper quotes the 222.57x average HC_first reduction."""
+        assert DEFAULT_DISTURBANCE.amplification(35.1e3) == pytest.approx(
+            222.57, rel=1e-6)
+
+    def test_16ms_amplification_reaches_hc_first_of_one(self):
+        """At 16 ms a single hammer must flip typical rows (Obsv. 23)."""
+        amplification = DEFAULT_DISTURBANCE.amplification(16.0e6)
+        assert amplification >= 1.0e5
+
+    @given(st.floats(min_value=29.0, max_value=1.0e7))
+    @settings(max_examples=200)
+    def test_monotone_nondecreasing(self, t_on):
+        model = DEFAULT_DISTURBANCE
+        assert model.amplification(t_on * 1.1) >= model.amplification(t_on)
+
+    def test_extrapolation_beyond_last_anchor(self):
+        model = DEFAULT_DISTURBANCE
+        assert model.amplification(32.0e6) > model.amplification(16.0e6)
+
+    def test_array_matches_scalar(self):
+        t_ons = [29.0, 58.0, 100.0, 3.9e3, 1.0e6]
+        array = DEFAULT_DISTURBANCE.amplification_array(t_ons)
+        scalar = [DEFAULT_DISTURBANCE.amplification(t) for t in t_ons]
+        assert np.allclose(array, scalar)
+
+
+class TestDistanceCoupling:
+    def test_distance_one_full(self):
+        assert DEFAULT_DISTURBANCE.distance_factor(1) == 1.0
+
+    def test_distance_two_weak(self):
+        factor = DEFAULT_DISTURBANCE.distance_factor(2)
+        assert 0.0 < factor < 0.1
+
+    def test_beyond_radius_zero(self):
+        assert DEFAULT_DISTURBANCE.distance_factor(3) == 0.0
+
+    def test_blast_radius(self):
+        assert DEFAULT_DISTURBANCE.blast_radius == 2
+
+    def test_nonpositive_distance_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_DISTURBANCE.distance_factor(0)
+
+
+class TestEffectiveHammers:
+    def test_double_sided_baseline_identity(self):
+        """Per-side hammer count N at baseline == N baseline units."""
+        model = DEFAULT_DISTURBANCE
+        assert model.effective_hammers(1000, 29.0) == pytest.approx(1000.0)
+
+    def test_single_sided_is_half(self):
+        model = DEFAULT_DISTURBANCE
+        assert model.effective_hammers(1000, 29.0, sides=1) \
+            == pytest.approx(500.0)
+
+    def test_amplification_scales_units(self):
+        model = DEFAULT_DISTURBANCE
+        assert model.effective_hammers(1000, 35.1e3) == pytest.approx(
+            1000 * 222.57)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_DISTURBANCE.effective_hammers(-1, 29.0)
+
+
+class TestValidation:
+    def test_unordered_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            DisturbanceModel(anchors=((29.0, 1.0), (20.0, 2.0)))
+
+    def test_decreasing_amplification_rejected(self):
+        with pytest.raises(ValueError):
+            DisturbanceModel(anchors=((29.0, 2.0), (60.0, 1.0)))
+
+    def test_single_anchor_rejected(self):
+        with pytest.raises(ValueError):
+            DisturbanceModel(anchors=((29.0, 1.0),))
+
+    def test_custom_anchors_interpolate(self):
+        model = DisturbanceModel(anchors=((10.0, 1.0), (1000.0, 100.0)))
+        assert model.amplification(100.0) == pytest.approx(10.0, rel=1e-6)

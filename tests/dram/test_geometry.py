@@ -1,0 +1,171 @@
+"""Tests for HBM2 geometry and addressing."""
+
+import pytest
+
+from repro.dram.geometry import (DEFAULT_GEOMETRY, DEFAULT_SUBARRAY_SIZES,
+                                 HBM2Geometry, RowAddress, SubarrayLayout,
+                                 adjacent_rows)
+
+
+class TestSubarrayLayout:
+    def test_default_sizes_match_paper(self):
+        layout = SubarrayLayout()
+        assert set(layout.sizes) == {832, 768}
+
+    def test_total_rows(self):
+        assert SubarrayLayout().rows == 16384
+
+    def test_subarray_count(self):
+        assert SubarrayLayout().count == len(DEFAULT_SUBARRAY_SIZES)
+
+    def test_boundaries_start_at_zero_and_end_at_rows(self):
+        layout = SubarrayLayout()
+        assert layout.boundaries[0] == 0
+        assert layout.boundaries[-1] == layout.rows
+
+    def test_middle_subarray_is_832_rows(self):
+        layout = SubarrayLayout()
+        assert layout.sizes[layout.middle_subarray] == 832
+
+    def test_last_subarray_is_832_rows(self):
+        layout = SubarrayLayout()
+        assert layout.sizes[layout.last_subarray] == 832
+
+    def test_subarray_of_first_and_last_row(self):
+        layout = SubarrayLayout()
+        assert layout.subarray_of(0) == 0
+        assert layout.subarray_of(layout.rows - 1) == layout.count - 1
+
+    def test_position_in_subarray_roundtrip(self):
+        layout = SubarrayLayout()
+        for row in (0, 831, 832, 8191, 8192, 16383):
+            index, offset, size = layout.position_in_subarray(row)
+            assert layout.boundaries[index] + offset == row
+            assert layout.sizes[index] == size
+
+    def test_rows_of_covers_every_row_exactly_once(self):
+        layout = SubarrayLayout()
+        seen = []
+        for index in range(layout.count):
+            seen.extend(layout.rows_of(index))
+        assert seen == list(range(layout.rows))
+
+    def test_edge_rows(self):
+        layout = SubarrayLayout()
+        assert layout.is_edge_row(0)
+        assert layout.is_edge_row(831)
+        assert not layout.is_edge_row(416)
+
+    def test_same_subarray(self):
+        layout = SubarrayLayout()
+        assert layout.same_subarray(0, 831)
+        assert not layout.same_subarray(831, 832)
+
+    def test_out_of_range_row_rejected(self):
+        layout = SubarrayLayout()
+        with pytest.raises(ValueError):
+            layout.subarray_of(layout.rows)
+        with pytest.raises(ValueError):
+            layout.subarray_of(-1)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SubarrayLayout(sizes=(0, 16384))
+
+
+class TestHBM2Geometry:
+    def test_paper_dimensions(self):
+        geometry = DEFAULT_GEOMETRY
+        assert geometry.channels == 8
+        assert geometry.pseudo_channels == 2
+        assert geometry.banks == 16
+        assert geometry.rows == 16384
+        assert geometry.row_bits == 8192
+        assert geometry.row_bytes == 1024
+
+    def test_stack_density_is_4gib(self):
+        assert DEFAULT_GEOMETRY.density_bytes == 4 * 1024 ** 3
+
+    def test_total_banks(self):
+        assert DEFAULT_GEOMETRY.total_banks == 256
+
+    def test_die_pairing_is_mirrored(self):
+        geometry = DEFAULT_GEOMETRY
+        assert geometry.die_of_channel(0) == geometry.die_of_channel(7)
+        assert geometry.die_of_channel(3) == geometry.die_of_channel(4)
+        assert geometry.die_of_channel(0) != geometry.die_of_channel(3)
+
+    def test_every_die_has_two_channels(self):
+        geometry = DEFAULT_GEOMETRY
+        counts = {}
+        for channel in range(geometry.channels):
+            die = geometry.die_of_channel(channel)
+            counts[die] = counts.get(die, 0) + 1
+        assert all(count == 2 for count in counts.values())
+
+    def test_check_address_accepts_valid(self):
+        DEFAULT_GEOMETRY.check_address(7, 1, 15, 16383)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"channel": 8, "pseudo_channel": 0, "bank": 0, "row": 0},
+        {"channel": 0, "pseudo_channel": 2, "bank": 0, "row": 0},
+        {"channel": 0, "pseudo_channel": 0, "bank": 16, "row": 0},
+        {"channel": 0, "pseudo_channel": 0, "bank": 0, "row": 16384},
+    ])
+    def test_check_address_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            DEFAULT_GEOMETRY.check_address(**kwargs)
+
+    def test_iter_banks_counts(self):
+        assert len(list(DEFAULT_GEOMETRY.iter_banks())) == 256
+
+    def test_mismatched_subarray_layout_rejected(self):
+        with pytest.raises(ValueError):
+            HBM2Geometry(rows=1000)
+
+
+class TestRowAddress:
+    def test_validate_returns_self(self):
+        address = RowAddress(0, 0, 0, 0)
+        assert address.validate(DEFAULT_GEOMETRY) is address
+
+    def test_neighbor(self):
+        address = RowAddress(1, 0, 2, 100)
+        assert address.neighbor(1).row == 101
+        assert address.neighbor(-1).row == 99
+        assert address.neighbor(1).bank_key == address.bank_key
+
+    def test_with_row(self):
+        address = RowAddress(1, 1, 2, 100)
+        moved = address.with_row(55)
+        assert moved.row == 55
+        assert moved.bank_key == address.bank_key
+
+    def test_ordering(self):
+        assert RowAddress(0, 0, 0, 1) < RowAddress(0, 0, 0, 2)
+
+    def test_bank_key(self):
+        assert RowAddress(3, 1, 7, 9).bank_key == (3, 1, 7)
+
+
+class TestAdjacentRows:
+    def test_middle_row_has_two_neighbors_at_radius_one(self):
+        neighbors = adjacent_rows(RowAddress(0, 0, 0, 100),
+                                  DEFAULT_GEOMETRY, radius=1)
+        assert sorted(n.row for n in neighbors) == [99, 101]
+
+    def test_bank_edge_row_has_one_neighbor(self):
+        neighbors = adjacent_rows(RowAddress(0, 0, 0, 0),
+                                  DEFAULT_GEOMETRY, radius=1)
+        assert [n.row for n in neighbors] == [1]
+
+    def test_subarray_boundary_blocks_disturbance(self):
+        # Row 831 is the last row of subarray 0; row 832 starts subarray 1.
+        neighbors = adjacent_rows(RowAddress(0, 0, 0, 831),
+                                  DEFAULT_GEOMETRY, radius=1)
+        assert [n.row for n in neighbors] == [830]
+
+    def test_radius_two_respects_boundaries(self):
+        neighbors = adjacent_rows(RowAddress(0, 0, 0, 830),
+                                  DEFAULT_GEOMETRY, radius=2)
+        assert sorted(n.row for n in neighbors) == [828, 829, 831]

@@ -1,0 +1,65 @@
+"""Tests for the mode register file."""
+
+import pytest
+
+from repro.dram.mode_registers import ModeRegisterError, ModeRegisters
+
+
+class TestEcc:
+    def test_powers_up_enabled(self):
+        assert ModeRegisters().ecc_enabled
+
+    def test_disable_like_the_paper(self):
+        """Section 3.1: ECC is disabled by clearing the MR bit."""
+        registers = ModeRegisters()
+        registers.set_field(4, "ecc_enable", False)
+        assert not registers.ecc_enabled
+
+
+class TestTrrMode:
+    def test_disabled_by_default(self):
+        assert not ModeRegisters().trr_mode_enabled
+
+    def test_enter_and_exit(self):
+        registers = ModeRegisters()
+        registers.enter_trr_mode(target_bank=5)
+        assert registers.trr_mode_enabled
+        assert registers.trr_mode_bank == 5
+        registers.exit_trr_mode()
+        assert not registers.trr_mode_enabled
+
+    def test_bank_field_isolated_from_enable(self):
+        registers = ModeRegisters()
+        registers.enter_trr_mode(target_bank=7)
+        registers.exit_trr_mode()
+        assert registers.trr_mode_bank == 7
+
+    def test_invalid_bank_rejected(self):
+        with pytest.raises(ModeRegisterError):
+            ModeRegisters().enter_trr_mode(target_bank=8)
+
+
+class TestRawAccess:
+    def test_write_read_roundtrip(self):
+        registers = ModeRegisters()
+        registers.write(7, 0xAB)
+        assert registers.read(7) == 0xAB
+
+    def test_payload_limited_to_8_bits(self):
+        with pytest.raises(ModeRegisterError):
+            ModeRegisters().write(0, 0x100)
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(ModeRegisterError):
+            ModeRegisters().read(16)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ModeRegisterError):
+            ModeRegisters().get_field(4, "bogus")
+
+    def test_field_set_clear(self):
+        registers = ModeRegisters()
+        registers.set_field(4, "dm_enable", True)
+        assert registers.get_field(4, "dm_enable")
+        registers.set_field(4, "dm_enable", False)
+        assert not registers.get_field(4, "dm_enable")

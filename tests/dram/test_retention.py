@@ -1,0 +1,105 @@
+"""Tests for the data-retention fault model."""
+
+import numpy as np
+import pytest
+
+from repro.dram.geometry import RowAddress
+from repro.dram.retention import (GUARANTEED_RETENTION_NS, RetentionModel)
+
+
+@pytest.fixture
+def model():
+    return RetentionModel(seed=42)
+
+
+def addr(row: int) -> RowAddress:
+    return RowAddress(0, 0, 0, row)
+
+
+class TestRowRetention:
+    def test_deterministic(self, model):
+        assert model.row_retention_ns(addr(5)) \
+            == model.row_retention_ns(addr(5))
+
+    def test_rows_differ(self, model):
+        times = {model.row_retention_ns(addr(r)) for r in range(50)}
+        assert len(times) == 50
+
+    def test_never_below_guarantee(self, model):
+        """Manufacturers guarantee no failures within the 32 ms window."""
+        for row in range(300):
+            assert model.row_retention_ns(addr(row)) \
+                > GUARANTEED_RETENTION_NS
+
+    def test_median_near_configured(self, model):
+        times = [model.row_retention_ns(addr(r)) for r in range(2000)]
+        assert np.median(times) == pytest.approx(model.median_ns, rel=0.15)
+
+    def test_usable_side_channel_population(self, model):
+        """U-TRR needs rows with retention in the hundreds of ms."""
+        times = [model.row_retention_ns(addr(r)) for r in range(2000)]
+        usable = [t for t in times if 192.0e6 <= t <= 1.0e9]
+        assert len(usable) > 100
+
+
+class TestCellLadder:
+    def test_first_rung_is_row_retention(self, model):
+        times, __ = model.cell_ladder(addr(9))
+        assert times[0] == pytest.approx(model.row_retention_ns(addr(9)))
+
+    def test_ladder_sorted(self, model):
+        times, __ = model.cell_ladder(addr(9))
+        assert np.all(np.diff(times) >= 0)
+
+    def test_positions_distinct(self, model):
+        __, positions = model.cell_ladder(addr(9))
+        assert np.unique(positions).size == positions.size
+
+    def test_positions_in_row(self, model):
+        __, positions = model.cell_ladder(addr(9))
+        assert positions.min() >= 0 and positions.max() < 8192
+
+
+class TestFailures:
+    def test_no_failures_before_retention(self, model):
+        address = addr(3)
+        retention = model.row_retention_ns(address)
+        assert model.failure_count(address, retention * 0.9) == 0
+        assert not model.has_failed(address, retention * 0.9)
+
+    def test_failures_after_retention(self, model):
+        address = addr(3)
+        retention = model.row_retention_ns(address)
+        assert model.failure_count(address, retention * 1.01) >= 1
+        assert model.has_failed(address, retention * 1.01)
+
+    def test_failures_monotone_in_time(self, model):
+        address = addr(3)
+        retention = model.row_retention_ns(address)
+        counts = [model.failure_count(address, retention * k)
+                  for k in (1.0, 3.0, 10.0, 100.0)]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+    def test_negative_elapsed_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.failing_bits(addr(0), -1.0)
+
+
+class TestProfiling:
+    def test_profile_is_64ms_multiple(self, model):
+        profiled = model.profile_retention_ns(addr(11))
+        if profiled != float("inf"):
+            assert profiled % 64.0e6 == pytest.approx(0.0, abs=1.0)
+
+    def test_profile_upper_bounds_truth(self, model):
+        address = addr(11)
+        profiled = model.profile_retention_ns(address)
+        truth = model.row_retention_ns(address)
+        assert profiled >= truth
+        assert profiled - truth < 64.0e6
+
+    def test_different_seeds_give_different_populations(self):
+        a = RetentionModel(seed=1)
+        b = RetentionModel(seed=2)
+        address = addr(7)
+        assert a.row_retention_ns(address) != b.row_retention_ns(address)

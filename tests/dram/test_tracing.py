@@ -1,0 +1,82 @@
+"""Tests for the device command trace (debugging aid)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.cell_model import CellPopulation
+from repro.dram.device import HBM2Stack, UniformProfileProvider
+from repro.dram.geometry import RowAddress
+
+
+@pytest.fixture
+def device():
+    return HBM2Stack(
+        profile_provider=UniformProfileProvider(
+            CellPopulation(f_weak=0.014, mu_weak=5.0)),
+        retention=None)
+
+
+def image(byte: int) -> np.ndarray:
+    return np.full(1024, byte, dtype=np.uint8)
+
+
+class TestTracing:
+    def test_disabled_by_default(self, device):
+        device.write_row(RowAddress(0, 0, 0, 10), image(0x55))
+        assert device.trace() == []
+
+    def test_records_operations_in_order(self, device):
+        device.enable_tracing()
+        device.write_row(RowAddress(0, 0, 0, 10), image(0x55))
+        device.hammer(RowAddress(0, 0, 0, 9), 500)
+        device.read_row(RowAddress(0, 0, 0, 10))
+        device.refresh(0, 0)
+        kinds = [entry.kind for entry in device.trace()]
+        # WR opens/closes the bank itself (no explicit ACT recorded);
+        # RD auto-activates, reads, then precharges.
+        assert kinds == ["PRE", "WR", "HAMMER", "ACT", "PRE", "RD",
+                         "REF"]
+
+    def test_hammer_entry_carries_count(self, device):
+        device.enable_tracing()
+        device.hammer(RowAddress(0, 0, 0, 9), 1234)
+        entry = device.trace()[0]
+        assert entry.kind == "HAMMER"
+        assert entry.count == 1234
+        assert entry.row == 9
+
+    def test_ring_buffer_capacity(self, device):
+        device.enable_tracing(capacity=3)
+        for __ in range(5):
+            device.refresh(0, 0)
+        trace = device.trace()
+        assert len(trace) == 3
+        assert all(entry.kind == "REF" for entry in trace)
+
+    def test_timestamps_monotone(self, device):
+        device.enable_tracing()
+        device.hammer(RowAddress(0, 0, 0, 9), 10)
+        device.refresh(0, 0)
+        device.hammer(RowAddress(0, 0, 0, 9), 10)
+        times = [entry.time_ns for entry in device.trace()]
+        assert times == sorted(times)
+
+    def test_str_rendering(self, device):
+        device.enable_tracing()
+        device.hammer(RowAddress(1, 0, 3, 9), 10)
+        device.refresh(0, 1)
+        rendered = [str(entry) for entry in device.trace()]
+        assert "HAMMER ch1 pc0 ba3 row 9 x10" in rendered[0]
+        assert "REF ch0 pc1" in rendered[1]
+        assert "ba-1" not in rendered[1]
+
+    def test_disable_tracing(self, device):
+        device.enable_tracing()
+        device.refresh(0, 0)
+        device.disable_tracing()
+        device.refresh(0, 0)
+        assert device.trace() == []
+
+    def test_invalid_capacity(self, device):
+        with pytest.raises(ValueError):
+            device.enable_tracing(capacity=0)

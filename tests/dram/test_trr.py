@@ -1,0 +1,190 @@
+"""Tests for the undocumented TRR engine (Section 7's Observations)."""
+
+import pytest
+
+from repro.dram.trr import TrrConfig, TrrEngine
+
+
+def make_engine(**overrides) -> TrrEngine:
+    config = TrrConfig(**overrides)
+    return TrrEngine(config, banks=16, rows=16384)
+
+
+def drain_refs(engine: TrrEngine, count: int):
+    """Issue refs, returning the victims of the last one."""
+    victims = []
+    for __ in range(count):
+        victims = engine.on_refresh()
+    return victims
+
+
+class TestCadence:
+    def test_every_17th_ref_is_capable(self):
+        engine = make_engine()
+        assert engine.is_capable_ref(17)
+        assert engine.is_capable_ref(34)
+        assert not engine.is_capable_ref(16)
+        assert not engine.is_capable_ref(18)
+
+    def test_refs_until_capable_counts_down(self):
+        engine = make_engine()
+        assert engine.refs_until_capable == 17
+        engine.on_refresh()
+        assert engine.refs_until_capable == 16
+
+    def test_victims_only_on_capable_refs(self):
+        engine = make_engine()
+        engine.on_activate(0, 100)
+        for ref_index in range(1, 17):
+            assert engine.on_refresh() == []
+        engine.on_activate(0, 100)  # keep something detected
+        victims = engine.on_refresh()
+        assert victims  # the 17th REF flushes
+
+
+class TestFirstActRule:
+    def test_first_activated_row_detected(self):
+        """Obsv. 26: the first row activated after a capable REF."""
+        engine = make_engine()
+        engine.on_activate(0, 500)
+        for row in (600, 700, 800):
+            engine.on_activate(0, row)
+        victims = drain_refs(engine, 17)
+        assert (0, 499) in victims and (0, 501) in victims
+
+    def test_cam_capacity_is_four(self):
+        """The 5th distinct row escapes the sampler (Fig. 14's >= 4)."""
+        engine = make_engine()
+        for row in (10, 20, 30, 40, 50):
+            engine.on_activate(0, row)
+        victims = drain_refs(engine, 17)
+        rows_refreshed = {row for __, row in victims}
+        assert {9, 11, 19, 21, 29, 31, 39, 41} <= rows_refreshed
+        assert 49 not in rows_refreshed and 51 not in rows_refreshed
+
+    def test_cam_rearms_after_capable_ref(self):
+        engine = make_engine()
+        for row in (10, 20, 30, 40):
+            engine.on_activate(0, row)
+        drain_refs(engine, 17)
+        engine.on_activate(0, 999)
+        victims = drain_refs(engine, 17)
+        assert (0, 998) in victims and (0, 1000) in victims
+
+    def test_disabled_first_act_rule(self):
+        engine = make_engine(first_act_rule=False, count_rule=False)
+        engine.on_activate(0, 100)
+        assert drain_refs(engine, 17) == []
+
+
+class TestCountRule:
+    def test_exactly_half_detected(self):
+        """Obsv. 27's own example: 5 of 10 activations is detected."""
+        engine = make_engine(first_act_rule=False)
+        for __ in range(5):
+            engine.on_activate(0, 777)
+        for row in (1, 2, 3, 4, 5):
+            engine.on_activate(0, row)
+        victims = drain_refs(engine, 17)
+        rows_refreshed = {row for __, row in victims}
+        assert {776, 778} <= rows_refreshed
+
+    def test_below_half_not_detected(self):
+        engine = make_engine(first_act_rule=False)
+        for __ in range(4):
+            engine.on_activate(0, 777)
+        for row in (1, 2, 3, 4, 5):
+            engine.on_activate(0, row)
+        victims = drain_refs(engine, 17)
+        rows_refreshed = {row for __, row in victims}
+        assert 776 not in rows_refreshed and 778 not in rows_refreshed
+
+    def test_pending_accumulates_across_windows(self):
+        """A row detected in an early window is refreshed at the next
+        capable REF even if never activated again."""
+        engine = make_engine(first_act_rule=False)
+        for __ in range(3):
+            engine.on_activate(0, 42)
+        engine.on_refresh()  # window closes, 42 detected (3 of 3)
+        victims = drain_refs(engine, 16)
+        rows_refreshed = {row for __, row in victims}
+        assert {41, 43} <= rows_refreshed
+
+    def test_window_counts_reset_each_ref(self):
+        engine = make_engine(first_act_rule=False)
+        for __ in range(3):
+            engine.on_activate(0, 42)
+        drain_refs(engine, 17)  # flushes
+        # New period: 42 gets 1 of 10 activations -> below half.
+        engine.on_activate(0, 42)
+        for row in range(1, 10):
+            engine.on_activate(0, row)
+        victims = drain_refs(engine, 17)
+        rows_refreshed = {row for __, row in victims}
+        assert 41 not in rows_refreshed
+
+
+class TestNeighborRefresh:
+    def test_both_neighbors_refreshed(self):
+        """Obsv. 25: rows R-1 and R+1 of a detected aggressor R."""
+        engine = make_engine()
+        engine.on_activate(3, 1000)
+        victims = drain_refs(engine, 17)
+        assert (3, 999) in victims and (3, 1001) in victims
+
+    def test_bank_edge_clips_victims(self):
+        engine = make_engine()
+        engine.on_activate(0, 0)
+        victims = drain_refs(engine, 17)
+        rows_refreshed = [row for __, row in victims]
+        assert -1 not in rows_refreshed
+        assert 1 in rows_refreshed
+
+
+class TestPerBankIsolation:
+    def test_banks_tracked_independently(self):
+        engine = make_engine()
+        engine.on_activate(0, 100)
+        engine.on_activate(5, 200)
+        victims = drain_refs(engine, 17)
+        assert (0, 99) in victims and (5, 199) in victims
+        assert (0, 199) not in victims
+
+
+class TestFastPath:
+    def test_note_window_equivalent_to_activates(self):
+        a = make_engine()
+        b = make_engine()
+        a.note_window(0, [(10, 3), (20, 5)])
+        b.on_activate(0, 10)
+        b.on_activate(0, 20)
+        b.on_activate(0, 10, count=2)
+        b.on_activate(0, 20, count=4)
+        assert sorted(drain_refs(a, 17)) == sorted(drain_refs(b, 17))
+
+
+class TestConfig:
+    def test_disabled_engine_inert(self):
+        engine = make_engine(enabled=False)
+        engine.on_activate(0, 100)
+        assert drain_refs(engine, 17) == []
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TrrConfig(capable_interval=0)
+        with pytest.raises(ValueError):
+            TrrConfig(cam_capacity=0)
+
+    def test_reset(self):
+        engine = make_engine()
+        engine.on_activate(0, 100)
+        drain_refs(engine, 5)
+        engine.reset()
+        assert engine.ref_count == 0
+        assert drain_refs(engine, 17) == []
+
+    def test_detection_log_records_capable_refs(self):
+        engine = make_engine()
+        engine.on_activate(0, 100)
+        drain_refs(engine, 34)
+        assert [index for index, __ in engine.detection_log] == [17, 34]

@@ -1,0 +1,58 @@
+"""Tests for the extension experiments (Section 8 implications)."""
+
+import pytest
+
+from repro.experiments.registry import EXTENSIONS, run_experiment
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        assert set(EXTENSIONS) == {"ext-defenses", "ext-temperature"}
+
+    def test_extensions_not_in_paper_sweep(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert not set(EXTENSIONS) & set(EXPERIMENTS)
+
+    def test_run_experiment_resolves_extensions(self):
+        result = run_experiment("ext-temperature", 0.2)
+        assert result.experiment_id == "ext-temperature"
+
+
+class TestTemperatureExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext-temperature", 0.2)
+
+    def test_hc_first_monotone_decreasing(self, result):
+        series = result.data["hc_first"]
+        values = [series[t] for t in sorted(series)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_retention_worsens_with_heat(self, result):
+        retention = result.data["retention"]
+        assert retention[102.0] > retention[82.0]
+
+
+class TestDefenseExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext-defenses", 0.2)
+
+    def test_undefended_flips(self, result):
+        assert result.data["none"]["double_sided_flips"] > 0
+
+    def test_all_defenses_stop_double_sided(self, result):
+        for name in ("PARA", "RowPress-PARA", "Graphene", "BlockHammer"):
+            assert result.data[name]["double_sided_flips"] == 0, name
+
+    def test_only_rowpress_aware_stops_rowpress(self, result):
+        assert result.data["RowPress-PARA"]["rowpress_flips"] == 0
+        assert result.data["PARA"]["rowpress_flips"] > 0
+
+    def test_benign_costs_ranked(self, result):
+        para = result.data["PARA"]["benign_refreshes_per_kilo_act"]
+        graphene = result.data["Graphene"][
+            "benign_refreshes_per_kilo_act"]
+        assert graphene < 0.2 * para
+        assert result.data["BlockHammer"]["benign_slowdown"] < 0.01

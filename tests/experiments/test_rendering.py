@@ -1,0 +1,49 @@
+"""Tests that each experiment's rendered report carries its headline
+content (the text the benchmark harness archives and prints)."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+#: experiment id -> (scale, substrings the report must contain).
+EXPECTATIONS = {
+    "table1": (1.0, ["Table 1", "Rowstripe0", "0x55", "0xAA"]),
+    "table2": (1.0, ["Table 2", "RowHammer BER", "16384"]),
+    "table3": (1.0, ["Table 3", "Bittware XUPVVH",
+                     "AMD Xilinx Alveo U50"]),
+    "fig03": (0.02, ["Fig. 3", "82 C setpoint", "uncontrolled"]),
+    "fig04": (0.01, ["Fig. 4", "Mean BER", "paper: 0.76% vs 0.67%"]),
+    "fig05": (0.01, ["Fig. 5", "minimum HC_first", "paper: 3556"]),
+    "fig06": (0.01, ["Fig. 6", "CH7/CH3", "paper: 1.99x"]),
+    "fig07": (0.01, ["Fig. 7", "Rowstripe0 vs Rowstripe1",
+                     "103905"]),
+    "fig08": (0.02, ["Fig. 8", "832", "768", "Resilient"]),
+    "fig09": (0.05, ["Fig. 9", "paper: 256",
+                     "bimodality coefficient"]),
+    "fig10": (0.1, ["Fig. 10", "HC_10", "paper: 1.15x .. 5.22x"]),
+    "fig11": (0.1, ["Fig. 11", "Pearson", "decreasing"]),
+    "fig12": (0.05, ["Fig. 12", "35.1 us", "polarity cap"]),
+    "fig13": (0.1, ["Fig. 13", "222.57x", "16 ms"]),
+    "fig14": (0.05, ["Fig. 14", "budget", "paper: 78", "paper: 4"]),
+    "fig15": (0.01, ["Fig. 15", "974,935", "Hamming(7,4)"]),
+}
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPECTATIONS))
+def test_report_contains_headlines(experiment_id):
+    scale, substrings = EXPECTATIONS[experiment_id]
+    result = run_experiment(experiment_id, scale)
+    for substring in substrings:
+        assert substring in result.text, (experiment_id, substring)
+
+
+def test_sec7_report(chip_sec7_result):
+    text = chip_sec7_result.text
+    for substring in ("Obsv. 24", "Obsv. 25", "Obsv. 26", "Obsv. 27",
+                      "17"):
+        assert substring in text
+
+
+@pytest.fixture(scope="module")
+def chip_sec7_result():
+    return run_experiment("sec7", 1.0)

@@ -1,0 +1,144 @@
+"""End-to-end integration tests across the full stack.
+
+These exercise complete paper workflows: reverse-engineer the mapping
+from scratch, characterize a row, defeat the TRR mechanism — all through
+the public APIs only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bender.host import BenderSession
+from repro.bender.routines import (find_boundaries, identify_mapping,
+                                   measure_row_ber, search_hc_first)
+from repro.core.patterns import ALL_PATTERNS, CHECKERED0, select_wcdp
+from repro.core.trr_bypass import AttackConfig, run_attack_exact
+from repro.dram.geometry import RowAddress
+
+
+class TestFullCharacterizationWorkflow:
+    def test_reveng_then_characterize(self, chip0):
+        """The paper's methodology end to end: identify the mapping with
+        single-sided hammers, then use it for double-sided tests."""
+        session = BenderSession(chip0.make_device())
+        mapping = identify_mapping(session,
+                                   probe_rows=tuple(range(2048, 2072)))
+        session.use_mapping(mapping)
+        victim = RowAddress(0, 0, 0, 5000)
+        result = measure_row_ber(session, victim, CHECKERED0,
+                                 hammer_count=512_000)
+        assert result.bitflips > 0
+
+    def test_wcdp_selection_workflow(self, chip0):
+        """Per-row WCDP: smallest HC_first, ties broken by BER."""
+        session = BenderSession(chip0.make_device(),
+                                mapping=chip0.row_mapping())
+        victim = RowAddress(0, 0, 0, 5000)
+        hc_firsts = {}
+        bers = {}
+        for pattern in ALL_PATTERNS:
+            search = search_hc_first(session, victim, pattern)
+            assert search.found
+            hc_firsts[pattern.name] = search.hc_first
+            bers[pattern.name] = measure_row_ber(
+                session, victim, pattern, hammer_count=256_000).ber
+        wcdp = select_wcdp(hc_firsts, bers)
+        assert wcdp in hc_firsts
+        assert hc_firsts[wcdp] == min(hc_firsts.values())
+
+    def test_experiment_stays_within_refresh_window(self, session):
+        """A 512K-hammer double-sided test fits in 32 ms (Section 3.1)."""
+        victim = RowAddress(0, 0, 0, 5000)
+        session.begin_refresh_window()
+        from repro.bender.routines import double_sided_hammer
+
+        double_sided_hammer(session, victim, 340_000)
+        session.assert_within_refresh_window()
+
+
+class TestAnalyticExactAgreement:
+    """The analytic engine and the command-level device must agree: same
+    populations, same draws, same physics."""
+
+    @pytest.mark.parametrize("row", [1000, 5000, 8195, 12000])
+    def test_hc_first_agreement(self, chip0, row):
+        session = BenderSession(chip0.make_device(),
+                                mapping=chip0.row_mapping())
+        victim = RowAddress(0, 0, 0, row)
+        measured = search_hc_first(session, victim, CHECKERED0,
+                                   tolerance=0.005)
+        analytic_value = chip0.profile(victim, "Checkered0").hc_first()
+        assert measured.hc_first == pytest.approx(analytic_value,
+                                                  rel=0.01)
+
+    def test_subarray_edge_victim_needs_double_hammers(self, chip0):
+        """A victim at a subarray edge has one of its two aggressors
+        across a sense-amplifier stripe: half the disturbance arrives,
+        so the measured HC_first doubles relative to the interior-row
+        model (same isolation the paper's footnote 3 exploits)."""
+        session = BenderSession(chip0.make_device(),
+                                mapping=chip0.row_mapping())
+        victim = RowAddress(0, 0, 0, 8192)  # first row of the middle SA
+        measured = search_hc_first(session, victim, CHECKERED0,
+                                   tolerance=0.005)
+        analytic_value = chip0.profile(victim, "Checkered0").hc_first()
+        assert measured.hc_first == pytest.approx(2 * analytic_value,
+                                                  rel=0.02)
+
+    def test_ber_agreement_across_patterns(self, chip0):
+        session = BenderSession(chip0.make_device(),
+                                mapping=chip0.row_mapping())
+        victim = RowAddress(3, 1, 7, 4321)
+        for pattern in ALL_PATTERNS:
+            measured = measure_row_ber(session, victim, pattern,
+                                       hammer_count=512_000).ber
+            expected = chip0.profile(
+                victim, pattern.name).expected_ber(512_000)
+            assert measured == pytest.approx(expected, abs=0.008)
+
+    def test_rowpress_agreement(self, chip0):
+        session = BenderSession(chip0.make_device(),
+                                mapping=chip0.row_mapping())
+        victim = RowAddress(0, 0, 0, 9000)
+        measured = measure_row_ber(session, victim, CHECKERED0,
+                                   hammer_count=10_000, t_on=3.9e3).ber
+        expected = chip0.profile(victim, "Checkered0").expected_ber(
+            10_000 * 55.09)
+        assert measured == pytest.approx(expected, abs=0.01)
+
+
+class TestTrrBattle:
+    """The full Section 7 story: TRR protects against naive double-sided
+    hammering but the dummy-row pattern defeats it."""
+
+    def test_naive_attack_blocked_bypass_succeeds(self, chip0):
+        victim = RowAddress(0, 0, 0, 6000)
+        # Naive: double-sided only, REF every tREFI -> TRR detects the
+        # aggressors (first-activated rows) and saves the victim.
+        naive_session = BenderSession(chip0.make_device(),
+                                      mapping=chip0.row_mapping())
+        naive = run_attack_exact(
+            naive_session, victim,
+            AttackConfig(dummy_rows=0, aggressor_acts=34, windows=4000),
+            CHECKERED0)
+        assert naive == 0
+        assert naive_session.device.stats.trr_victim_refreshes > 0
+        # Bypass: 4+ dummies occupy the sampler.
+        bypass_session = BenderSession(chip0.make_device(),
+                                       mapping=chip0.row_mapping())
+        bypass = run_attack_exact(
+            bypass_session, victim,
+            AttackConfig(dummy_rows=4, aggressor_acts=34),
+            CHECKERED0)
+        assert bypass > 0
+
+
+class TestSubarrayReveng:
+    def test_boundary_detection_matches_ground_truth(self, chip0):
+        session = BenderSession(chip0.make_device(),
+                                mapping=chip0.row_mapping())
+        layout = chip0.geometry.subarrays
+        # Probe around the second boundary (rows 1664 +- 4).
+        report = find_boundaries(session, row_range=range(1660, 1670))
+        assert 1664 in report.boundaries
+        assert layout.boundaries[2] == 1664

@@ -1,0 +1,100 @@
+"""Integration tests for the refresh machinery (rolling pointer, TRR
+interplay, retention restoration)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.cell_model import CellPopulation
+from repro.dram.device import HBM2Stack, UniformProfileProvider
+from repro.dram.geometry import RowAddress
+from repro.dram.retention import RetentionModel
+
+
+def make_device(retention=None):
+    return HBM2Stack(
+        profile_provider=UniformProfileProvider(
+            CellPopulation(f_weak=0.014, mu_weak=5.0)),
+        retention=retention)
+
+
+class TestRollingPointer:
+    def test_full_sweep_covers_all_rows(self):
+        """8192 REFs advance the 2-rows-per-REF pointer across the whole
+        bank — one refresh window covers every row (tREFW semantics)."""
+        device = make_device()
+        device.hammer(RowAddress(0, 0, 0, 16382), 1000)
+        victim = RowAddress(0, 0, 0, 16383)
+        assert device.accumulated_units(victim) > 0
+        for __ in range(8192):
+            device.refresh(0, 0)
+        assert device.accumulated_units(victim) == 0.0
+
+    def test_pointer_is_per_pseudo_channel(self):
+        device = make_device()
+        device.hammer(RowAddress(0, 0, 0, 1), 1000)
+        device.hammer(RowAddress(0, 1, 0, 1), 1000)
+        device.refresh(0, 0)  # covers rows 0-1 of PC0 only
+        assert device.accumulated_units(RowAddress(0, 0, 0, 0)) == 0.0
+        assert device.accumulated_units(RowAddress(0, 1, 0, 0)) > 0.0
+
+    def test_refresh_covers_all_banks_of_the_pc(self):
+        device = make_device()
+        for bank in (0, 7, 15):
+            device.hammer(RowAddress(0, 0, bank, 1), 1000)
+        device.refresh(0, 0)
+        for bank in (0, 7, 15):
+            assert device.accumulated_units(
+                RowAddress(0, 0, bank, 0)) == 0.0
+
+
+class TestRetentionRestoration:
+    def test_rolling_refresh_resets_retention_clock(self):
+        retention = RetentionModel(seed=5)
+        device = make_device(retention=retention)
+        # Find a row with retention in (100 ms, 400 ms).
+        address = None
+        for row in range(0, 64):
+            candidate = RowAddress(0, 0, 0, row)
+            time_ns = retention.row_retention_ns(candidate)
+            if 100.0e6 < time_ns < 400.0e6:
+                address = candidate
+                retention_ns = time_ns
+                break
+        assert address is not None
+        image = np.full(1024, 0xFF, dtype=np.uint8)
+        device.write_row(address, image)
+        # Refresh the row halfway through its retention time, twice.
+        for __ in range(2):
+            device.wait(retention_ns * 0.6)
+            # Advance the pointer exactly over this row's pair.
+            refs_needed = 8192
+            for __ in range(refs_needed):
+                device.refresh(0, 0)
+        assert np.array_equal(device.read_row(address), image)
+
+    def test_unrefreshed_row_decays(self):
+        retention = RetentionModel(seed=5)
+        device = make_device(retention=retention)
+        address = RowAddress(0, 0, 0, 40)
+        image = np.full(1024, 0xFF, dtype=np.uint8)
+        device.write_row(address, image)
+        device.wait(retention.row_retention_ns(address) * 1.2)
+        assert not np.array_equal(device.read_row(address), image)
+
+
+class TestTrrAndRollingRefreshCompose:
+    def test_trr_victims_also_survive_rolling_refresh(self, chip0):
+        """TRR victim refreshes and the rolling pointer must not double
+        count flips (flip commits are idempotent per cell)."""
+        device = chip0.make_device()
+        victim = RowAddress(0, 0, 0, 5000)
+        image = np.full(1024, 0x55, dtype=np.uint8)
+        device.write_row(victim, image)
+        aggressor = victim.neighbor(1)
+        for __ in range(40):
+            device.hammer(aggressor, 2000)
+            device.refresh(0, 0)
+        first = device.read_row(victim)
+        for __ in range(8192):
+            device.refresh(0, 0)
+        assert np.array_equal(device.read_row(victim), first)

@@ -1,0 +1,91 @@
+"""Tests for the thermal rig (plant, controller, Fig. 3 traces)."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.controller import TemperatureController
+from repro.thermal.plant import ThermalPlant
+from repro.thermal.trace import (all_traces, chip_temperature_trace)
+
+
+class TestPlant:
+    def test_idle_equilibrium(self):
+        plant = ThermalPlant()
+        for __ in range(600):
+            plant.step(5.0)
+        assert plant.temperature_c == pytest.approx(
+            plant.ambient_c + plant.activity_rise_c, abs=0.5)
+
+    def test_heater_raises_temperature(self):
+        plant = ThermalPlant()
+        for __ in range(600):
+            plant.step(5.0, heater=1.0)
+        assert plant.temperature_c > 90.0
+
+    def test_fan_pulls_toward_ambient(self):
+        hot = ThermalPlant()
+        hot.temperature_c = 80.0
+        hot.step(30.0, fan=1.0)
+        cool = ThermalPlant()
+        cool.temperature_c = 80.0
+        cool.step(30.0)
+        assert hot.temperature_c < cool.temperature_c
+
+    def test_actuator_bounds(self):
+        with pytest.raises(ValueError):
+            ThermalPlant().step(1.0, heater=1.5)
+        with pytest.raises(ValueError):
+            ThermalPlant().step(-1.0)
+
+    def test_sensor_quantized(self):
+        plant = ThermalPlant()
+        reading = plant.sensor_reading(np.random.default_rng(0))
+        assert (reading * 4) == int(reading * 4)
+
+
+class TestController:
+    def test_reaches_82c_setpoint(self):
+        controller = TemperatureController(ThermalPlant(), target_c=82.0)
+        controller.run(3600.0)
+        assert controller.settled(tolerance_c=1.5)
+
+    def test_holds_setpoint(self):
+        controller = TemperatureController(ThermalPlant(), target_c=82.0)
+        controller.run(1800.0)
+        trace = controller.run(3600.0)
+        assert trace.mean() == pytest.approx(82.0, abs=0.75)
+        assert trace.std() < 1.0
+
+    def test_history_records_samples(self):
+        controller = TemperatureController(ThermalPlant(), target_c=82.0)
+        controller.run(100.0)
+        assert len(controller.history) == 20
+
+
+class TestTraces:
+    def test_chip0_controlled_at_82(self):
+        trace = chip_temperature_trace(0, duration_s=7200.0)
+        assert trace.controlled
+        assert trace.mean_c == pytest.approx(82.0, abs=1.0)
+        assert trace.peak_to_peak_c < 4.0
+
+    def test_uncontrolled_chips_stable(self):
+        for index in range(1, 6):
+            trace = chip_temperature_trace(index, duration_s=7200.0)
+            assert not trace.controlled
+            assert trace.peak_to_peak_c < 4.0  # "stable" (Fig. 3)
+            assert trace.mean_c == pytest.approx(trace.target_c, abs=1.5)
+
+    def test_five_second_sampling(self):
+        trace = chip_temperature_trace(1, duration_s=600.0)
+        assert trace.times_s[1] - trace.times_s[0] == 5.0
+        assert trace.temperatures_c.size == 120
+
+    def test_all_traces_cover_table3(self):
+        traces = all_traces(duration_s=600.0)
+        assert set(traces) == {f"Chip {i}" for i in range(6)}
+
+    def test_traces_deterministic(self):
+        a = chip_temperature_trace(2, duration_s=600.0)
+        b = chip_temperature_trace(2, duration_s=600.0)
+        assert np.array_equal(a.temperatures_c, b.temperatures_c)
