@@ -30,7 +30,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from scipy.stats import norm
+import numpy as np
+from scipy.special import ndtr, ndtri
 
 from repro.core.metrics import BER_TEST_HAMMERS
 from repro.core.patterns import PATTERNS_BY_NAME
@@ -151,11 +152,39 @@ CHIP_SPECS: Tuple[ChipSpec, ...] = (
 )
 
 
+#: Version stamp of the calibration model.  Folded into the cross-process
+#: calibration cache key (:mod:`repro.chips.cache`): bump it whenever the
+#: math feeding ``base_f_weak`` changes (spatial factor tables, sigma
+#: couplings, the refinement loop, or the seeding scheme), so stale cached
+#: calibrations can never leak into a newer model.
+CALIBRATION_VERSION = 1
+
+
 @functools.lru_cache(maxsize=None)
 def _z_median_min(n_weak: int) -> float:
     """z-score of the median minimum of ``n_weak`` uniform order stats."""
     u = 1.0 - 0.5 ** (1.0 / max(1, n_weak))
-    return float(norm.ppf(u))
+    return float(ndtri(u))
+
+
+@dataclass(frozen=True)
+class SpatialTables:
+    """Precomputed spatial modulation factors of one chip.
+
+    Row-independent factors (channel, pseudo channel, bank, subarray) are
+    scalar functions of a handful of coordinates; the vectorized paths
+    index these tables instead of re-deriving the splitmix64 chains on
+    every call.  Entries are exactly the scalar accessors' outputs, so
+    table-driven results stay bit-identical to the per-row API.
+    """
+
+    channel_ber: np.ndarray       #: (channels,)
+    channel_hc: np.ndarray        #: (channels,)
+    pseudo_channel_ber: np.ndarray  #: (channels, pseudo_channels)
+    bank_ber: np.ndarray          #: (channels, pseudo_channels, banks)
+    bank_sigma: np.ndarray        #: (channels, pseudo_channels, banks)
+    subarray_ber: np.ndarray      #: (subarrays,)
+    subarray_hc: np.ndarray       #: (subarrays,)
 
 
 class ChipProfile:
@@ -168,15 +197,27 @@ class ChipProfile:
 
     def __init__(self, spec: ChipSpec,
                  geometry: HBM2Geometry = DEFAULT_GEOMETRY,
-                 disturbance: DisturbanceModel = DEFAULT_DISTURBANCE) -> None:
+                 disturbance: DisturbanceModel = DEFAULT_DISTURBANCE,
+                 use_cache: bool = True) -> None:
         self.spec = spec
         self.geometry = geometry
         self.disturbance = disturbance
         self.retention = RetentionModel(seed=spec.seed)
         mean_die = sum(spec.die_ber_factors) / len(spec.die_ber_factors)
         self._die_ber = tuple(f / mean_die for f in spec.die_ber_factors)
-        self.base_f_weak = self._calibrate_f_weak()
-        self._refine_f_weak()
+        self._spatial_tables: Optional[SpatialTables] = None
+        self._pattern_hc_tables: Dict[str, np.ndarray] = {}
+        from repro.chips import cache as calibration_cache
+        cached = (calibration_cache.load_base_f_weak(spec, geometry)
+                  if use_cache else None)
+        if cached is not None:
+            self.base_f_weak = cached
+        else:
+            self.base_f_weak = self._calibrate_f_weak()
+            self._refine_f_weak()
+            if use_cache:
+                calibration_cache.store_base_f_weak(spec, geometry,
+                                                    self.base_f_weak)
 
     @property
     def n_weak_reference(self) -> int:
@@ -205,7 +246,7 @@ class ChipProfile:
             mu = (math.log10(self.spec.base_hc_first
                              * _PATTERN_HC["Checkered0"])
                   - DEFAULT_SIGMA_WEAK * _z_median_min(n_weak))
-            phi = norm.cdf((log_h - mu) / DEFAULT_SIGMA_WEAK)
+            phi = ndtr((log_h - mu) / DEFAULT_SIGMA_WEAK)
             if phi <= 0:
                 raise RuntimeError("calibration diverged: zero CDF mass")
             f_new = target / (pattern_factor * phi)
@@ -216,16 +257,22 @@ class ChipProfile:
         return float(min(max(f, 1.0e-4), 0.2))
 
     def _refine_f_weak(self, samples_per_channel: int = 48,
-                       iterations: int = 3) -> None:
+                       iterations: int = 3,
+                       vectorized: bool = True) -> None:
         """Monte-Carlo correction of the base weak-cell fraction.
 
         The analytic fixed point targets the median row; because the
         spatial factors enter the BER non-linearly (and f_weak correlates
         with lower thresholds), the *mean* across rows overshoots by
         ~20%.  Measure the sampled chip mean and rescale.
-        """
-        import numpy as np  # local import keeps module load light
 
+        The default path evaluates the whole sample as one vectorized
+        population batch; ``vectorized=False`` keeps the original scalar
+        per-address loop.  Both converge to the same fixed point bit for
+        bit (the equivalence test asserts it): the batch replays the
+        scalar path's exact splitmix64 chains and operation order, and
+        the sample mean sums the per-address BERs in the same order.
+        """
         rng = np.random.Generator(np.random.Philox(self.spec.seed ^ 0xCA1))
         addresses = []
         for channel in range(self.geometry.channels):
@@ -238,9 +285,20 @@ class ChipProfile:
                 RowAddress(channel, int(pc), int(bank), int(row))
                 for pc, bank, row in zip(pcs, banks, rows))
         from repro.core.metrics import BER_TEST_HAMMERS as _hammers
+        if vectorized:
+            from repro.chips.vectorized import population_batch
+            channels_arr = np.array([a.channel for a in addresses])
+            pcs_arr = np.array([a.pseudo_channel for a in addresses])
+            banks_arr = np.array([a.bank for a in addresses])
+            rows_arr = np.array([a.row for a in addresses])
         for __ in range(iterations):
-            bers = [self.cell_population(address, "Checkered0").ber(_hammers)
-                    for address in addresses]
+            if vectorized:
+                batch = population_batch(self, channels_arr, pcs_arr,
+                                         banks_arr, rows_arr, "Checkered0")
+                bers = batch.ber(_hammers).tolist()
+            else:
+                bers = [self.cell_population(address, "Checkered0")
+                        .ber(_hammers) for address in addresses]
             measured = sum(bers) / len(bers)
             if measured <= 0:
                 raise RuntimeError("calibration produced zero mean BER")
@@ -319,6 +377,54 @@ class ChipProfile:
             sign = 1.0 if canonical.victim_polarity == 0 else -1.0
             hc *= 10.0 ** (sign * delta)
         return ber, hc
+
+    # ------------------------------------------------------------------
+    # Precomputed factor tables (vectorized paths)
+    # ------------------------------------------------------------------
+
+    def spatial_tables(self) -> SpatialTables:
+        """Row-independent spatial factors as indexable arrays.
+
+        Built lazily from the scalar accessors (a few hundred cheap
+        calls) and cached for the chip's lifetime; the vectorized
+        population paths index these instead of re-deriving per call.
+        """
+        if self._spatial_tables is None:
+            geometry = self.geometry
+            channels = range(geometry.channels)
+            bank_pairs = np.array(
+                [[[self.bank_factors(channel, pc, bank)
+                   for bank in range(geometry.banks)]
+                  for pc in range(geometry.pseudo_channels)]
+                 for channel in channels])
+            subarrays = np.array(
+                [self.subarray_factors(index)
+                 for index in range(geometry.subarrays.count)])
+            self._spatial_tables = SpatialTables(
+                channel_ber=np.array([self.channel_ber_factor(channel)
+                                      for channel in channels]),
+                channel_hc=np.array([self.channel_hc_factor(channel)
+                                     for channel in channels]),
+                pseudo_channel_ber=np.array(
+                    [[self.pseudo_channel_factor(channel, pc)
+                      for pc in range(geometry.pseudo_channels)]
+                     for channel in channels]),
+                bank_ber=bank_pairs[..., 0],
+                bank_sigma=bank_pairs[..., 1],
+                subarray_ber=subarrays[:, 0],
+                subarray_hc=subarrays[:, 1],
+            )
+        return self._spatial_tables
+
+    def pattern_hc_table(self, pattern: str) -> np.ndarray:
+        """Per-channel HC factors of one pattern (Obsv. 13 polarity)."""
+        table = self._pattern_hc_tables.get(pattern)
+        if table is None:
+            table = np.array(
+                [self.pattern_factors(pattern, channel)[1]
+                 for channel in range(self.geometry.channels)])
+            self._pattern_hc_tables[pattern] = table
+        return table
 
     # ------------------------------------------------------------------
     # Row-level population

@@ -6,6 +6,16 @@ time.  :func:`population_grid` computes the identical quantities for an
 array of rows in one shot — the seeding helpers replay the exact
 splitmix64 chains of the scalar path, so the grid is bit-identical to the
 per-row API (asserted in tests).
+
+:func:`population_batch` generalizes the grid to arbitrary coordinate
+batches where channel, pseudo channel, bank, *and* row all vary per
+element; the chip calibration (:meth:`ChipProfile._refine_f_weak`) runs
+its whole Monte-Carlo sample through one batch instead of thousands of
+scalar :meth:`cell_population` calls.
+
+Both paths use :func:`scipy.special.ndtr`/:func:`~scipy.special.ndtri`
+directly — bit-identical to ``scipy.stats.norm.cdf``/``ppf`` without the
+per-call distribution dispatch overhead.
 """
 
 from __future__ import annotations
@@ -15,15 +25,154 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
-from scipy.stats import norm
+from scipy.special import ndtr, ndtri
 
-from repro.chips.profiles import (_PATTERN_BER, _PATTERN_HC, ChipProfile,
-                                  _pattern_id)
+from repro.chips.profiles import (_PATTERN_BER, _SIGMA_HC_COUPLING,
+                                  _SIGMA_N_COUPLING, _SIGMA_WEAK_CLAMP,
+                                  ChipProfile, _pattern_id)
 from repro.dram.cell_model import (DEFAULT_MU_STRONG, DEFAULT_SIGMA_STRONG,
                                    DEFAULT_SIGMA_WEAK,
                                    order_stats_from_draws)
-from repro.dram.seeding import (normal_array_for, seed_array_for,
-                                uniform_array_for, uniforms_from_seeds)
+from repro.dram.seeding import (normal_array_mixed, seed_array_mixed,
+                                uniform_array_mixed, uniforms_from_seeds)
+
+
+def _mixture_ber(f_weak: np.ndarray, mu_weak: np.ndarray,
+                 sigma_weak: np.ndarray, mu_strong: np.ndarray,
+                 sigma_strong: float, flippable: np.ndarray,
+                 effective_hammers: float) -> np.ndarray:
+    """Closed-form per-row mixture BER (see :meth:`CellPopulation.ber`)."""
+    if effective_hammers <= 0:
+        return np.zeros_like(f_weak)
+    log_h = math.log10(effective_hammers)
+    weak = f_weak * ndtr((log_h - mu_weak) / sigma_weak)
+    strong = ((1.0 - f_weak) * flippable
+              * ndtr((log_h - mu_strong) / sigma_strong))
+    return weak + strong
+
+
+def _pow(base, exponent, scalar_faithful: bool):
+    """Elementwise power, optionally bit-faithful to the scalar path.
+
+    numpy's vectorized ``**`` kernel (SIMD) rounds differently from C
+    ``pow`` on ~5% of inputs (1 ulp).  The scalar
+    :meth:`ChipProfile.cell_population` path uses Python's ``**`` (C
+    ``pow``), so callers needing bit-identity with it — the calibration
+    refinement — take the explicit per-element loop; bulk sweep paths
+    keep the fast kernel.
+    """
+    if not scalar_faithful:
+        return base ** exponent
+    if np.isscalar(base) or np.ndim(base) == 0:
+        values = np.asarray(exponent)
+        flat = [base ** v for v in values.ravel().tolist()]
+    else:
+        values = np.asarray(base)
+        flat = [v ** exponent for v in values.ravel().tolist()]
+    return np.array(flat).reshape(values.shape)
+
+
+def _population_arrays(chip: ChipProfile, channels, pseudo_channels, banks,
+                       rows, pattern: str,
+                       scalar_faithful: bool = False) -> dict:
+    """Shared vectorized mirror of :meth:`ChipProfile.cell_population`.
+
+    All coordinate arguments broadcast against each other.  With
+    ``scalar_faithful=True`` every intermediate replays the scalar
+    path's exact operation order and rounding (see :func:`_pow`), so the
+    returned arrays are bit-identical to per-address
+    :meth:`ChipProfile.cell_population` calls; the default keeps the
+    historical grid kernels (equal to within ~1 ulp).
+    """
+    geometry = chip.geometry
+    spec = chip.spec
+    channels, pseudo_channels, banks, rows = (
+        np.asarray(value, dtype=np.int64)
+        for value in (channels, pseudo_channels, banks, rows))
+    for value, limit, label in (
+            (channels, geometry.channels, "channel"),
+            (pseudo_channels, geometry.pseudo_channels, "pseudo channel"),
+            (banks, geometry.banks, "bank"),
+            (rows, geometry.rows, "row")):
+        if value.size and (value.min() < 0 or value.max() >= limit):
+            raise ValueError(f"{label} index out of range")
+
+    layout = geometry.subarrays
+    bounds = np.asarray(layout.boundaries)
+    subarray = np.searchsorted(bounds, rows, side="right") - 1
+    offset = rows - bounds[subarray]
+    sizes = np.asarray(layout.sizes)[subarray]
+
+    tables = chip.spatial_tables()
+    ch_ber = tables.channel_ber[channels]
+    ch_hc = tables.channel_hc[channels]
+    pc_ber = tables.pseudo_channel_ber[channels, pseudo_channels]
+    bank_ber = tables.bank_ber[channels, pseudo_channels, banks]
+    row_sigma = tables.bank_sigma[channels, pseudo_channels, banks]
+    sa_ber = tables.subarray_ber[subarray]
+    sa_hc = tables.subarray_hc[subarray]
+    if scalar_faithful:
+        # Parenthesized exactly like row_position_ber_factor's
+        # math.sin(math.pi * fraction) with fraction = (offset+0.5)/size.
+        pos_ber = 0.75 + 0.5 * np.sin(np.pi * ((offset + 0.5) / sizes))
+    else:
+        pos_ber = 0.75 + 0.5 * np.sin(np.pi * (offset + 0.5) / sizes)
+    patt_ber = _PATTERN_BER.get(pattern, 1.0)
+    patt_hc = chip.pattern_hc_table(pattern)[channels]
+
+    pattern_id = _pattern_id(pattern)
+    seed = spec.seed
+    # 0-d coordinates (the fixed-bank grid case) fold through the
+    # scalar-prefix fast path of the mixed seeding helpers — pure-Python
+    # splitmix64 on ints instead of one array kernel per component.
+    coords = tuple(int(value) if value.ndim == 0 else value
+                   for value in (channels, pseudo_channels, banks, rows))
+    row_ber_noise = _pow(10.0, row_sigma * normal_array_mixed(
+        seed, 0xBE, *coords), scalar_faithful)
+    row_hc_noise = _pow(10.0, spec.hc_row_sigma * normal_array_mixed(
+        seed, 0x4C, *coords), scalar_faithful)
+    affinity = _pow(10.0, 0.06 * normal_array_mixed(
+        seed, 0xAF, *coords, pattern_id), scalar_faithful)
+
+    ber_spatial = (ch_ber * pc_ber * bank_ber * sa_ber
+                   * patt_ber * row_ber_noise)
+    ber_total = ber_spatial * pos_ber
+    f_cap = min(2.4 * chip.base_f_weak, 0.08)
+    f_weak = np.clip(chip.base_f_weak * ber_total, 2.0e-3, f_cap)
+    hc_target = (spec.base_hc_first * ch_hc * sa_hc * patt_hc
+                 * row_hc_noise * affinity
+                 * _pow(ber_spatial, -0.15, scalar_faithful))
+    n_weak = np.maximum(
+        1, np.rint(f_weak * geometry.row_bits).astype(np.int64))
+    f_spatial = np.clip(chip.base_f_weak * ber_spatial, 2.0e-3, f_cap)
+    n_spatial = np.maximum(
+        1, np.rint(f_spatial * geometry.row_bits).astype(np.int64))
+    u_min = 1.0 - _pow(0.5, 1.0 / n_spatial, scalar_faithful)
+    ratio = n_spatial / max(1, chip.n_weak_reference)
+    hc_relative = hc_target / (spec.base_hc_first * ch_hc * patt_hc)
+    shrink = np.clip(_pow(ratio, _SIGMA_N_COUPLING, scalar_faithful)
+                     * _pow(hc_relative, -_SIGMA_HC_COUPLING,
+                            scalar_faithful),
+                     *_SIGMA_WEAK_CLAMP)
+    sigma_weak = DEFAULT_SIGMA_WEAK * shrink
+    mu_weak = np.log10(hc_target) - sigma_weak * ndtri(u_min)
+
+    mu_strong = (DEFAULT_MU_STRONG - 0.08 * np.log10(ch_ber)
+                 + 0.03 * normal_array_mixed(seed, 0x57, *coords))
+    flippable = 0.5 + 0.04 * (uniform_array_mixed(
+        seed, 0xFB, *coords) - 0.5)
+
+    profile_seeds = seed_array_mixed(seed, 0xD0, *coords, pattern_id)
+
+    return {
+        "f_weak": f_weak,
+        "mu_weak": mu_weak,
+        "sigma_weak": sigma_weak,
+        "mu_strong": mu_strong,
+        "flippable": flippable,
+        "n_weak": n_weak,
+        "profile_seeds": profile_seeds,
+    }
 
 
 @dataclass
@@ -57,14 +206,9 @@ class PopulationGrid:
 
     def ber(self, effective_hammers: float) -> np.ndarray:
         """Closed-form per-row BER at one effective hammer count."""
-        if effective_hammers <= 0:
-            return np.zeros_like(self.f_weak)
-        log_h = math.log10(effective_hammers)
-        weak = self.f_weak * norm.cdf(
-            (log_h - self.mu_weak) / self.sigma_weak)
-        strong = ((1.0 - self.f_weak) * self.flippable
-                  * norm.cdf((log_h - self.mu_strong) / self.sigma_strong))
-        return weak + strong
+        return _mixture_ber(self.f_weak, self.mu_weak, self.sigma_weak,
+                            self.mu_strong, self.sigma_strong,
+                            self.flippable, effective_hammers)
 
     def sampled_ber(self, effective_hammers: float,
                     rng: Optional[np.random.Generator] = None) -> np.ndarray:
@@ -87,7 +231,7 @@ class PopulationGrid:
         uniforms = order_stats_from_draws(self.n_weak, draws)
         thresholds = 10.0 ** (self.mu_weak[:, None]
                               + self.sigma_weak[:, None]
-                              * norm.ppf(uniforms))
+                              * ndtri(uniforms))
         return np.maximum(1.0, thresholds / amplification)
 
     def hc_first(self, amplification: float = 1.0) -> np.ndarray:
@@ -95,90 +239,81 @@ class PopulationGrid:
         return self.hc_nth(1, amplification)[:, 0]
 
 
+@dataclass
+class PopulationBatch:
+    """Cell-population parameters for an arbitrary coordinate batch.
+
+    Unlike :class:`PopulationGrid` (one bank, varying rows), every
+    coordinate varies per element.  Used by the chip calibration and any
+    sweep crossing bank boundaries.
+    """
+
+    chip_index: int
+    pattern: str
+    channels: np.ndarray
+    pseudo_channels: np.ndarray
+    banks: np.ndarray
+    rows: np.ndarray
+    f_weak: np.ndarray
+    mu_weak: np.ndarray
+    sigma_weak: np.ndarray
+    mu_strong: np.ndarray
+    flippable: np.ndarray
+    n_weak: np.ndarray
+    profile_seeds: np.ndarray
+    sigma_strong: float = DEFAULT_SIGMA_STRONG
+
+    def __len__(self) -> int:
+        return int(self.rows.size)
+
+    def ber(self, effective_hammers: float) -> np.ndarray:
+        """Closed-form per-element BER at one effective hammer count."""
+        return _mixture_ber(self.f_weak, self.mu_weak, self.sigma_weak,
+                            self.mu_strong, self.sigma_strong,
+                            self.flippable, effective_hammers)
+
+
 def population_grid(chip: ChipProfile, channel: int, pseudo_channel: int,
                     bank: int, rows: np.ndarray,
                     pattern: str) -> PopulationGrid:
     """Vectorized mirror of :meth:`ChipProfile.cell_population`."""
     geometry = chip.geometry
-    spec = chip.spec
     rows = np.asarray(rows, dtype=np.int64)
-    if rows.size and (rows.min() < 0 or rows.max() >= geometry.rows):
-        raise ValueError("row index out of range")
     geometry.check_address(channel, pseudo_channel, bank, 0)
-
-    layout = geometry.subarrays
-    bounds = np.asarray(layout.boundaries)
-    subarray = np.searchsorted(bounds, rows, side="right") - 1
-    offset = rows - bounds[subarray]
-    sizes = np.asarray(layout.sizes)[subarray]
-
-    ch_ber = chip.channel_ber_factor(channel)
-    ch_hc = chip.channel_hc_factor(channel)
-    pc_ber = chip.pseudo_channel_factor(channel, pseudo_channel)
-    bank_ber, row_sigma = chip.bank_factors(channel, pseudo_channel, bank)
-    patt_ber = _PATTERN_BER.get(pattern, 1.0)
-    __, patt_hc = chip.pattern_factors(pattern, channel)
-
-    sa_factors = np.array([chip.subarray_factors(i)
-                           for i in range(layout.count)])
-    sa_ber = sa_factors[subarray, 0]
-    sa_hc = sa_factors[subarray, 1]
-    pos_ber = 0.75 + 0.5 * np.sin(np.pi * (offset + 0.5) / sizes)
-
-    pattern_id = _pattern_id(pattern)
-    pre = (spec.seed,)
-    row_ber_noise = 10.0 ** (row_sigma * normal_array_for(
-        pre + (0xBE, channel, pseudo_channel, bank), rows))
-    row_hc_noise = 10.0 ** (spec.hc_row_sigma * normal_array_for(
-        pre + (0x4C, channel, pseudo_channel, bank), rows))
-    affinity = 10.0 ** (0.06 * normal_array_for(
-        pre + (0xAF, channel, pseudo_channel, bank), rows, (pattern_id,)))
-
-    ber_spatial = (ch_ber * pc_ber * bank_ber * sa_ber
-                   * patt_ber * row_ber_noise)
-    ber_total = ber_spatial * pos_ber
-    f_cap = min(2.4 * chip.base_f_weak, 0.08)
-    f_weak = np.clip(chip.base_f_weak * ber_total, 2.0e-3, f_cap)
-    hc_target = (spec.base_hc_first * ch_hc * sa_hc * patt_hc
-                 * row_hc_noise * affinity * ber_spatial ** -0.15)
-    n_weak = np.maximum(
-        1, np.rint(f_weak * geometry.row_bits).astype(np.int64))
-    f_spatial = np.clip(chip.base_f_weak * ber_spatial, 2.0e-3, f_cap)
-    n_spatial = np.maximum(
-        1, np.rint(f_spatial * geometry.row_bits).astype(np.int64))
-    u_min = 1.0 - 0.5 ** (1.0 / n_spatial)
-    from repro.chips.profiles import (_SIGMA_HC_COUPLING,
-                                      _SIGMA_N_COUPLING,
-                                      _SIGMA_WEAK_CLAMP)
-    ratio = n_spatial / max(1, chip.n_weak_reference)
-    hc_relative = hc_target / (spec.base_hc_first * ch_hc * patt_hc)
-    shrink = np.clip(ratio ** _SIGMA_N_COUPLING
-                     * hc_relative ** -_SIGMA_HC_COUPLING,
-                     *_SIGMA_WEAK_CLAMP)
-    sigma_weak = DEFAULT_SIGMA_WEAK * shrink
-    mu_weak = np.log10(hc_target) - sigma_weak * norm.ppf(u_min)
-
-    mu_strong = (DEFAULT_MU_STRONG - 0.08 * math.log10(ch_ber)
-                 + 0.03 * normal_array_for(
-                     pre + (0x57, channel, pseudo_channel, bank), rows))
-    flippable = 0.5 + 0.04 * (uniform_array_for(
-        pre + (0xFB, channel, pseudo_channel, bank), rows) - 0.5)
-
-    profile_seeds = seed_array_for(
-        pre + (0xD0, channel, pseudo_channel, bank), rows, (pattern_id,))
-
+    arrays = _population_arrays(chip, channel, pseudo_channel, bank, rows,
+                                pattern)
     return PopulationGrid(
-        chip_index=spec.index,
+        chip_index=chip.spec.index,
         channel=channel,
         pseudo_channel=pseudo_channel,
         bank=bank,
         pattern=pattern,
         rows=rows,
-        f_weak=f_weak,
-        mu_weak=mu_weak,
-        mu_strong=mu_strong,
-        flippable=flippable,
-        n_weak=n_weak,
-        profile_seeds=profile_seeds,
-        sigma_weak=sigma_weak,
-    )
+        **arrays)
+
+
+def population_batch(chip: ChipProfile, channels, pseudo_channels, banks,
+                     rows, pattern: str,
+                     scalar_faithful: bool = True) -> PopulationBatch:
+    """Vectorized :meth:`ChipProfile.cell_population` over coordinate
+    arrays (broadcast against each other).
+
+    By default the batch is bit-identical to per-address
+    :meth:`~ChipProfile.cell_population` calls (see :func:`_pow`);
+    ``scalar_faithful=False`` trades that for numpy's fast power kernel
+    (equal to within ~1 ulp).
+    """
+    channels, pseudo_channels, banks, rows = np.broadcast_arrays(
+        *(np.asarray(value, dtype=np.int64)
+          for value in (channels, pseudo_channels, banks, rows)))
+    arrays = _population_arrays(chip, channels, pseudo_channels, banks,
+                                rows, pattern,
+                                scalar_faithful=scalar_faithful)
+    return PopulationBatch(
+        chip_index=chip.spec.index,
+        pattern=pattern,
+        channels=channels,
+        pseudo_channels=pseudo_channels,
+        banks=banks,
+        rows=rows,
+        **arrays)

@@ -30,7 +30,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 import numpy as np
-from scipy.stats import norm
+from scipy.special import ndtr, ndtri
 
 #: Default log10 spread of the weak population.  Together with the
 #: row-level sigma couplings in :mod:`repro.chips.profiles`, chosen so the
@@ -141,10 +141,10 @@ class CellPopulation:
         if effective_hammers <= 0:
             return 0.0
         log_h = math.log10(effective_hammers)
-        weak = self.f_weak * norm.cdf(
+        weak = self.f_weak * ndtr(
             (log_h - self.mu_weak) / self.sigma_weak)
         strong = ((1.0 - self.f_weak) * self.flippable_strong_fraction
-                  * norm.cdf((log_h - self.mu_strong) / self.sigma_strong))
+                  * ndtr((log_h - self.mu_strong) / self.sigma_strong))
         return float(weak + strong)
 
     def ber_array(self, effective_hammers: np.ndarray) -> np.ndarray:
@@ -153,10 +153,10 @@ class CellPopulation:
         out = np.zeros_like(hammers)
         positive = hammers > 0
         log_h = np.log10(hammers[positive])
-        weak = self.f_weak * norm.cdf(
+        weak = self.f_weak * ndtr(
             (log_h - self.mu_weak) / self.sigma_weak)
         strong = ((1.0 - self.f_weak) * self.flippable_strong_fraction
-                  * norm.cdf((log_h - self.mu_strong) / self.sigma_strong))
+                  * ndtr((log_h - self.mu_strong) / self.sigma_strong))
         out[positive] = weak + strong
         return out
 
@@ -169,14 +169,14 @@ class CellPopulation:
         if not 0.0 < target_ber < self.f_weak:
             raise ValueError(
                 "target BER must be in (0, f_weak) for the weak regime")
-        z = norm.ppf(target_ber / self.f_weak)
+        z = ndtri(target_ber / self.f_weak)
         return 10.0 ** (self.mu_weak + self.sigma_weak * z)
 
     def threshold_quantile(self, q: float) -> float:
         """Weak-population threshold quantile (baseline hammer units)."""
         if not 0.0 < q < 1.0:
             raise ValueError("quantile must be in (0, 1)")
-        return 10.0 ** (self.mu_weak + self.sigma_weak * norm.ppf(q))
+        return 10.0 ** (self.mu_weak + self.sigma_weak * ndtri(q))
 
     def min_threshold_quantile(self, row_bits: int, q: float = 0.5) -> float:
         """Quantile of the row's *minimum* cell threshold.
@@ -206,7 +206,7 @@ class CellPopulation:
             raise ValueError(
                 f"row has only {n} weak cells; cannot sample {k} smallest")
         uniforms = sample_smallest_uniforms(n, k, rng)
-        return 10.0 ** (self.mu_weak + self.sigma_weak * norm.ppf(uniforms))
+        return 10.0 ** (self.mu_weak + self.sigma_weak * ndtri(uniforms))
 
     def smallest_thresholds_from_draws(self, row_bits: int,
                                        draws: np.ndarray) -> np.ndarray:
@@ -219,7 +219,7 @@ class CellPopulation:
         """
         n = self.weak_cell_count(row_bits)
         uniforms = order_stats_from_draws(n, draws)
-        return 10.0 ** (self.mu_weak + self.sigma_weak * norm.ppf(uniforms))
+        return 10.0 ** (self.mu_weak + self.sigma_weak * ndtri(uniforms))
 
     def materialize_thresholds(self, row_bits: int,
                                rng: np.random.Generator,
@@ -393,7 +393,7 @@ def solve_mu_weak(target_hc_first: float, f_weak: float, row_bits: int,
         raise ValueError("target_hc_first must be positive")
     n = max(1, int(round(f_weak * row_bits)))
     median_min_u = 1.0 - 0.5 ** (1.0 / n)
-    z = norm.ppf(median_min_u)
+    z = ndtri(median_min_u)
     return math.log10(target_hc_first) - sigma_weak * z
 
 
@@ -402,4 +402,4 @@ def expected_hc_first(mu_weak: float, f_weak: float, row_bits: int,
     """Median HC_first implied by a parameter set (inverse of the solver)."""
     n = max(1, int(round(f_weak * row_bits)))
     median_min_u = 1.0 - 0.5 ** (1.0 / n)
-    return 10.0 ** (mu_weak + sigma_weak * norm.ppf(median_min_u))
+    return 10.0 ** (mu_weak + sigma_weak * ndtri(median_min_u))

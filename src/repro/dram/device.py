@@ -291,7 +291,10 @@ class HBM2Stack:
         key = (channel, pseudo_channel, bank_index)
         bank = self._banks.get(key)
         if bank is None or bank.open_row is None:
+            # No open row: still a PRE on the bus, so the trace must
+            # agree with stats.pres (DRAM-Bender traces count both).
             self.stats.pres += 1
+            self._record("PRE", channel, pseudo_channel, bank_index)
             return
         t_on = self.now_ns - bank.open_since
         if t_on < self.timings.t_ras:
@@ -616,11 +619,14 @@ class HBM2Stack:
             return data
         corrected = data.copy()
         flat = state.already_flipped.reshape(-1, 64)
-        for word in correctable_words:
-            offset = int(np.flatnonzero(flat[word])[0])
-            bit = word * 64 + offset
-            corrected[bit // 8] ^= np.uint8(1 << (7 - bit % 8))
-            self.stats.ecc_corrections += 1
+        # Each correctable word has exactly one set bit, so argmax finds
+        # its offset; distinct words map to distinct bytes (64 bits = 8
+        # bytes per word), making the fancy-indexed XOR collision-free.
+        offsets = np.argmax(flat[correctable_words], axis=1)
+        bits = correctable_words * 64 + offsets
+        corrected[bits // 8] ^= (
+            np.uint8(1) << (7 - bits % 8).astype(np.uint8))
+        self.stats.ecc_corrections += int(correctable_words.size)
         return corrected
 
     def _commit(self, physical: RowAddress) -> None:

@@ -71,9 +71,14 @@ _INIT_STATE = 0x243F6A8885A308D3
 
 
 def splitmix64_array(values: np.ndarray) -> np.ndarray:
-    """Vectorized :func:`splitmix64` over a uint64 array."""
-    values = values.astype(np.uint64, copy=True)
-    values += np.uint64(0x9E3779B97F4A7C15)
+    """Vectorized :func:`splitmix64` over a uint64 array.
+
+    uint64 wraparound is the algorithm, not an error: inputs go through
+    ``np.asarray`` because ndarray integer ops (any ndim) wrap silently,
+    while numpy *generic* scalars would raise overflow warnings.
+    """
+    values = np.asarray(values).astype(np.uint64)
+    values = values + np.uint64(0x9E3779B97F4A7C15)
     values = (values ^ (values >> np.uint64(30))) \
         * np.uint64(0xBF58476D1CE4E5B9)
     values = (values ^ (values >> np.uint64(27))) \
@@ -107,6 +112,63 @@ def normal_array_for(pre: tuple, varying: np.ndarray,
     """Vector of ``normal_for(*pre, v, *post)`` for each ``v``."""
     u1 = uniform_array_for(pre, varying, post + (0x55AA,))
     u2 = uniform_array_for(pre, varying, post + (0xAA55,))
+    u1 = np.maximum(u1, 1.0e-12)
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
+
+def seed_array_mixed(*components) -> np.ndarray:
+    """Vectorized :func:`derive_seed` over mixed scalar/array components.
+
+    Each component may be a Python int or an integer array; arrays are
+    broadcast against each other, and the splitmix64 chain folds them in
+    the given order — element ``i`` of the result equals
+    ``derive_seed(*[c if scalar else c[i] for c in components])``
+    bit-for-bit.  This generalizes :func:`seed_array_for` (one varying
+    position) to coordinate batches where channel, bank, *and* row all
+    vary per element.
+    """
+    state: object = np.uint64(_INIT_STATE)
+    scalar_prefix = True
+    int_state = _INIT_STATE
+    for component in components:
+        if scalar_prefix and isinstance(component, (int, np.integer)):
+            int_state = splitmix64(
+                (int_state ^ (int(component) & _MASK64)) & _MASK64)
+            continue
+        if scalar_prefix:
+            state = np.uint64(int_state)
+            scalar_prefix = False
+        if isinstance(component, (int, np.integer)):
+            array = np.uint64(int(component) & _MASK64)
+        else:
+            array = np.asarray(component, dtype=np.uint64)
+        state = splitmix64_array(state ^ array)
+    if scalar_prefix:
+        return np.uint64(int_state)
+    return state
+
+
+def uniform_array_mixed(*components) -> np.ndarray:
+    """Vectorized :func:`uniform_for` over mixed scalar/array components."""
+    seeds = seed_array_mixed(*components)
+    return splitmix64_array(np.atleast_1d(seeds)).astype(np.float64) \
+        / float(_MASK64 + 1)
+
+
+def normal_array_mixed(*components) -> np.ndarray:
+    """Vectorized :func:`normal_for` over mixed scalar/array components.
+
+    Folds the shared component prefix once, then branches the chain at
+    the two Box-Muller tags — the same states (hence bits) as two full
+    :func:`uniform_array_mixed` chains at nearly half the array work.
+    """
+    state = np.atleast_1d(seed_array_mixed(*components))
+    u1 = splitmix64_array(
+        splitmix64_array(state ^ np.uint64(0x55AA))
+    ).astype(np.float64) / float(_MASK64 + 1)
+    u2 = splitmix64_array(
+        splitmix64_array(state ^ np.uint64(0xAA55))
+    ).astype(np.float64) / float(_MASK64 + 1)
     u1 = np.maximum(u1, 1.0e-12)
     return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
 

@@ -1,14 +1,13 @@
-"""CLI runner: ``python -m repro.experiments [ids...] [--scale S]``."""
+"""CLI runner: ``python -m repro.experiments [ids...] [--scale S] [-j N]``."""
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+from repro.experiments import bench
 from repro.experiments.base import default_scale
-from repro.experiments.registry import (EXPERIMENTS, EXTENSIONS,
-                                        run_experiment)
+from repro.experiments.registry import EXPERIMENTS, EXTENSIONS, run_timed
 
 
 def main(argv=None) -> int:
@@ -23,6 +22,14 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=None,
                         help="population scale (default: HBMSIM_SCALE "
                              "env or 1.0)")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes to fan experiments over "
+                             "(default 1 = serial; results always print "
+                             "in request order)")
+    parser.add_argument("--bench", nargs="?", const=bench.DEFAULT_BENCH_PATH,
+                        default=None, metavar="PATH",
+                        help="append per-experiment wall times to PATH "
+                             f"(default {bench.DEFAULT_BENCH_PATH})")
     parser.add_argument("--list", action="store_true",
                         help="list experiment ids and exit")
     args = parser.parse_args(argv)
@@ -34,13 +41,18 @@ def main(argv=None) -> int:
         return 0
     scale = args.scale if args.scale is not None else default_scale()
     ids = args.ids or list(EXPERIMENTS)
-    for experiment_id in ids:
-        start = time.time()
-        result = run_experiment(experiment_id, scale)
-        elapsed = time.time() - start
+    cache = bench.cache_state()  # observed before the run warms it
+    results, timings = run_timed(ids, scale, jobs=args.jobs)
+    for result in results:
+        elapsed = timings[result.experiment_id]
         print(f"\n=== {result.experiment_id}: {result.title} "
               f"({elapsed:.1f}s, scale {scale}) ===")
         print(result.text)
+    if args.bench is not None:
+        path = bench.record_run(timings, scale, jobs=args.jobs,
+                                cache=cache, path=args.bench)
+        print(f"\nbench: recorded {len(timings)} timings -> {path}",
+              file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,119 @@
+"""Lightweight perf-regression harness for the experiment suite.
+
+Every benchmarked sweep appends one run record to
+``BENCH_experiments.json`` (override with ``HBMSIM_BENCH_PATH`` or the
+``path`` argument), so per-experiment wall times are tracked from PR to
+PR instead of living in commit messages.  The file is a single JSON
+document::
+
+    {
+      "schema": 1,
+      "runs": [
+        {
+          "timestamp": "2026-08-06T12:00:00+00:00",
+          "scale": 0.25,
+          "jobs": 1,
+          "cache": "cold",          # "cold" | "warm" | "disabled"
+          "experiments": {"fig05": 1.03, "fig07": 0.61},
+          "total_seconds": 1.64
+        },
+        ...
+      ]
+    }
+
+Reading it: compare the same (scale, jobs, cache) tuples across runs —
+a "warm" run isolates compute from calibration, a "cold" run includes
+one calibration per chip, and "disabled" reproduces the pre-cache
+behaviour.  Entries append chronologically; the last run with matching
+parameters is the current state of the tree.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.chips import cache as calibration_cache
+
+#: Default bench record, relative to the invoking working directory.
+DEFAULT_BENCH_PATH = "BENCH_experiments.json"
+
+_ENV_PATH = "HBMSIM_BENCH_PATH"
+_SCHEMA = 1
+
+
+def bench_path(path: Optional[str] = None) -> Path:
+    """Resolve the bench record path (argument > env > default)."""
+    return Path(path or os.environ.get(_ENV_PATH, DEFAULT_BENCH_PATH))
+
+
+def cache_state() -> str:
+    """Classify the calibration cache for the run about to start.
+
+    "disabled" when ``HBMSIM_NO_CACHE`` is set, "warm" when the cache
+    directory already holds calibration entries, else "cold".
+    """
+    if not calibration_cache.cache_enabled():
+        return "disabled"
+    directory = calibration_cache.cache_dir()
+    try:
+        next(directory.glob("fweak-*.json"))
+    except (StopIteration, OSError):
+        return "cold"
+    return "warm"
+
+
+def _load(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+        if isinstance(payload, dict) and isinstance(payload.get("runs"),
+                                                    list):
+            return payload
+    except (OSError, ValueError):
+        pass
+    return {"schema": _SCHEMA, "runs": []}
+
+
+def record_run(timings: Dict[str, float], scale: float, jobs: int = 1,
+               cache: Optional[str] = None,
+               path: Optional[str] = None) -> Path:
+    """Append one run record; returns the path written.
+
+    ``timings`` maps experiment id -> wall seconds (as returned by
+    :func:`repro.experiments.registry.run_timed`).  ``cache`` defaults
+    to :func:`cache_state` *as observed now* — call it before the run
+    for an accurate cold/warm label, since the run itself warms the
+    cache.
+    """
+    target = bench_path(path)
+    payload = _load(target)
+    payload["schema"] = _SCHEMA
+    payload["runs"].append({
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "scale": scale,
+        "jobs": jobs,
+        "cache": cache if cache is not None else cache_state(),
+        "experiments": {experiment_id: round(seconds, 4)
+                        for experiment_id, seconds in timings.items()},
+        "total_seconds": round(sum(timings.values()), 4),
+    })
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=target.parent,
+                                    prefix=target.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target

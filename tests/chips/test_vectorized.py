@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.chips.vectorized import population_grid
+from repro.chips.profiles import CHIP_SPECS, ChipProfile
+from repro.chips.vectorized import population_batch, population_grid
 from repro.dram.geometry import RowAddress
 
 ROWS = np.array([0, 1, 100, 831, 832, 4096, 8191, 8192, 12000, 16383])
@@ -59,6 +60,61 @@ class TestScalarVectorIdentity:
                 RowAddress(2, 0, 5, int(row)), "Checkered0")
             assert vector[i] == pytest.approx(population.ber(512_000),
                                               rel=1e-9)
+
+
+class TestBatchBitIdentity:
+    """population_batch must equal per-address cell_population *exactly*
+    (not approximately): the vectorized calibration relies on it."""
+
+    def test_parameters_bit_identical(self, chip0):
+        channels = np.array([0, 3, 7, 2, 5, 1])
+        pcs = np.array([0, 1, 1, 0, 1, 0])
+        banks = np.array([0, 5, 15, 9, 3, 12])
+        rows = np.array([0, 831, 832, 8191, 12000, 16383])
+        batch = population_batch(chip0, channels, pcs, banks, rows,
+                                 "Checkered0")
+        for i in range(rows.size):
+            address = RowAddress(int(channels[i]), int(pcs[i]),
+                                 int(banks[i]), int(rows[i]))
+            population = chip0.cell_population(address, "Checkered0")
+            assert population.f_weak == batch.f_weak[i]
+            assert population.mu_weak == batch.mu_weak[i]
+            assert population.sigma_weak == batch.sigma_weak[i]
+            assert population.mu_strong == batch.mu_strong[i]
+            assert population.flippable_strong_fraction \
+                == batch.flippable[i]
+            assert population.weak_cell_count(
+                chip0.geometry.row_bits) == batch.n_weak[i]
+
+    def test_ber_bit_identical(self, chip0):
+        channels = np.array([1, 4, 6])
+        batch = population_batch(chip0, channels, 0, 7, 5000,
+                                 "Rowstripe1")
+        for i, channel in enumerate(channels):
+            population = chip0.cell_population(
+                RowAddress(int(channel), 0, 7, 5000), "Rowstripe1")
+            assert population.ber(512_000.0) == batch.ber(512_000.0)[i]
+
+    def test_broadcasting(self, chip0):
+        batch = population_batch(chip0, 0, 0, 0, ROWS, "Checkered0")
+        assert batch.f_weak.shape == ROWS.shape
+
+    def test_out_of_range_rejected(self, chip0):
+        with pytest.raises(ValueError):
+            population_batch(chip0, np.array([8]), 0, 0, 0, "Checkered0")
+
+
+class TestRefineEquivalence:
+    """The vectorized calibration must land on the scalar loop's fixed
+    point bit-for-bit (ISSUE equivalence invariant)."""
+
+    def test_vectorized_refine_matches_scalar(self):
+        spec = CHIP_SPECS[2]
+        vectorized = ChipProfile(spec, use_cache=False)
+        scalar = ChipProfile(spec, use_cache=False)
+        scalar.base_f_weak = scalar._calibrate_f_weak()
+        scalar._refine_f_weak(vectorized=False)
+        assert vectorized.base_f_weak == scalar.base_f_weak
 
 
 class TestGridBehaviour:

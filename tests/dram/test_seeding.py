@@ -86,6 +86,46 @@ class TestNormals:
         assert seeding.normal_for(3, 4) == seeding.normal_for(3, 4)
 
 
+class TestMixedHelpers:
+    """The mixed scalar/array mirrors must be *bit-identical* to the
+    scalar chains — the vectorized calibration depends on it."""
+
+    def test_seed_array_mixed_all_scalars(self):
+        assert int(seeding.seed_array_mixed(1, 2, 3)) \
+            == seeding.derive_seed(1, 2, 3)
+
+    def test_seed_array_mixed_multiple_varying(self):
+        channels = np.array([0, 3, 7, 2])
+        banks = np.array([0, 5, 15, 9])
+        rows = np.array([0, 831, 8191, 16383])
+        vector = seeding.seed_array_mixed(0xBE, channels, 1, banks, rows)
+        scalar = [seeding.derive_seed(0xBE, int(c), 1, int(b), int(r))
+                  for c, b, r in zip(channels, banks, rows)]
+        assert [int(v) for v in vector] == scalar
+
+    def test_scalar_after_array_component(self):
+        rows = np.arange(16)
+        vector = seeding.seed_array_mixed(5, rows, 0x55AA)
+        scalar = [seeding.derive_seed(5, int(r), 0x55AA) for r in rows]
+        assert [int(v) for v in vector] == scalar
+
+    def test_uniform_array_mixed_bit_identical(self):
+        channels = np.array([1, 4, 6, 0])
+        rows = np.array([10, 20, 30, 40])
+        vector = seeding.uniform_array_mixed(9, channels, rows)
+        scalar = [seeding.uniform_for(9, int(c), int(r))
+                  for c, r in zip(channels, rows)]
+        assert vector.tolist() == scalar
+
+    def test_normal_array_mixed_bit_identical(self):
+        channels = np.array([1, 4, 6, 0])
+        rows = np.array([10, 20, 30, 40])
+        vector = seeding.normal_array_mixed(9, channels, rows)
+        scalar = [seeding.normal_for(9, int(c), int(r))
+                  for c, r in zip(channels, rows)]
+        assert vector.tolist() == scalar
+
+
 class TestGenerator:
     def test_generator_reproducible(self):
         a = seeding.generator_for(1, 2).random(5)

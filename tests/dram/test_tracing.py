@@ -37,6 +37,17 @@ class TestTracing:
         assert kinds == ["PRE", "WR", "HAMMER", "ACT", "PRE", "RD",
                          "REF"]
 
+    def test_noop_precharge_still_traced(self, device):
+        """PRE to a bank with no open row must appear in the trace:
+        stats.pres and the trace are two views of the same command
+        stream and may not disagree."""
+        device.enable_tracing()
+        device.precharge(0, 0, 3)
+        entries = device.trace()
+        assert [entry.kind for entry in entries] == ["PRE"]
+        assert entries[0].bank == 3
+        assert device.stats.pres == 1
+
     def test_hammer_entry_carries_count(self, device):
         device.enable_tracing()
         device.hammer(RowAddress(0, 0, 0, 9), 1234)

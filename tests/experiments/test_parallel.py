@@ -1,0 +1,99 @@
+"""Tests for the parallel experiment runner and the bench harness."""
+
+import json
+
+import pytest
+
+from repro.experiments import bench
+from repro.experiments.__main__ import main
+from repro.experiments.registry import (EXPERIMENTS, run_all, run_many,
+                                        run_timed)
+
+#: Cheap, deterministic subset exercised both serially and in parallel.
+IDS = ["table1", "fig04", "fig09", "fig14"]
+SCALE = 0.02
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_reports(self):
+        """jobs=4 must render byte-identical report text in the same
+        order as the serial runner (ISSUE equivalence invariant)."""
+        serial = run_many(IDS, SCALE, jobs=1)
+        parallel = run_many(IDS, SCALE, jobs=4)
+        assert [r.experiment_id for r in parallel] == IDS
+        assert [r.text for r in parallel] == [r.text for r in serial]
+
+    def test_run_all_accepts_jobs(self):
+        """run_all(jobs=...) routes through the same order-preserving
+        runner; serial jobs=1 keeps the paper order exactly."""
+        results = run_all(0.01, jobs=1)
+        assert [r.experiment_id for r in results] == list(EXPERIMENTS)
+
+    def test_unknown_id_rejected_before_spawning(self):
+        with pytest.raises(KeyError):
+            run_many(["table1", "fig99"], SCALE, jobs=4)
+
+    def test_run_timed_reports_wall_times(self):
+        results, timings = run_timed(["table1"], SCALE)
+        assert results[0].experiment_id == "table1"
+        assert set(timings) == {"table1"}
+        assert timings["table1"] > 0
+
+
+class TestBenchHarness:
+    def test_record_creates_and_appends(self, tmp_path):
+        path = tmp_path / "BENCH_experiments.json"
+        bench.record_run({"fig05": 1.25}, scale=0.25, jobs=1,
+                         cache="cold", path=str(path))
+        bench.record_run({"fig05": 0.40, "fig07": 0.30}, scale=0.25,
+                         jobs=2, cache="warm", path=str(path))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert len(payload["runs"]) == 2
+        first, second = payload["runs"]
+        assert first["cache"] == "cold"
+        assert first["experiments"] == {"fig05": 1.25}
+        assert second["jobs"] == 2
+        assert second["total_seconds"] == pytest.approx(0.70)
+
+    def test_corrupt_file_is_replaced(self, tmp_path):
+        path = tmp_path / "BENCH_experiments.json"
+        path.write_text("not json")
+        bench.record_run({"fig05": 1.0}, scale=0.1, path=str(path))
+        payload = json.loads(path.read_text())
+        assert len(payload["runs"]) == 1
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HBMSIM_BENCH_PATH",
+                           str(tmp_path / "bench.json"))
+        assert bench.bench_path() == tmp_path / "bench.json"
+
+    def test_cache_state_classification(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HBMSIM_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("HBMSIM_NO_CACHE", raising=False)
+        assert bench.cache_state() == "cold"
+        (tmp_path / "cache").mkdir()
+        (tmp_path / "cache" / "fweak-abc.json").write_text("{}")
+        assert bench.cache_state() == "warm"
+        monkeypatch.setenv("HBMSIM_NO_CACHE", "1")
+        assert bench.cache_state() == "disabled"
+
+
+class TestCli:
+    def test_jobs_and_bench_flags(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_experiments.json"
+        code = main(["table1", "table2", "--scale", "0.02",
+                     "-j", "2", "--bench", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.index("=== table1") < out.index("=== table2")
+        payload = json.loads(path.read_text())
+        assert set(payload["runs"][0]["experiments"]) \
+            == {"table1", "table2"}
+        assert payload["runs"][0]["jobs"] == 2
+
+    def test_serial_cli_unchanged(self, capsys):
+        assert main(["table1", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "=== table1" in out
+        assert "Table 1" in out
