@@ -30,8 +30,11 @@ class BenderSession:
 
     def __init__(self, device: HBM2Stack,
                  mapping: Optional[RowMapping] = None) -> None:
-        self.device = device
         self.interpreter = Interpreter(device)
+        # The interpreter wraps the device in a FaultyStack when a fault
+        # plan is active; adopt its view so direct row operations
+        # (write_physical_row & co.) run under the same chaos.
+        self.device = self.interpreter.device
         #: The logical-to-physical mapping the routines should use for
         #: adjacency.  ``None`` until reverse engineering recovers it (or
         #: the caller injects ground truth for speed).

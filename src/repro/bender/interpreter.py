@@ -8,12 +8,13 @@ execution statistics (command count, simulated wall-clock time).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.bender.program import ReadRequest, TestProgram
 from repro.dram.device import HBM2Stack
+from repro.faults import FaultPlan, active_plan, wrap_device
 
 
 @dataclass
@@ -49,10 +50,20 @@ class ExecutionResult:
 
 
 class Interpreter:
-    """Executes test programs against one device."""
+    """Executes test programs against one device.
 
-    def __init__(self, device: HBM2Stack) -> None:
-        self.device = device
+    When a fault plan is active (``HBMSIM_FAULTS`` or
+    :func:`repro.faults.install_plan`) the device is transparently
+    wrapped in a :class:`~repro.faults.FaultyStack`, so every program —
+    and therefore every command-level experiment — runs under the
+    configured chaos.  With no plan the device is used as-is and
+    behaviour is bit-identical to a fault-free build.
+    """
+
+    def __init__(self, device: HBM2Stack,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
+        plan = fault_plan if fault_plan is not None else active_plan()
+        self.device = wrap_device(device, plan)
 
     def run(self, program: TestProgram) -> ExecutionResult:
         """Replay ``program``, returning tagged reads and statistics."""

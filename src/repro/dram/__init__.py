@@ -14,7 +14,8 @@ from repro.dram.geometry import (
     SubarrayLayout,
     DEFAULT_GEOMETRY,
 )
-from repro.dram.timing import TimingParameters, TimingError, DEFAULT_TIMINGS
+from repro.dram.timing import TimingParameters, DEFAULT_TIMINGS
+from repro.errors import TimingError
 from repro.dram.commands import Command, CommandKind
 from repro.dram.cell_model import (
     CellPopulation,

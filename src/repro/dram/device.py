@@ -36,7 +36,8 @@ from repro.dram.mode_registers import ModeRegisters
 from repro.dram.retention import DEFAULT_RETENTION, RetentionModel
 from repro.dram.row_mapping import IdentityMapping, RowMapping
 from repro.dram.seeding import derive_seed
-from repro.dram.timing import DEFAULT_TIMINGS, TimingError, TimingParameters
+from repro.dram.timing import DEFAULT_TIMINGS, TimingParameters
+from repro.errors import TimingError
 from repro.dram.trr import TrrConfig, TrrEngine
 
 #: Victim-byte -> canonical data pattern name (Table 1 of the paper).

@@ -20,9 +20,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+# Re-homed into the shared taxonomy (repro.errors); re-exported here so
+# the historical `from repro.dram.timing import TimingError` keeps working.
+from repro.errors import TimingError
 
-class TimingError(Exception):
-    """A command violated a manufacturer-recommended timing parameter."""
+__all__ = ["TimingError", "TimingParameters", "DEFAULT_TIMINGS"]
 
 
 @dataclass(frozen=True)

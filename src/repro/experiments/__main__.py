@@ -1,13 +1,30 @@
-"""CLI runner: ``python -m repro.experiments [ids...] [--scale S] [-j N]``."""
+"""CLI runner: ``python -m repro.experiments [ids...] [--scale S] [-j N]``.
+
+Resilience flags (see :mod:`repro.experiments.runner`):
+
+``--timeout S``      kill an experiment attempt after S seconds
+``--retries N``      retry failed/timed-out/crashed attempts up to N times
+``--retry-delay S``  base of the exponential retry backoff
+``--keep-going``     report partial results instead of failing fast
+``--run-dir DIR``    checkpoint completed results into DIR
+``--resume``         skip invocations already completed in ``--run-dir``
+
+Exit status: 0 when every experiment succeeded, 1 when any failed or
+timed out (with ``--keep-going`` the sweep still completes and prints
+the surviving reports first), 2 on a bad invocation such as an unknown
+experiment id (with a "did you mean" hint).
+"""
 
 from __future__ import annotations
 
 import argparse
 import sys
 
+from repro.errors import ExperimentError, HbmSimError, UnknownExperimentError
 from repro.experiments import bench
 from repro.experiments.base import default_scale
 from repro.experiments.registry import EXPERIMENTS, EXTENSIONS, run_timed
+from repro.experiments.runner import DEFAULT_RETRY_DELAY
 
 
 def main(argv=None) -> int:
@@ -26,6 +43,28 @@ def main(argv=None) -> int:
                         help="worker processes to fan experiments over "
                              "(default 1 = serial; results always print "
                              "in request order)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-experiment attempt timeout; hung "
+                             "attempts are killed (forces worker "
+                             "processes even with -j 1)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retries per experiment after a failure, "
+                             "timeout, or worker crash (default 0)")
+    parser.add_argument("--retry-delay", type=float,
+                        default=DEFAULT_RETRY_DELAY, metavar="SECONDS",
+                        help="base delay of the exponential retry "
+                             f"backoff (default {DEFAULT_RETRY_DELAY})")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="run every experiment even if some fail; "
+                             "report partial results and exit 1")
+    parser.add_argument("--run-dir", default=None, metavar="DIR",
+                        help="checkpoint directory: completed results "
+                             "are persisted atomically as the sweep "
+                             "progresses")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --run-dir: skip invocations whose "
+                             "results were already checkpointed")
     parser.add_argument("--bench", nargs="?", const=bench.DEFAULT_BENCH_PATH,
                         default=None, metavar="PATH",
                         help="append per-experiment wall times to PATH "
@@ -42,18 +81,58 @@ def main(argv=None) -> int:
     scale = args.scale if args.scale is not None else default_scale()
     ids = args.ids or list(EXPERIMENTS)
     cache = bench.cache_state()  # observed before the run warms it
-    results, timings = run_timed(ids, scale, jobs=args.jobs)
-    for result in results:
-        elapsed = timings[result.experiment_id]
-        print(f"\n=== {result.experiment_id}: {result.title} "
-              f"({elapsed:.1f}s, scale {scale}) ===")
-        print(result.text)
+    try:
+        __, records = run_timed(
+            ids, scale, jobs=args.jobs, timeout=args.timeout,
+            retries=args.retries, retry_delay=args.retry_delay,
+            keep_going=args.keep_going, run_dir=args.run_dir,
+            resume=args.resume)
+    except UnknownExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ExperimentError as exc:
+        if exc.cause_traceback:
+            print(exc.cause_traceback, file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except HbmSimError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for record in records:
+        if record.result is not None:
+            note = ""
+            if record.status == "cached":
+                note = ", resumed from checkpoint"
+            elif record.status == "retried":
+                note = f", {record.attempts} attempts"
+            print(f"\n=== {record.experiment_id}: {record.result.title} "
+                  f"({record.elapsed:.1f}s, scale {scale}{note}) ===")
+            print(record.result.text)
+        else:
+            failures += 1
+            print(f"\n=== {record.experiment_id}: {record.status.upper()} "
+                  f"after {record.attempts} attempt"
+                  f"{'s' if record.attempts != 1 else ''} ===")
+            if record.error:
+                print(record.error.rstrip(), file=sys.stderr)
+    if failures:
+        ok = len(records) - failures
+        print(f"\n{ok}/{len(records)} experiments succeeded, "
+              f"{failures} failed", file=sys.stderr)
     if args.bench is not None:
-        path = bench.record_run(timings, scale, jobs=args.jobs,
-                                cache=cache, path=args.bench)
-        print(f"\nbench: recorded {len(timings)} timings -> {path}",
-              file=sys.stderr)
-    return 0
+        timed = [record for record in records
+                 if record.succeeded and record.status != "cached"]
+        if timed:
+            path = bench.record_run(timed, scale, jobs=args.jobs,
+                                    cache=cache, path=args.bench)
+            print(f"\nbench: recorded {len(timed)} timings -> {path}",
+                  file=sys.stderr)
+        else:
+            print("\nbench: nothing to record (no timed successes)",
+                  file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

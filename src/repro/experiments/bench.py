@@ -30,12 +30,14 @@ parameters is the current state of the tree.
 
 from __future__ import annotations
 
+import contextlib
 import datetime
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional, Union
 
 from repro.chips import cache as calibration_cache
 
@@ -44,6 +46,11 @@ DEFAULT_BENCH_PATH = "BENCH_experiments.json"
 
 _ENV_PATH = "HBMSIM_BENCH_PATH"
 _SCHEMA = 1
+
+#: How long a concurrent writer waits for the lock before giving up.
+_LOCK_TIMEOUT_S = 10.0
+#: A lock file older than this is considered abandoned and broken.
+_LOCK_STALE_S = 30.0
 
 
 def bench_path(path: Optional[str] = None) -> Path:
@@ -78,18 +85,90 @@ def _load(path: Path) -> dict:
     return {"schema": _SCHEMA, "runs": []}
 
 
-def record_run(timings: Dict[str, float], scale: float, jobs: int = 1,
+@contextlib.contextmanager
+def _exclusive_lock(target: Path):
+    """O_EXCL lock-file guard around the read-modify-write append.
+
+    Two concurrent ``--bench`` runs (CI + local, or two ``-j`` sweeps)
+    used to race: both load the same ``runs`` list and the slower
+    ``os.replace`` silently drops the faster one's record.  The lock
+    serializes the whole append.  An abandoned lock (holder crashed)
+    is broken after :data:`_LOCK_STALE_S`; a healthy holder is waited
+    on up to :data:`_LOCK_TIMEOUT_S`, after which we proceed unlocked
+    (an append beats losing the record).
+    """
+    lock = target.with_name(target.name + ".lock")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    acquired = False
+    deadline = time.monotonic() + _LOCK_TIMEOUT_S
+    while True:
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            with os.fdopen(fd, "w") as handle:
+                handle.write(str(os.getpid()))
+            acquired = True
+            break
+        except FileExistsError:
+            try:
+                age = time.time() - lock.stat().st_mtime
+            except OSError:
+                continue  # holder just released; retry immediately
+            if age > _LOCK_STALE_S:
+                with contextlib.suppress(OSError):
+                    lock.unlink()
+                continue
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(0.05)
+        except OSError:
+            break  # unwritable directory: run unlocked, best effort
+    try:
+        yield
+    finally:
+        if acquired:
+            with contextlib.suppress(OSError):
+                lock.unlink()
+
+
+def _as_timings(timings_or_records) -> Dict[str, float]:
+    """Normalize ``{id: seconds}`` or an iterable of run records.
+
+    Per-invocation records (``run_timed``'s second return) may repeat
+    an experiment id; repeats aggregate by *summing* wall seconds so
+    the bench schema stays one entry per id.
+    """
+    if isinstance(timings_or_records, dict):
+        return dict(timings_or_records)
+    timings: Dict[str, float] = {}
+    for record in timings_or_records:
+        timings[record.experiment_id] = timings.get(
+            record.experiment_id, 0.0) + record.elapsed
+    return timings
+
+
+def record_run(timings: Union[Dict[str, float], Iterable],
+               scale: float, jobs: int = 1,
                cache: Optional[str] = None,
                path: Optional[str] = None) -> Path:
     """Append one run record; returns the path written.
 
-    ``timings`` maps experiment id -> wall seconds (as returned by
-    :func:`repro.experiments.registry.run_timed`).  ``cache`` defaults
-    to :func:`cache_state` *as observed now* — call it before the run
-    for an accurate cold/warm label, since the run itself warms the
-    cache.
+    ``timings`` maps experiment id -> wall seconds, or is an iterable
+    of :class:`~repro.experiments.runner.RunRecord` (the second return
+    of :func:`repro.experiments.registry.run_timed`; duplicate-id
+    invocations aggregate by summing).  ``cache`` defaults to
+    :func:`cache_state` *as observed now* — call it before the run for
+    an accurate cold/warm label, since the run itself warms the cache.
+    Concurrent writers are serialized through a lock file so no record
+    is ever lost.
     """
+    timings = _as_timings(timings)
     target = bench_path(path)
+    with _exclusive_lock(target):
+        return _append_run(target, timings, scale, jobs, cache)
+
+
+def _append_run(target: Path, timings: Dict[str, float], scale: float,
+                jobs: int, cache: Optional[str]) -> Path:
     payload = _load(target)
     payload["schema"] = _SCHEMA
     payload["runs"].append({

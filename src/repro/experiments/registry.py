@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import itertools
-import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+import difflib
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import UnknownExperimentError
 from repro.experiments import (fig03_temperature, fig04_ber_chips,
                                fig05_hcfirst_chips, fig06_ber_channels,
                                fig07_hcfirst_channels, fig08_ber_rows,
@@ -15,6 +14,7 @@ from repro.experiments import (fig03_temperature, fig04_ber_chips,
                                fig13_rowpress_hcfirst, fig14_trr_bypass,
                                fig15_wordlevel, sec7_trr_reveng, tables)
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import RunRecord, run_resilient
 
 #: Experiment id -> runner, in paper order.
 EXPERIMENTS: Dict[str, Callable[[float], ExperimentResult]] = {
@@ -53,6 +53,28 @@ def _register_extensions() -> None:
 _register_extensions()
 
 
+def known_ids() -> List[str]:
+    """Every runnable experiment id (paper artifacts + extensions)."""
+    return list(EXPERIMENTS) + list(EXTENSIONS)
+
+
+def _unknown(experiment_id: str) -> UnknownExperimentError:
+    available = known_ids()
+    return UnknownExperimentError(
+        experiment_id, available,
+        difflib.get_close_matches(experiment_id, available, n=3,
+                                  cutoff=0.5))
+
+
+def validate_ids(experiment_ids: Iterable[str]) -> None:
+    """Raise :class:`UnknownExperimentError` (a ``KeyError``) for the
+    first id absent from the registry — before any worker spawns."""
+    for experiment_id in experiment_ids:
+        if experiment_id not in EXPERIMENTS \
+                and experiment_id not in EXTENSIONS:
+            raise _unknown(experiment_id)
+
+
 def run_experiment(experiment_id: str,
                    scale: float = 1.0) -> ExperimentResult:
     """Run one experiment (paper artifact or extension) by id."""
@@ -60,66 +82,48 @@ def run_experiment(experiment_id: str,
         return EXPERIMENTS[experiment_id](scale)
     if experiment_id in EXTENSIONS:
         return EXTENSIONS[experiment_id](scale)
-    raise KeyError(
-        f"unknown experiment {experiment_id!r}; available: "
-        f"{', '.join(list(EXPERIMENTS) + list(EXTENSIONS))}")
-
-
-def _timed_run(experiment_id: str,
-               scale: float) -> Tuple[ExperimentResult, float]:
-    """Worker body: run one experiment and report its wall time.
-
-    Module-level (not a closure) so :class:`ProcessPoolExecutor` can
-    pickle it for the ``jobs > 1`` fan-out.
-    """
-    start = time.perf_counter()
-    result = run_experiment(experiment_id, scale)
-    return result, time.perf_counter() - start
+    raise _unknown(experiment_id)
 
 
 def run_timed(experiment_ids: Iterable[str], scale: float = 1.0,
-              jobs: int = 1) -> Tuple[List[ExperimentResult],
-                                      Dict[str, float]]:
-    """Run experiments, returning results plus per-id wall seconds.
+              jobs: int = 1, **resilience) -> Tuple[List[ExperimentResult],
+                                                    List[RunRecord]]:
+    """Run experiments, returning results plus per-invocation records.
 
-    ``jobs > 1`` fans the experiments out over a
-    :class:`ProcessPoolExecutor`; ``pool.map`` keeps results in the
-    order of ``experiment_ids`` regardless of completion order, so a
-    parallel sweep renders the identical report sequence as a serial
-    one (asserted in ``tests/experiments/test_parallel.py``).  Each
-    worker process reuses the cross-process calibration cache
-    (:mod:`repro.chips.cache`), so the per-worker chip setup cost is
-    milliseconds, not a recalibration.
+    The second element is one :class:`RunRecord` per *requested
+    invocation* in request order — duplicate ids get one record each
+    (their timings no longer collapse into a single dict entry).  A
+    parallel run (``jobs > 1``) renders the identical record and report
+    sequence as a serial one (asserted in
+    ``tests/experiments/test_parallel.py``); workers reuse the
+    cross-process calibration cache (:mod:`repro.chips.cache`), so the
+    per-worker chip setup cost is milliseconds, not a recalibration.
+
+    ``**resilience`` forwards to
+    :func:`repro.experiments.runner.run_resilient` (``timeout``,
+    ``retries``, ``keep_going``, ``retry_delay``, ``run_dir``,
+    ``resume``).  With the defaults any failure propagates, exactly as
+    before; under ``keep_going=True`` the results list holds only the
+    successful invocations while every invocation keeps its record.
     """
-    ids = list(experiment_ids)
-    unknown = [experiment_id for experiment_id in ids
-               if experiment_id not in EXPERIMENTS
-               and experiment_id not in EXTENSIONS]
-    if unknown:
-        raise KeyError(
-            f"unknown experiments {unknown!r}; available: "
-            f"{', '.join(list(EXPERIMENTS) + list(EXTENSIONS))}")
-    if jobs is None or jobs <= 1 or len(ids) <= 1:
-        pairs = [_timed_run(experiment_id, scale) for experiment_id in ids]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
-            pairs = list(pool.map(_timed_run, ids,
-                                  itertools.repeat(scale)))
-    timings = {experiment_id: elapsed
-               for experiment_id, (_, elapsed) in zip(ids, pairs)}
-    return [result for result, _ in pairs], timings
+    records = run_resilient(list(experiment_ids), scale, jobs=jobs,
+                            **resilience)
+    results = [record.result for record in records
+               if record.result is not None]
+    return results, records
 
 
 def run_many(experiment_ids: Sequence[str], scale: float = 1.0,
-             jobs: int = 1) -> List[ExperimentResult]:
+             jobs: int = 1, **resilience) -> List[ExperimentResult]:
     """Run the given experiments, optionally across worker processes."""
-    return run_timed(experiment_ids, scale, jobs=jobs)[0]
+    return run_timed(experiment_ids, scale, jobs=jobs, **resilience)[0]
 
 
-def run_all(scale: float = 1.0, jobs: int = 1) -> List[ExperimentResult]:
+def run_all(scale: float = 1.0, jobs: int = 1,
+            **resilience) -> List[ExperimentResult]:
     """Run every paper experiment in paper order.
 
     ``jobs`` selects the number of worker processes (1 = in-process
     serial execution, exactly as before).
     """
-    return run_many(list(EXPERIMENTS), scale, jobs=jobs)
+    return run_many(list(EXPERIMENTS), scale, jobs=jobs, **resilience)

@@ -1,0 +1,573 @@
+"""Resilient experiment runner: timeouts, retries, crash recovery,
+checkpoint/resume.
+
+The paper's multi-hour sweeps on real FPGA platforms survive board
+hangs and host crashes because the harness around them does.  This
+module is that harness for the simulated experiments:
+
+- **Per-experiment timeouts** — a hung experiment (e.g. an injected
+  platform stall) is killed, not waited on, and its worker respawned.
+- **Bounded retries** — failed attempts retry with exponential backoff
+  plus a *deterministic* jitter derived from ``(experiment id,
+  attempt)``, so two identical chaos runs produce the identical retry
+  schedule.
+- **Worker-crash recovery** — a worker process dying mid-experiment
+  (the ``BrokenProcessPool`` failure mode of a shared pool) only fails
+  that experiment's attempt: the pool respawns the worker and the
+  surviving experiments keep their results.
+- **Graceful degradation** — ``keep_going=True`` returns partial
+  results plus one structured :class:`RunRecord` per requested
+  invocation (status ``ok``/``retried``/``timeout``/``failed``/
+  ``cached`` with the captured traceback); otherwise the first
+  exhausted experiment raises an
+  :class:`~repro.errors.ExperimentError` subclass carrying the same
+  information across the process boundary.
+- **Checkpoint/resume** — with ``run_dir`` every completed
+  :class:`~repro.experiments.base.ExperimentResult` is persisted
+  atomically; ``resume=True`` re-runs only the invocations without a
+  persisted result, so an interrupted sweep restarts where it stopped.
+
+Timeout enforcement requires the ability to *kill* a running
+experiment, which ``concurrent.futures`` cannot do, so the pool here is
+a small dedicated one: one pipe-connected worker process per slot,
+respawned on crash or timeout.  Workers apply any active fault plan
+(:mod:`repro.faults`) — both the worker-level chaos knobs and, through
+the bender interpreter, the device-level ones.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.dram.seeding import uniform_for
+from repro.errors import (ExperimentError, ExperimentTimeoutError,
+                          HbmSimError, WorkerCrashError)
+from repro.experiments.base import ExperimentResult
+
+#: Default base delay (seconds) for the exponential retry backoff.
+DEFAULT_RETRY_DELAY = 0.25
+
+#: Checkpoint schema version (bump on layout changes).
+_RUN_DIR_SCHEMA = 1
+
+#: Namespace tag for the deterministic backoff jitter.
+_TAG_BACKOFF = 0xBACC0FF
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one requested experiment invocation.
+
+    One record per *invocation* (duplicate ids get one record each, in
+    request order), whatever happened to it.
+    """
+
+    experiment_id: str
+    #: Position in the requested id list (stable across retries).
+    index: int
+    #: "ok" | "retried" | "timeout" | "failed" | "cached"
+    status: str = "pending"
+    #: Wall seconds of the successful attempt (sum of all attempts for
+    #: failures); 0.0 for cached results.
+    elapsed: float = 0.0
+    attempts: int = 0
+    #: Captured traceback (or summary) of the last failed attempt.
+    error: Optional[str] = None
+    result: Optional[ExperimentResult] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in ("ok", "retried", "cached")
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-serializable view (no result payload)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "index": self.index,
+            "status": self.status,
+            "elapsed": round(self.elapsed, 4),
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+def backoff_delay(experiment_id: str, attempt: int,
+                  base: float = DEFAULT_RETRY_DELAY) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    ``base * 2**(attempt-1) * (1 + u/2)`` where ``u`` derives from the
+    experiment id and attempt number — no wall-clock or global RNG, so
+    a re-run reproduces the exact schedule.
+    """
+    if base <= 0:
+        return 0.0
+    from repro.dram.device import hash_pattern  # stable string hash
+    u = uniform_for(_TAG_BACKOFF, hash_pattern(experiment_id), attempt)
+    return base * (2.0 ** max(0, attempt - 1)) * (1.0 + 0.5 * u)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive (index, id, scale, attempt), reply outcome.
+
+    Replies ``("ok", index, elapsed, result)`` or ``("error", index,
+    elapsed, payload)`` where payload carries the exception identity as
+    strings (the exception object itself may not pickle).  Exits on
+    ``None`` or a closed pipe.
+    """
+    from repro import faults
+    from repro.experiments import registry
+
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        index, experiment_id, scale, attempt = task
+        start = time.perf_counter()
+        try:
+            faults.apply_worker_faults(faults.active_plan(),
+                                       experiment_id, attempt)
+            result = registry.run_experiment(experiment_id, scale)
+            conn.send(("ok", index, time.perf_counter() - start, result))
+        except BaseException as exc:  # noqa: BLE001 — must cross the pipe
+            payload = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            }
+            try:
+                conn.send(("error", index,
+                           time.perf_counter() - start, payload))
+            except (OSError, ValueError):
+                return
+
+
+def _fork_context():
+    """Fork when available (workers inherit registry monkeypatches and
+    installed fault plans); fall back to the platform default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class _Worker:
+    """One pipe-connected worker process (respawnable pool slot)."""
+
+    def __init__(self, ctx) -> None:
+        self._ctx = ctx
+        parent_conn, child_conn = ctx.Pipe()
+        self.conn = parent_conn
+        self.process = ctx.Process(target=_worker_main,
+                                   args=(child_conn,), daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.task: Optional["_Task"] = None
+        self.deadline: Optional[float] = None
+
+    def assign(self, task: "_Task", timeout: Optional[float]) -> None:
+        self.task = task
+        self.deadline = (time.monotonic() + timeout
+                         if timeout is not None else None)
+        # ``task.attempts`` was already incremented by the scheduler.
+        self.conn.send((task.index, task.experiment_id, task.scale,
+                        task.attempts))
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - stuck in kernel
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+@dataclass
+class _Task:
+    """Scheduling state of one pending invocation."""
+
+    index: int
+    experiment_id: str
+    scale: float
+    attempts: int = 0
+    #: Monotonic time before which the task must not be (re)assigned.
+    not_before: float = 0.0
+    elapsed: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Checkpoint directory
+# ----------------------------------------------------------------------
+
+class _RunDir:
+    """Checkpoint layout: manifest + one pickled result per invocation."""
+
+    def __init__(self, root: Path, ids: Sequence[str],
+                 scale: float, resume: bool) -> None:
+        self.root = Path(root)
+        self.results = self.root / "results"
+        manifest = {"schema": _RUN_DIR_SCHEMA, "ids": list(ids),
+                    "scale": scale}
+        existing = self._load_manifest()
+        if resume:
+            if existing is not None and existing != manifest:
+                raise HbmSimError(
+                    f"run dir {self.root} was created for a different "
+                    f"sweep (ids/scale mismatch); refusing to resume")
+        elif existing is not None:
+            # Fresh run into an existing dir: drop stale checkpoints so
+            # a later --resume cannot mix results from two sweeps.
+            for stale in self.results.glob("*.pkl"):
+                stale.unlink(missing_ok=True)
+        self.results.mkdir(parents=True, exist_ok=True)
+        self._write_json(self.root / "manifest.json", manifest)
+
+    def _load_manifest(self) -> Optional[dict]:
+        try:
+            payload = json.loads(
+                (self.root / "manifest.json").read_text())
+        except (OSError, ValueError):
+            return None
+        return {"schema": payload.get("schema"),
+                "ids": payload.get("ids"), "scale": payload.get("scale")}
+
+    def _result_path(self, index: int, experiment_id: str) -> Path:
+        return self.results / f"{index:04d}-{experiment_id}.pkl"
+
+    def load(self, index: int,
+             experiment_id: str) -> Optional[ExperimentResult]:
+        """A previously persisted result, or None (corrupt = miss)."""
+        path = self._result_path(index, experiment_id)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            return None
+        if not isinstance(result, ExperimentResult) \
+                or result.experiment_id != experiment_id:
+            return None
+        return result
+
+    def store(self, index: int, result: ExperimentResult) -> None:
+        """Atomically persist one completed result."""
+        path = self._result_path(index, result.experiment_id)
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                        prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def write_records(self, records: Sequence[RunRecord]) -> None:
+        """Persist the per-invocation record summaries (records.json)."""
+        self._write_json(self.root / "records.json", {
+            "schema": _RUN_DIR_SCHEMA,
+            "records": [record.summary() for record in records],
+        })
+
+    @staticmethod
+    def _write_json(path: Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                        prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+def run_resilient(experiment_ids: Sequence[str], scale: float = 1.0,
+                  jobs: int = 1, timeout: Optional[float] = None,
+                  retries: int = 0, keep_going: bool = False,
+                  retry_delay: float = DEFAULT_RETRY_DELAY,
+                  run_dir: Optional[os.PathLike] = None,
+                  resume: bool = False) -> List[RunRecord]:
+    """Run experiments under the resilience policy; one record per id.
+
+    Records come back in request order regardless of completion order.
+    With ``keep_going=False`` (the default) the first experiment that
+    exhausts its attempts raises :class:`~repro.errors.ExperimentError`
+    (or its timeout/crash refinement); with ``keep_going=True`` every
+    invocation gets a record and partial results are returned.
+
+    ``timeout`` (seconds) applies per attempt and requires process
+    isolation, so it forces the pool path even for ``jobs=1``.
+    """
+    from repro.experiments import registry
+
+    ids = list(experiment_ids)
+    registry.validate_ids(ids)
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive")
+    if resume and run_dir is None:
+        raise HbmSimError("--resume requires --run-dir")
+
+    records = [RunRecord(experiment_id, index)
+               for index, experiment_id in enumerate(ids)]
+    checkpoint = (_RunDir(Path(run_dir), ids, scale, resume)
+                  if run_dir is not None else None)
+
+    tasks: Deque[_Task] = deque()
+    for record in records:
+        if checkpoint is not None and resume:
+            cached = checkpoint.load(record.index, record.experiment_id)
+            if cached is not None:
+                record.status = "cached"
+                record.result = cached
+                continue
+        tasks.append(_Task(record.index, record.experiment_id, scale))
+
+    try:
+        if tasks:
+            if timeout is None and jobs <= 1:
+                _run_inline(tasks, records, retries, keep_going,
+                            retry_delay, checkpoint)
+            else:
+                _run_pool(tasks, records, jobs, timeout, retries,
+                          keep_going, retry_delay, checkpoint)
+    finally:
+        if checkpoint is not None:
+            checkpoint.write_records(records)
+    return records
+
+
+def _record_success(record: RunRecord, result: ExperimentResult,
+                    elapsed: float, attempts: int,
+                    checkpoint: Optional[_RunDir]) -> None:
+    record.status = "ok" if attempts == 1 else "retried"
+    record.result = result
+    record.elapsed = elapsed
+    record.attempts = attempts
+    record.error = None
+    if checkpoint is not None:
+        checkpoint.store(record.index, result)
+
+
+def _final_failure(record: RunRecord, status: str, error: str,
+                   keep_going: bool,
+                   exception: ExperimentError) -> None:
+    record.status = status
+    record.error = error
+    if not keep_going:
+        raise exception
+
+
+def _run_inline(tasks: Deque[_Task], records: List[RunRecord],
+                retries: int, keep_going: bool, retry_delay: float,
+                checkpoint: Optional[_RunDir]) -> None:
+    """Serial in-process execution (no timeout enforcement possible)."""
+    from repro import faults
+    from repro.experiments import registry
+
+    for task in tasks:
+        record = records[task.index]
+        while True:
+            task.attempts += 1
+            record.attempts = task.attempts
+            start = time.perf_counter()
+            try:
+                faults.apply_worker_faults(faults.active_plan(),
+                                           task.experiment_id,
+                                           task.attempts)
+                result = registry.run_experiment(task.experiment_id,
+                                                 task.scale)
+            except Exception as exc:  # noqa: BLE001 — chaos boundary
+                task.elapsed += time.perf_counter() - start
+                record.elapsed = task.elapsed
+                record.error = traceback.format_exc()
+                if task.attempts <= retries:
+                    time.sleep(backoff_delay(task.experiment_id,
+                                             task.attempts, retry_delay))
+                    continue
+                _final_failure(
+                    record, "failed", record.error, keep_going,
+                    ExperimentError(task.experiment_id, task.attempts,
+                                    type(exc).__name__, str(exc),
+                                    record.error))
+                break
+            task.elapsed += time.perf_counter() - start
+            _record_success(record, result, task.elapsed,
+                            task.attempts, checkpoint)
+            break
+
+
+def _run_pool(tasks: Deque[_Task], records: List[RunRecord], jobs: int,
+              timeout: Optional[float], retries: int, keep_going: bool,
+              retry_delay: float, checkpoint: Optional[_RunDir]) -> None:
+    """Kill-capable worker-pool execution with crash recovery."""
+    ctx = _fork_context()
+    slots = max(1, min(jobs, len(tasks)))
+    workers = [_Worker(ctx) for _ in range(slots)]
+    pending: Deque[_Task] = deque(tasks)
+    outstanding = len(pending)
+
+    def requeue_or_fail(task: _Task, status: str, error: str,
+                        exception: ExperimentError) -> None:
+        nonlocal outstanding
+        record = records[task.index]
+        record.attempts = task.attempts
+        record.elapsed = task.elapsed
+        record.error = error
+        if task.attempts <= retries:
+            task.not_before = time.monotonic() + backoff_delay(
+                task.experiment_id, task.attempts, retry_delay)
+            pending.append(task)
+        else:
+            outstanding -= 1
+            _final_failure(record, status, error, keep_going, exception)
+
+    try:
+        while outstanding > 0:
+            now = time.monotonic()
+            # Assign runnable tasks (honouring backoff) to idle slots.
+            for worker in workers:
+                if worker.task is not None or not pending:
+                    continue
+                runnable = None
+                for _ in range(len(pending)):
+                    task = pending.popleft()
+                    if task.not_before <= now:
+                        runnable = task
+                        break
+                    pending.append(task)
+                if runnable is None:
+                    break
+                runnable.attempts += 1
+                worker.assign(runnable, timeout)
+
+            busy = [worker for worker in workers
+                    if worker.task is not None]
+            if not busy:
+                if pending:
+                    next_ready = min(task.not_before for task in pending)
+                    time.sleep(max(0.0, next_ready - time.monotonic())
+                               + 1.0e-3)
+                    continue
+                break  # no busy workers and nothing pending
+
+            # Wait for the earliest of: a reply, or a deadline expiring.
+            wait_for = None
+            deadlines = [worker.deadline for worker in busy
+                         if worker.deadline is not None]
+            if deadlines:
+                wait_for = max(0.0, min(deadlines) - time.monotonic())
+            if pending:
+                next_ready = min(task.not_before for task in pending)
+                until_ready = max(0.0, next_ready - time.monotonic())
+                wait_for = until_ready if wait_for is None \
+                    else min(wait_for, until_ready)
+            ready = mp_connection.wait([worker.conn for worker in busy],
+                                       timeout=wait_for)
+
+            for conn in ready:
+                worker = next(w for w in busy if w.conn is conn)
+                if worker.task is None:
+                    continue
+                task = worker.task
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died without replying: the pool's
+                    # broken-process failure mode.  Respawn the slot and
+                    # retry just this task; survivors are unaffected.
+                    exitcode = worker.process.exitcode
+                    worker.kill()
+                    workers[workers.index(worker)] = _Worker(ctx)
+                    requeue_or_fail(
+                        task, "failed",
+                        f"worker crashed (exit code {exitcode}) while "
+                        f"running {task.experiment_id!r}",
+                        WorkerCrashError(task.experiment_id,
+                                         task.attempts, exitcode))
+                    continue
+                kind, index, elapsed, payload = message
+                task.elapsed += elapsed
+                worker.task = None
+                worker.deadline = None
+                if kind == "ok":
+                    outstanding -= 1
+                    _record_success(records[index], payload, task.elapsed,
+                                    task.attempts, checkpoint)
+                else:
+                    requeue_or_fail(
+                        task, "failed", payload["traceback"],
+                        ExperimentError(task.experiment_id, task.attempts,
+                                        payload["type"],
+                                        payload["message"],
+                                        payload["traceback"]))
+
+            # Enforce deadlines: kill and respawn overrunning workers.
+            now = time.monotonic()
+            for position, worker in enumerate(workers):
+                if worker.task is None or worker.deadline is None \
+                        or worker.deadline > now:
+                    continue
+                task = worker.task
+                task.elapsed += timeout
+                worker.kill()
+                workers[position] = _Worker(ctx)
+                requeue_or_fail(
+                    task, "timeout",
+                    f"timed out after {timeout:g}s (attempt "
+                    f"{task.attempts})",
+                    ExperimentTimeoutError(task.experiment_id,
+                                           task.attempts, timeout))
+    finally:
+        for worker in workers:
+            worker.shutdown()

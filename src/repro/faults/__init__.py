@@ -1,0 +1,33 @@
+"""Deterministic fault-injection layer (platform chaos).
+
+The paper's campaigns run on real FPGA platforms that glitch: interface
+bit errors, lost commands, board hangs.  This package models that layer
+so any experiment can run under reproducible chaos:
+
+- :class:`FaultPlan` — seedable chaos configuration
+  (:mod:`repro.faults.plan`), activated programmatically via
+  :func:`install_plan` or through the ``HBMSIM_FAULTS`` environment
+  variable (JSON of plan fields).
+- :class:`FaultyStack` — drop-in device wrapper injecting the faults
+  (:mod:`repro.faults.injector`); the bender interpreter and host
+  session wrap automatically when a plan is active.
+- :func:`apply_worker_faults` — worker-level chaos (crashes, stalls)
+  consumed by the resilient experiment runner.
+"""
+
+from repro.faults.injector import (CRASH_EXIT_CODE, FaultEvent, FaultyStack,
+                                   apply_worker_faults, wrap_device)
+from repro.faults.plan import (FaultPlan, active_plan, clear_plan,
+                               install_plan)
+
+__all__ = [
+    "FaultPlan",
+    "FaultEvent",
+    "FaultyStack",
+    "CRASH_EXIT_CODE",
+    "active_plan",
+    "install_plan",
+    "clear_plan",
+    "wrap_device",
+    "apply_worker_faults",
+]

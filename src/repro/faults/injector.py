@@ -1,0 +1,328 @@
+"""Deterministic fault injection around an :class:`HBM2Stack`.
+
+:class:`FaultyStack` wraps a device and perturbs its command interface
+the way a real FPGA test platform misbehaves during a multi-hour
+campaign:
+
+- **RD interface bit errors** — bits flip on the bus, not in the array
+  (re-reading the row returns clean data unless it flips again),
+- **dropped commands** — ACT/PRE/WR/REF/WAIT silently lost,
+- **ghost commands** — PRE/REF executed twice (bus glitch replay),
+- **ACT timing jitter** — the aggressor on-time of ACT/HAMMER cycles
+  stretches by a deterministic jitter, perturbing RowPress-style
+  disturbance accounting,
+- **stuck-at cells** — per-row readout bits pinned to fixed values,
+- **platform stalls** — real wall-clock sleeps (to trip runner
+  timeouts),
+- **hangs** — the board stops responding:
+  :class:`~repro.errors.PlatformHangError`.
+
+Every decision derives from ``(plan.seed, fault tag, command counter)``
+via the splitmix64 chain of :mod:`repro.dram.seeding`, so the same plan
+over the same command stream yields a byte-identical fault schedule
+(assert with :meth:`FaultyStack.schedule_digest`).  The wrapper keeps
+the full device surface available through delegation, so routines,
+sessions, and the interpreter use it as a drop-in device.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.device import HBM2Stack, _xor_bits
+from repro.dram.geometry import RowAddress
+from repro.dram.seeding import generator_for, uniform_for
+from repro.errors import PlatformHangError
+from repro.faults.plan import FaultPlan
+
+#: Exit code used when a worker-level crash fault kills the process.
+CRASH_EXIT_CODE = 97
+
+# Fault-kind tags folded into the seed chain (arbitrary, fixed).
+_TAG_STALL = 0x51A11
+_TAG_HANG = 0x4A46
+_TAG_DROP = 0xD309
+_TAG_GHOST = 0x6057
+_TAG_JITTER = 0x71EE
+_TAG_RDFLIP = 0x2DF1
+_TAG_STUCK = 0x57C4
+
+_DROPPABLE = {"ACT", "PRE", "WR", "REF", "WAIT"}
+_GHOSTABLE = {"PRE", "REF"}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, in command order."""
+
+    index: int      #: command counter value when the fault fired
+    fault: str      #: "stall" | "hang" | "drop" | "ghost" | "jitter" |
+                    #: "rd-flip" | "stuck"
+    command: str    #: command kind the fault applied to
+    detail: Tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        suffix = f" {list(self.detail)}" if self.detail else ""
+        return f"#{self.index} {self.fault} on {self.command}{suffix}"
+
+
+class FaultyStack:
+    """Chaos wrapper: an :class:`HBM2Stack` behind a glitchy platform.
+
+    Delegates everything it does not intercept, so it drops into any
+    code that expects a device.  The wrapped device's *internal*
+    composition (e.g. ``read_row`` issuing its own ACT/PRE) is not
+    re-intercepted: one host-visible operation makes one set of fault
+    decisions, which keeps the schedule aligned with the command stream
+    a real platform sees.
+    """
+
+    def __init__(self, device: HBM2Stack, plan: FaultPlan) -> None:
+        if isinstance(device, FaultyStack):
+            device = device.wrapped
+        self.wrapped = device
+        self.plan = plan
+        self.events: List[FaultEvent] = []
+        self._counter = 0
+        self._stuck_cache: Dict[Tuple[int, int, int, int],
+                                Optional[Tuple[np.ndarray, np.ndarray]]] = {}
+
+    def __getattr__(self, name: str):
+        return getattr(self.wrapped, name)
+
+    # -- fault schedule inspection ---------------------------------------
+
+    def schedule_digest(self) -> str:
+        """SHA-256 over the injected fault schedule (order-sensitive)."""
+        digest = hashlib.sha256()
+        for event in self.events:
+            digest.update(repr((event.index, event.fault, event.command,
+                                event.detail)).encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- decision machinery ----------------------------------------------
+
+    def _draw(self, tag: int, index: int) -> float:
+        return uniform_for(self.plan.seed, tag, index)
+
+    def _log(self, index: int, fault: str, command: str,
+             detail: Tuple[int, ...] = ()) -> None:
+        self.events.append(FaultEvent(index, fault, command, detail))
+
+    def _platform(self, command: str) -> Tuple[int, Optional[str]]:
+        """Advance the command counter and fire platform-level faults.
+
+        Returns ``(index, action)`` where action is ``"drop"``,
+        ``"ghost"`` or ``None``.  Raises on an injected hang.
+        """
+        self._counter += 1
+        index = self._counter
+        plan = self.plan
+        if plan.stall_rate and self._draw(_TAG_STALL, index) \
+                < plan.stall_rate:
+            self._log(index, "stall", command)
+            time.sleep(plan.stall_seconds)
+        if plan.hang_rate and self._draw(_TAG_HANG, index) < plan.hang_rate:
+            self._log(index, "hang", command)
+            raise PlatformHangError(
+                f"injected platform hang at command #{index} ({command})")
+        if command in _DROPPABLE and plan.drop_rate \
+                and self._draw(_TAG_DROP, index) < plan.drop_rate:
+            self._log(index, "drop", command)
+            return index, "drop"
+        if command in _GHOSTABLE and plan.ghost_rate \
+                and self._draw(_TAG_GHOST, index) < plan.ghost_rate:
+            self._log(index, "ghost", command)
+            return index, "ghost"
+        return index, None
+
+    def _jitter_ns(self, index: int, command: str) -> float:
+        """Deterministic ACT-interval jitter (0.0 when the fault misses)."""
+        plan = self.plan
+        if not plan.act_jitter_rate or not plan.act_jitter_ns:
+            return 0.0
+        if self._draw(_TAG_JITTER, index) >= plan.act_jitter_rate:
+            return 0.0
+        fraction = uniform_for(plan.seed, _TAG_JITTER, index, 1)
+        jitter = plan.act_jitter_ns * fraction
+        self._log(index, "jitter", command, (int(round(jitter * 1000)),))
+        return jitter
+
+    # -- intercepted command interface ------------------------------------
+
+    def execute(self, command: Command) -> Optional[np.ndarray]:
+        """Execute one command under the fault plan (RD returns data)."""
+        kind = command.kind
+        if kind is CommandKind.WAIT:
+            return self.wait(command.duration)
+        if kind is CommandKind.NOP:
+            return None
+        address = RowAddress(command.channel, command.pseudo_channel,
+                             command.bank, command.row)
+        if kind is CommandKind.REF:
+            return self.refresh(command.channel, command.pseudo_channel)
+        if kind is CommandKind.ACT:
+            return self.activate(address)
+        if kind is CommandKind.PRE:
+            return self.precharge(command.channel, command.pseudo_channel,
+                                  command.bank)
+        if kind is CommandKind.RD:
+            return self.read_row(address)
+        if kind is CommandKind.WR:
+            if command.data is None:
+                raise ValueError("WR command requires a row image")
+            return self.write_row(address, command.data)
+        if kind is CommandKind.HAMMER:
+            return self.hammer(address, command.count, command.t_on)
+        raise ValueError(f"unhandled command kind {kind}")
+
+    def run(self, commands) -> List[Optional[np.ndarray]]:
+        """Execute a command sequence through the fault layer."""
+        return [self.execute(command) for command in commands]
+
+    def wait(self, duration_ns: float) -> None:
+        _, action = self._platform("WAIT")
+        if action == "drop":
+            return None  # the platform lost the wait: time not advanced
+        return self.wrapped.wait(duration_ns)
+
+    def activate(self, address: RowAddress) -> None:
+        index, action = self._platform("ACT")
+        jitter = self._jitter_ns(index, "ACT")
+        if jitter:
+            self.wrapped.wait(jitter)
+        if action == "drop":
+            return None
+        return self.wrapped.activate(address)
+
+    def precharge(self, channel: int, pseudo_channel: int,
+                  bank_index: int) -> None:
+        _, action = self._platform("PRE")
+        if action == "drop":
+            return None
+        result = self.wrapped.precharge(channel, pseudo_channel, bank_index)
+        if action == "ghost":
+            self.wrapped.precharge(channel, pseudo_channel, bank_index)
+        return result
+
+    def refresh(self, channel: int, pseudo_channel: int) -> None:
+        _, action = self._platform("REF")
+        if action == "drop":
+            return None
+        result = self.wrapped.refresh(channel, pseudo_channel)
+        if action == "ghost":
+            self.wrapped.refresh(channel, pseudo_channel)
+        return result
+
+    def write_row(self, address: RowAddress, data: np.ndarray) -> None:
+        _, action = self._platform("WR")
+        if action == "drop":
+            return None
+        return self.wrapped.write_row(address, data)
+
+    def hammer(self, address: RowAddress, count: int,
+               t_on: Optional[float] = None) -> None:
+        index, _ = self._platform("HAMMER")
+        jitter = self._jitter_ns(index, "HAMMER")
+        if jitter:
+            base = self.wrapped.timings.t_ras if t_on is None else t_on
+            t_on = base + jitter
+        return self.wrapped.hammer(address, count, t_on)
+
+    def read_row(self, address: RowAddress) -> np.ndarray:
+        index, _ = self._platform("RD")
+        data = self.wrapped.read_row(address)
+        data = self._apply_stuck_cells(address, data, index)
+        return self._apply_read_flips(data, index)
+
+    # -- data-path faults --------------------------------------------------
+
+    def _apply_read_flips(self, data: np.ndarray,
+                          index: int) -> np.ndarray:
+        plan = self.plan
+        if not plan.read_flip_rate \
+                or self._draw(_TAG_RDFLIP, index) >= plan.read_flip_rate:
+            return data
+        rng = generator_for(plan.seed, _TAG_RDFLIP, index, 1)
+        positions = np.unique(rng.integers(
+            data.size * 8, size=plan.read_flip_bits))
+        data = data.copy()
+        _xor_bits(data, positions)
+        self._log(index, "rd-flip", "RD",
+                  tuple(int(p) for p in positions))
+        return data
+
+    def _stuck_bits_for(self, address: RowAddress) \
+            -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        key = (address.channel, address.pseudo_channel, address.bank,
+               address.row)
+        if key in self._stuck_cache:
+            return self._stuck_cache[key]
+        plan = self.plan
+        stuck: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        if plan.stuck_row_rate and uniform_for(
+                plan.seed, _TAG_STUCK, *key) < plan.stuck_row_rate:
+            rng = generator_for(plan.seed, _TAG_STUCK, *key, 1)
+            count = 1 + int(rng.integers(plan.stuck_bits_per_row))
+            row_bits = self.wrapped.geometry.row_bits
+            positions = np.unique(rng.integers(row_bits, size=count))
+            values = rng.integers(2, size=positions.size).astype(np.uint8)
+            stuck = (positions.astype(np.int64), values)
+        self._stuck_cache[key] = stuck
+        return stuck
+
+    def _apply_stuck_cells(self, address: RowAddress, data: np.ndarray,
+                           index: int) -> np.ndarray:
+        stuck = self._stuck_bits_for(address)
+        if stuck is None:
+            return data
+        positions, values = stuck
+        data = data.copy()
+        byte_index = positions // 8
+        bit_in_byte = (7 - positions % 8).astype(np.uint8)
+        mask = (np.uint8(1) << bit_in_byte)
+        # Clear the stuck bits, then OR in the stuck values.
+        np.bitwise_and.at(data, byte_index, np.uint8(0xFF) ^ mask)
+        np.bitwise_or.at(data, byte_index,
+                         (values << bit_in_byte).astype(np.uint8))
+        self._log(index, "stuck", "RD", tuple(int(p) for p in positions))
+        return data
+
+
+def wrap_device(device: HBM2Stack,
+                plan: Optional[FaultPlan]) -> HBM2Stack:
+    """Wrap ``device`` when ``plan`` injects device-level faults.
+
+    Returns the device unchanged for ``None`` plans, plans with only
+    worker-level knobs, or devices already wrapped — so the fault-free
+    path stays bit-identical to a build without this layer.
+    """
+    if plan is None or not plan.device_faults_enabled():
+        return device
+    if isinstance(device, FaultyStack):
+        return device
+    return FaultyStack(device, plan)
+
+
+def apply_worker_faults(plan: Optional[FaultPlan], experiment_id: str,
+                        attempt: int) -> None:
+    """Fire worker-level faults for one experiment attempt.
+
+    ``stall_experiments`` sleeps (pushing the attempt over a runner
+    timeout); ``crash_once`` hard-kills the process on the first
+    attempt, simulating a board/host crash the runner must survive.
+    """
+    if plan is None:
+        return
+    stall = plan.stall_experiments.get(experiment_id, 0.0)
+    if stall > 0:
+        time.sleep(stall)
+    if experiment_id in plan.crash_once and attempt == 1:
+        os._exit(CRASH_EXIT_CODE)

@@ -1,0 +1,210 @@
+"""Fault plans: deterministic, seedable chaos configuration.
+
+A :class:`FaultPlan` describes *which* platform faults to inject and at
+what rates; the :class:`~repro.faults.injector.FaultyStack` wrapper and
+the resilient runner consume it.  Every stochastic decision is a pure
+function of ``(plan.seed, fault kind, command counter)`` through the
+same splitmix64 machinery the cell model uses
+(:mod:`repro.dram.seeding`), so the same plan replayed over the same
+command stream produces a byte-identical fault schedule.
+
+Two fault families live here:
+
+- **Device/interface faults** (consumed by ``FaultyStack``): bit errors
+  on RD data, dropped and ghost (duplicated) commands, timing jitter on
+  ACT intervals, stuck-at cells, wall-clock platform stalls, and
+  simulated board hangs (raised as
+  :class:`~repro.errors.PlatformHangError`).
+- **Worker-level faults** (consumed by the resilient runner's worker
+  processes): hard crashes of the process running a given experiment
+  (``crash_once``) and forced wall-clock stalls per experiment id
+  (``stall_experiments``) — the levers the chaos tests use to exercise
+  timeout and crash recovery end to end.
+
+Activation
+----------
+
+Programmatic: ``faults.install_plan(plan)`` /
+``faults.clear_plan()``.  Environment: set ``HBMSIM_FAULTS`` to a JSON
+object of :class:`FaultPlan` fields, e.g.::
+
+    HBMSIM_FAULTS='{"seed": 7, "read_flip_rate": 0.01, "drop_rate": 0.002}'
+
+The environment plan is inherited by experiment worker processes, so a
+whole sweep runs under the same chaos.  With no plan installed the
+device path is untouched — experiment reports stay bit-identical to a
+fault-free run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import FaultPlanError
+
+_ENV_PLAN = "HBMSIM_FAULTS"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One chaos configuration; all rates are probabilities in [0, 1]."""
+
+    #: Root seed for every fault decision.
+    seed: int = 0
+
+    # -- interface faults on read data ---------------------------------
+    #: Probability that one RD's returned data suffers interface bit
+    #: errors (flips on the bus, not in the array).
+    read_flip_rate: float = 0.0
+    #: Number of bits flipped when a RD is corrupted.
+    read_flip_bits: int = 1
+
+    # -- command stream faults ------------------------------------------
+    #: Probability a droppable command (ACT/PRE/WR/REF/WAIT) is lost.
+    drop_rate: float = 0.0
+    #: Probability a ghostable command (PRE/REF) is executed twice.
+    ghost_rate: float = 0.0
+
+    # -- timing faults ---------------------------------------------------
+    #: Probability an ACT/HAMMER interval picks up timing jitter.
+    act_jitter_rate: float = 0.0
+    #: Maximum jitter magnitude added to the aggressor on-time (ns).
+    act_jitter_ns: float = 0.0
+
+    # -- stuck-at cells ---------------------------------------------------
+    #: Probability a given row has stuck-at bits on its readout path.
+    stuck_row_rate: float = 0.0
+    #: Maximum stuck bits per affected row (actual count is derived
+    #: deterministically per row in [1, max]).
+    stuck_bits_per_row: int = 4
+
+    # -- platform stalls / hangs -----------------------------------------
+    #: Probability a command stalls the platform for ``stall_seconds``
+    #: of real wall-clock time (exercises runner timeouts).
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.05
+    #: Probability a command makes the simulated board stop responding
+    #: (raises :class:`~repro.errors.PlatformHangError`).
+    hang_rate: float = 0.0
+
+    # -- worker-level faults (resilient-runner chaos) ---------------------
+    #: Experiment ids whose worker process is hard-killed on the first
+    #: attempt (simulates a board/host crash mid-run; retries succeed).
+    crash_once: Tuple[str, ...] = ()
+    #: Experiment id -> seconds of forced wall-clock stall before the
+    #: experiment body runs (used to push one id over ``--timeout``).
+    stall_experiments: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("read_flip_rate", "drop_rate", "ghost_rate",
+                     "act_jitter_rate", "stuck_row_rate", "stall_rate",
+                     "hang_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultPlanError(
+                    f"{name} must be within [0, 1], got {value!r}")
+        if self.read_flip_bits < 1:
+            raise FaultPlanError("read_flip_bits must be >= 1")
+        if self.stuck_bits_per_row < 1:
+            raise FaultPlanError("stuck_bits_per_row must be >= 1")
+        if self.act_jitter_ns < 0 or self.stall_seconds < 0:
+            raise FaultPlanError("jitter/stall magnitudes must be >= 0")
+        object.__setattr__(self, "crash_once", tuple(self.crash_once))
+        object.__setattr__(self, "stall_experiments",
+                           dict(self.stall_experiments))
+
+    # -- classification ---------------------------------------------------
+
+    def device_faults_enabled(self) -> bool:
+        """Whether any device/interface fault can fire under this plan."""
+        return any((self.read_flip_rate, self.drop_rate, self.ghost_rate,
+                    self.act_jitter_rate, self.stuck_row_rate,
+                    self.stall_rate, self.hang_rate))
+
+    def worker_faults_enabled(self) -> bool:
+        """Whether any worker-level fault is configured."""
+        return bool(self.crash_once or self.stall_experiments)
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable rendering (suitable for ``HBMSIM_FAULTS``)."""
+        payload: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            elif isinstance(value, Mapping):
+                value = dict(value)
+            payload[spec.name] = value
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault plan fields: {', '.join(unknown)}")
+        return cls(**dict(payload))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise FaultPlanError(
+                f"HBMSIM_FAULTS is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise FaultPlanError("HBMSIM_FAULTS must be a JSON object")
+        try:
+            return cls.from_dict(payload)
+        except TypeError as exc:
+            raise FaultPlanError(f"bad fault plan: {exc}") from None
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Active-plan resolution: programmatic install wins over the environment.
+# ----------------------------------------------------------------------
+
+_installed: Optional[FaultPlan] = None
+#: Tiny parse cache so active_plan() in a command hot path stays cheap.
+_env_cache: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def install_plan(plan: FaultPlan) -> None:
+    """Activate a plan for this process (overrides ``HBMSIM_FAULTS``)."""
+    global _installed
+    if not isinstance(plan, FaultPlan):
+        raise FaultPlanError(f"expected a FaultPlan, got {type(plan)!r}")
+    _installed = plan
+
+
+def clear_plan() -> None:
+    """Deactivate any programmatically installed plan."""
+    global _installed
+    _installed = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan in effect: installed plan, else ``HBMSIM_FAULTS``, else
+    ``None`` (no chaos)."""
+    global _env_cache
+    if _installed is not None:
+        return _installed
+    spec = os.environ.get(_ENV_PLAN) or None
+    cached_spec, cached_plan = _env_cache
+    if spec == cached_spec:
+        return cached_plan
+    plan = FaultPlan.from_json(spec) if spec is not None else None
+    _env_cache = (spec, plan)
+    return plan

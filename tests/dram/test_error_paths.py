@@ -1,0 +1,66 @@
+"""Error-path coverage for HBM2Stack timing checks and the shared
+error taxonomy (satellite: TimingError paths in dram/device.py)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.cell_model import CellPopulation
+from repro.dram.device import HBM2Stack, UniformProfileProvider
+from repro.dram.geometry import RowAddress
+from repro.errors import HbmSimError, TimingError
+
+ROW = RowAddress(0, 0, 0, 50)
+OTHER_ROW = RowAddress(0, 0, 0, 51)
+
+
+@pytest.fixture()
+def device() -> HBM2Stack:
+    return HBM2Stack(profile_provider=UniformProfileProvider(
+        CellPopulation(f_weak=0.014, mu_weak=5.0)))
+
+
+class TestTimingErrorPaths:
+    def test_read_with_different_row_open(self, device):
+        device.activate(ROW)
+        with pytest.raises(TimingError, match="different row open"):
+            device.read_row(OTHER_ROW)
+
+    def test_write_with_different_row_open(self, device):
+        device.activate(ROW)
+        with pytest.raises(TimingError, match="different row open"):
+            device.write_row(OTHER_ROW,
+                             np.zeros(device.geometry.row_bytes,
+                                      dtype=np.uint8))
+
+    def test_hammer_on_open_bank(self, device):
+        device.activate(ROW)
+        with pytest.raises(TimingError, match="closed bank"):
+            device.hammer(OTHER_ROW, 10)
+
+    def test_double_activate(self, device):
+        device.activate(ROW)
+        with pytest.raises(TimingError, match="already open"):
+            device.activate(OTHER_ROW)
+
+    def test_negative_wait_is_value_error(self, device):
+        # Invalid argument, not a protocol violation: stays ValueError.
+        with pytest.raises(ValueError):
+            device.wait(-1.0)
+
+    def test_same_row_read_while_open_is_legal(self, device):
+        device.activate(ROW)
+        device.read_row(ROW)  # no TimingError
+        device.precharge(ROW.channel, ROW.pseudo_channel, ROW.bank)
+
+
+class TestErrorTaxonomy:
+    def test_timing_error_is_hbmsim_error(self, device):
+        device.activate(ROW)
+        with pytest.raises(HbmSimError):
+            device.read_row(OTHER_ROW)
+
+    def test_legacy_import_path_still_works(self):
+        from repro.dram.timing import TimingError as LegacyTimingError
+        from repro.dram import TimingError as PackageTimingError
+        assert LegacyTimingError is TimingError
+        assert PackageTimingError is TimingError

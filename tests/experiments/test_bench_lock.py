@@ -1,0 +1,60 @@
+"""Concurrency tests for the bench append lock (satellite: record_run
+must not lose runs when several processes append at once)."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.experiments import bench
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="concurrent writers use the fork start method")
+
+
+def _append(path: str, writer: int, runs: int) -> None:
+    for index in range(runs):
+        bench.record_run({f"w{writer}-r{index}": 0.1}, scale=0.5,
+                         jobs=1, cache="warm", path=path)
+
+
+@needs_fork
+def test_concurrent_writers_lose_no_records(tmp_path):
+    path = tmp_path / "BENCH_experiments.json"
+    writers, runs_each = 4, 5
+    context = multiprocessing.get_context("fork")
+    procs = [context.Process(target=_append,
+                             args=(str(path), writer, runs_each))
+             for writer in range(writers)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    payload = json.loads(path.read_text())
+    assert len(payload["runs"]) == writers * runs_each
+    names = {name for run in payload["runs"]
+             for name in run["experiments"]}
+    assert len(names) == writers * runs_each
+    assert not (tmp_path / "BENCH_experiments.json.lock").exists()
+
+
+def test_lock_file_removed_after_append(tmp_path):
+    path = tmp_path / "BENCH_experiments.json"
+    bench.record_run({"fig05": 1.0}, scale=0.1, path=str(path))
+    assert path.exists()
+    assert not (tmp_path / "BENCH_experiments.json.lock").exists()
+
+
+def test_stale_lock_is_broken(tmp_path, monkeypatch):
+    path = tmp_path / "BENCH_experiments.json"
+    lock = tmp_path / "BENCH_experiments.json.lock"
+    lock.write_text("999999")
+    # Pretend the lock is ancient so the stale-breaking path fires
+    # without waiting out the real 30 s threshold.
+    monkeypatch.setattr(bench, "_LOCK_STALE_S", 0.0)
+    bench.record_run({"fig05": 1.0}, scale=0.1, path=str(path))
+    payload = json.loads(path.read_text())
+    assert len(payload["runs"]) == 1
+    assert not lock.exists()

@@ -34,10 +34,20 @@ class TestParallelEquivalence:
             run_many(["table1", "fig99"], SCALE, jobs=4)
 
     def test_run_timed_reports_wall_times(self):
-        results, timings = run_timed(["table1"], SCALE)
+        results, records = run_timed(["table1"], SCALE)
         assert results[0].experiment_id == "table1"
-        assert set(timings) == {"table1"}
-        assert timings["table1"] > 0
+        assert [r.experiment_id for r in records] == ["table1"]
+        assert records[0].status == "ok"
+        assert records[0].elapsed > 0
+
+    def test_duplicate_ids_keep_per_invocation_records(self):
+        """run_timed(["x", "x"]) must not collapse the timing entries
+        (historical dict-comprehension bug)."""
+        results, records = run_timed(["table1", "table1"], SCALE)
+        assert [r.experiment_id for r in results] == ["table1", "table1"]
+        assert [(r.experiment_id, r.index) for r in records] \
+            == [("table1", 0), ("table1", 1)]
+        assert all(r.status == "ok" for r in records)
 
 
 class TestBenchHarness:

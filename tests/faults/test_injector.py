@@ -1,0 +1,174 @@
+"""Tests for the FaultyStack chaos wrapper and its wiring."""
+
+import numpy as np
+import pytest
+
+from repro.bender.host import BenderSession
+from repro.bender.interpreter import Interpreter
+from repro.dram.cell_model import CellPopulation
+from repro.dram.device import HBM2Stack, UniformProfileProvider
+from repro.dram.geometry import RowAddress
+from repro.errors import (HbmSimError, PlatformFaultError,
+                          PlatformHangError)
+from repro.faults import (FaultPlan, FaultyStack, clear_plan, install_plan,
+                          wrap_device)
+
+ROW = RowAddress(0, 0, 0, 100)
+
+
+def make_device() -> HBM2Stack:
+    return HBM2Stack(profile_provider=UniformProfileProvider(
+        CellPopulation(f_weak=0.014, mu_weak=5.0)))
+
+
+def make_faulty(**plan_fields) -> FaultyStack:
+    return FaultyStack(make_device(), FaultPlan(**plan_fields))
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan(monkeypatch):
+    monkeypatch.delenv("HBMSIM_FAULTS", raising=False)
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestDeterminism:
+    PLAN = dict(seed=7, read_flip_rate=0.3, drop_rate=0.1, ghost_rate=0.2,
+                act_jitter_rate=0.3, act_jitter_ns=40.0,
+                stuck_row_rate=0.3)
+
+    def _drive(self, stack):
+        image = np.full(1024, 0x55, dtype=np.uint8)
+        reads = []
+        for row in range(30):
+            address = RowAddress(0, 0, 0, row)
+            stack.write_row(address, image)
+            reads.append(stack.read_row(address))
+        stack.hammer(RowAddress(0, 0, 1, 10), 50)
+        stack.refresh(0, 0)
+        return reads
+
+    def test_same_seed_same_schedule_and_data(self):
+        first = make_faulty(**self.PLAN)
+        second = make_faulty(**self.PLAN)
+        reads_a = self._drive(first)
+        reads_b = self._drive(second)
+        assert first.events == second.events
+        assert first.schedule_digest() == second.schedule_digest()
+        for a, b in zip(reads_a, reads_b):
+            assert np.array_equal(a, b)
+        assert len(first.events) > 0
+
+    def test_different_seed_different_schedule(self):
+        first = make_faulty(**self.PLAN)
+        second = make_faulty(**{**self.PLAN, "seed": 8})
+        self._drive(first)
+        self._drive(second)
+        assert first.schedule_digest() != second.schedule_digest()
+
+
+class TestFaultBehaviours:
+    def test_read_flips_are_interface_errors_not_array_errors(self):
+        stack = make_faulty(seed=1, read_flip_rate=1.0, read_flip_bits=4)
+        image = np.full(1024, 0x55, dtype=np.uint8)
+        stack.write_row(ROW, image)
+        corrupted = stack.read_row(ROW)
+        assert not np.array_equal(corrupted, image)
+        # The stored row is pristine: the flip happened on the bus.
+        assert np.array_equal(stack.inspect_row(ROW), image)
+
+    def test_stuck_cells_persist_across_reads(self):
+        stack = make_faulty(seed=3, stuck_row_rate=1.0,
+                            stuck_bits_per_row=8)
+        zeros = np.zeros(1024, dtype=np.uint8)
+        ones = np.full(1024, 0xFF, dtype=np.uint8)
+        stack.write_row(ROW, zeros)
+        read_zeros = stack.read_row(ROW)
+        stack.write_row(ROW, ones)
+        read_ones = stack.read_row(ROW)
+        stuck_events = [e for e in stack.events if e.fault == "stuck"]
+        assert len(stuck_events) == 2
+        assert stuck_events[0].detail == stuck_events[1].detail
+        # At least one of the two images shows the pinned bits.
+        assert (not np.array_equal(read_zeros, zeros)
+                or not np.array_equal(read_ones, ones))
+
+    def test_dropped_write_loses_data(self):
+        stack = make_faulty(seed=1, drop_rate=1.0)
+        stack.write_row(ROW, np.full(1024, 0xFF, dtype=np.uint8))
+        assert not np.any(stack.inspect_row(ROW))
+
+    def test_ghost_refresh_executes_twice(self):
+        stack = make_faulty(seed=1, ghost_rate=1.0)
+        stack.refresh(0, 0)
+        assert stack.stats.refs == 2
+        assert [e.fault for e in stack.events] == ["ghost"]
+
+    def test_dropped_wait_freezes_time(self):
+        stack = make_faulty(seed=1, drop_rate=1.0)
+        stack.wait(1000.0)
+        assert stack.now_ns == 0.0
+
+    def test_hang_raises_platform_fault(self):
+        stack = make_faulty(seed=1, hang_rate=1.0)
+        with pytest.raises(PlatformHangError) as excinfo:
+            stack.refresh(0, 0)
+        assert isinstance(excinfo.value, PlatformFaultError)
+        assert isinstance(excinfo.value, HbmSimError)
+
+    def test_act_jitter_amplifies_hammer_disturbance(self):
+        plain = make_device()
+        plain.hammer(ROW.neighbor(1), 1000)
+        clean_units = plain.accumulated_units(ROW)
+        jittered = make_faulty(seed=2, act_jitter_rate=1.0,
+                               act_jitter_ns=500.0)
+        jittered.hammer(ROW.neighbor(1), 1000)
+        assert jittered.accumulated_units(ROW) > clean_units
+
+    def test_fault_free_plan_is_transparent(self):
+        device = make_device()
+        assert wrap_device(device, None) is device
+        assert wrap_device(device, FaultPlan(seed=5)) is device
+        # Worker-only knobs must not perturb the device path either.
+        assert wrap_device(
+            device, FaultPlan(crash_once=("fig05",))) is device
+
+    def test_delegation_exposes_device_surface(self):
+        stack = make_faulty(seed=1, read_flip_rate=0.5)
+        assert stack.geometry is stack.wrapped.geometry
+        assert stack.timings is stack.wrapped.timings
+        stack.enable_tracing()
+        stack.write_row(ROW, np.zeros(1024, dtype=np.uint8))
+        assert stack.trace()  # ring buffer reached through delegation
+
+
+class TestWiring:
+    def test_interpreter_wraps_under_installed_plan(self):
+        install_plan(FaultPlan(seed=1, read_flip_rate=0.5))
+        interpreter = Interpreter(make_device())
+        assert isinstance(interpreter.device, FaultyStack)
+
+    def test_interpreter_unwrapped_without_plan(self):
+        device = make_device()
+        assert Interpreter(device).device is device
+
+    def test_session_adopts_wrapped_device(self, monkeypatch):
+        monkeypatch.setenv("HBMSIM_FAULTS",
+                           '{"seed": 2, "drop_rate": 0.1}')
+        session = BenderSession(make_device())
+        assert isinstance(session.device, FaultyStack)
+        assert session.device is session.interpreter.device
+
+    def test_explicit_plan_overrides(self):
+        interpreter = Interpreter(
+            make_device(), fault_plan=FaultPlan(seed=4, ghost_rate=0.2))
+        assert isinstance(interpreter.device, FaultyStack)
+        assert interpreter.device.plan.seed == 4
+
+    def test_double_wrap_collapses(self):
+        plan = FaultPlan(seed=1, read_flip_rate=0.5)
+        inner = make_device()
+        once = FaultyStack(inner, plan)
+        twice = FaultyStack(once, plan)
+        assert twice.wrapped is inner

@@ -1,0 +1,89 @@
+"""Tests for FaultPlan configuration, env parsing, and activation."""
+
+import pytest
+
+from repro.errors import FaultPlanError, HbmSimError
+from repro.faults import (FaultPlan, active_plan, clear_plan, install_plan)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan(monkeypatch):
+    monkeypatch.delenv("HBMSIM_FAULTS", raising=False)
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestFaultPlan:
+    def test_defaults_are_fault_free(self):
+        plan = FaultPlan()
+        assert not plan.device_faults_enabled()
+        assert not plan.worker_faults_enabled()
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan(seed=42, read_flip_rate=0.01, drop_rate=0.002,
+                         act_jitter_rate=0.1, act_jitter_ns=25.0,
+                         crash_once=("fig05",),
+                         stall_experiments={"fig07": 2.5})
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    @pytest.mark.parametrize("field,value", [
+        ("read_flip_rate", 1.5), ("drop_rate", -0.1),
+        ("hang_rate", 2.0), ("stuck_row_rate", -1.0),
+    ])
+    def test_rates_validated(self, field, value):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(**{field: value})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json('{"seed": 1, "flux_capacitor": 1}')
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("not json")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_fault_plan_error_is_hbmsim_error(self):
+        with pytest.raises(HbmSimError):
+            FaultPlan(read_flip_rate=7.0)
+
+    def test_worker_faults_classification(self):
+        assert FaultPlan(crash_once=("fig05",)).worker_faults_enabled()
+        assert FaultPlan(
+            stall_experiments={"fig07": 1.0}).worker_faults_enabled()
+        assert not FaultPlan(
+            crash_once=("fig05",)).device_faults_enabled()
+
+
+class TestActivation:
+    def test_no_plan_by_default(self):
+        assert active_plan() is None
+
+    def test_env_plan(self, monkeypatch):
+        monkeypatch.setenv("HBMSIM_FAULTS",
+                           '{"seed": 9, "read_flip_rate": 0.5}')
+        plan = active_plan()
+        assert plan is not None
+        assert plan.seed == 9
+        assert plan.read_flip_rate == 0.5
+
+    def test_installed_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("HBMSIM_FAULTS", '{"seed": 9}')
+        install_plan(FaultPlan(seed=3))
+        assert active_plan().seed == 3
+        clear_plan()
+        assert active_plan().seed == 9
+
+    def test_env_cache_tracks_changes(self, monkeypatch):
+        monkeypatch.setenv("HBMSIM_FAULTS", '{"seed": 1}')
+        assert active_plan().seed == 1
+        monkeypatch.setenv("HBMSIM_FAULTS", '{"seed": 2}')
+        assert active_plan().seed == 2
+        monkeypatch.delenv("HBMSIM_FAULTS")
+        assert active_plan() is None
+
+    def test_install_rejects_non_plan(self):
+        with pytest.raises(FaultPlanError):
+            install_plan({"seed": 1})
