@@ -9,28 +9,31 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+from repro import perf
+
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
                  title: Optional[str] = None) -> str:
     """Render an aligned text table."""
-    materialized: List[List[str]] = [[_cell(v) for v in row]
-                                     for row in rows]
-    widths = [len(h) for h in headers]
-    for row in materialized:
-        if len(row) != len(headers):
-            raise ValueError("row width does not match headers")
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append("  ".join(h.ljust(widths[i])
-                           for i, h in enumerate(headers)))
-    lines.append("  ".join("-" * w for w in widths))
-    for row in materialized:
-        lines.append("  ".join(cell.ljust(widths[i])
-                               for i, cell in enumerate(row)))
-    return "\n".join(lines)
+    with perf.timed_phase("report"):
+        materialized: List[List[str]] = [[_cell(v) for v in row]
+                                         for row in rows]
+        widths = [len(h) for h in headers]
+        for row in materialized:
+            if len(row) != len(headers):
+                raise ValueError("row width does not match headers")
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append("  ".join(h.ljust(widths[i])
+                               for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in materialized:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        return "\n".join(lines)
 
 
 def _cell(value: object) -> str:
@@ -49,13 +52,14 @@ def render_series(name: str, xs: Sequence[object],
                   ys: Sequence[float], x_label: str = "x",
                   y_label: str = "y") -> str:
     """Render one figure series as two aligned rows."""
-    header = f"{name} ({x_label} -> {y_label})"
-    x_cells = [_cell(x) for x in xs]
-    y_cells = [_cell(y) for y in ys]
-    widths = [max(len(a), len(b)) for a, b in zip(x_cells, y_cells)]
-    line_x = "  ".join(c.rjust(w) for c, w in zip(x_cells, widths))
-    line_y = "  ".join(c.rjust(w) for c, w in zip(y_cells, widths))
-    return "\n".join([header, "  " + line_x, "  " + line_y])
+    with perf.timed_phase("report"):
+        header = f"{name} ({x_label} -> {y_label})"
+        x_cells = [_cell(x) for x in xs]
+        y_cells = [_cell(y) for y in ys]
+        widths = [max(len(a), len(b)) for a, b in zip(x_cells, y_cells)]
+        line_x = "  ".join(c.rjust(w) for c, w in zip(x_cells, widths))
+        line_y = "  ".join(c.rjust(w) for c, w in zip(y_cells, widths))
+        return "\n".join([header, "  " + line_x, "  " + line_y])
 
 
 def percent(fraction: float, digits: int = 2) -> str:

@@ -10,15 +10,18 @@ must stay within the 32 ms refresh window (Section 3.1) can assert it.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.bender.interpreter import ExecutionResult, Interpreter
 from repro.bender.program import TestProgram
+from repro.dram.batch import (RowBatchProfile, batch_enabled,
+                              engine_supported)
 from repro.dram.device import HBM2Stack
 from repro.dram.geometry import RowAddress
 from repro.dram.row_mapping import RowMapping
+from repro.faults import active_plan
 
 
 class RefreshWindowExceeded(Exception):
@@ -110,3 +113,52 @@ class BenderSession:
     def read_physical_row(self, physical: RowAddress) -> np.ndarray:
         """Read a row addressed physically (mapping applied)."""
         return self.device.read_row(self.logical_of_physical(physical))
+
+    # -- batched row-population measurement -------------------------------
+
+    def batching_active(self) -> bool:
+        """Whether batched measurement may replace the scalar path here.
+
+        False when the ``HBMSIM_BATCH`` escape hatch disables it, a fault
+        plan is installed (installed after session construction counts
+        too), the device is wrapped (``FaultyStack``), or TRR is enabled
+        — all cases where per-command execution has observable effects
+        the closed-form engine cannot replay.
+        """
+        return (batch_enabled() and active_plan() is None
+                and engine_supported(self.device))
+
+    def profile_rows(self, addresses, pattern,
+                     radius: int = 8) -> RowBatchProfile:
+        """Batched fault-physics profile of physical ``addresses``.
+
+        The returned :class:`~repro.dram.batch.RowBatchProfile` evaluates
+        hammer schedules against the whole batch without issuing
+        commands.  Callers must check :meth:`batching_active` first; the
+        profile constructor rejects unsupported devices.
+        """
+        return RowBatchProfile(self.device, addresses, pattern,
+                               radius=radius)
+
+    def hammer_rows(self, victims, pattern, count: int,
+                    t_on: Optional[float] = None) -> List[np.ndarray]:
+        """Measure init -> double-sided hammer -> read for many victims.
+
+        Returns the per-victim row images a ``read_physical_row`` after
+        the hammer would observe, in victim order.  Uses the batch engine
+        when :meth:`batching_active`; otherwise falls back to the scalar
+        command sequence (which, like the real methodology, advances
+        device time and is visible to fault plans and TRR).
+        """
+        victims = list(victims)
+        if self.batching_active():
+            result = self.profile_rows(victims, pattern).hammer(count, t_on)
+            return [image for image in result.images]
+        from repro.bender.routines.hammer import double_sided_hammer
+        from repro.bender.routines.rowinit import initialize_window
+        images = []
+        for victim in victims:
+            initialize_window(self, victim, pattern)
+            double_sided_hammer(self, victim, count, t_on)
+            images.append(self.read_physical_row(victim))
+        return images

@@ -11,7 +11,9 @@ exploiting that bitflip count is monotone in hammer count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.bender.host import BenderSession
 from repro.bender.routines.hammer import double_sided_hammer
@@ -83,6 +85,71 @@ def search_hc_first(session: BenderSession,
         else:
             low = mid
     return HcFirstResult(victim_physical, pattern.name, t_on, high, probes)
+
+
+def search_hc_first_rows(session: BenderSession,
+                         victims: Sequence[RowAddress],
+                         pattern: DataPattern,
+                         t_on: Optional[float] = None,
+                         start: int = 4096,
+                         max_hammers: int = 1_500_000,
+                         tolerance: float = 0.01) -> List[HcFirstResult]:
+    """HC_first search over many rows, bisecting all simultaneously.
+
+    Per-row results are identical to calling :func:`search_hc_first` on
+    each victim — the ramp and bisection visit the same per-row probe
+    sequence, evaluated one batched :meth:`RowBatchProfile.hammer` per
+    level instead of one command sequence per probe.  Falls back to the
+    scalar loop when the session cannot batch (fault plan installed,
+    TRR enabled, or ``HBMSIM_BATCH=0``).
+    """
+    victims = list(victims)
+    if start < 1:
+        raise ValueError("start must be at least 1")
+    if not victims:
+        return []
+    if not session.batching_active():
+        return [search_hc_first(session, victim, pattern, t_on, start,
+                                max_hammers, tolerance)
+                for victim in victims]
+    profile = session.profile_rows(victims, pattern)
+    n = len(victims)
+    low = np.zeros(n, dtype=np.int64)
+    high = np.zeros(n, dtype=np.int64)
+    found = np.zeros(n, dtype=bool)
+    probes = np.zeros(n, dtype=np.int64)
+    count = np.full(n, start, dtype=np.int64)
+    ramping = np.ones(n, dtype=bool)
+    while True:
+        active = np.flatnonzero(ramping & (count <= max_hammers))
+        if active.size == 0:
+            break
+        flips = profile.hammer(count[active], t_on, subset=active).bitflips
+        probes[active] += 1
+        hit = flips > 0
+        hit_rows = active[hit]
+        high[hit_rows] = count[hit_rows]
+        found[hit_rows] = True
+        ramping[hit_rows] = False
+        miss_rows = active[~hit]
+        low[miss_rows] = count[miss_rows]
+        count[miss_rows] *= 2
+    while True:
+        # Same stop rule as the scalar search: int() truncation included.
+        slack = np.maximum(1, (tolerance * high).astype(np.int64))
+        active = np.flatnonzero(found & (high - low > slack))
+        if active.size == 0:
+            break
+        mid = (low[active] + high[active]) // 2
+        flips = profile.hammer(mid, t_on, subset=active).bitflips
+        probes[active] += 1
+        hit = flips > 0
+        high[active[hit]] = mid[hit]
+        low[active[~hit]] = mid[~hit]
+    return [HcFirstResult(victim, pattern.name, t_on,
+                          int(high[index]) if found[index] else None,
+                          int(probes[index]))
+            for index, victim in enumerate(victims)]
 
 
 @dataclass(frozen=True)

@@ -207,17 +207,19 @@ class ChipProfile:
         self._die_ber = tuple(f / mean_die for f in spec.die_ber_factors)
         self._spatial_tables: Optional[SpatialTables] = None
         self._pattern_hc_tables: Dict[str, np.ndarray] = {}
+        from repro import perf
         from repro.chips import cache as calibration_cache
-        cached = (calibration_cache.load_base_f_weak(spec, geometry)
-                  if use_cache else None)
-        if cached is not None:
-            self.base_f_weak = cached
-        else:
-            self.base_f_weak = self._calibrate_f_weak()
-            self._refine_f_weak()
-            if use_cache:
-                calibration_cache.store_base_f_weak(spec, geometry,
-                                                    self.base_f_weak)
+        with perf.timed_phase("calibrate"):
+            cached = (calibration_cache.load_base_f_weak(spec, geometry)
+                      if use_cache else None)
+            if cached is not None:
+                self.base_f_weak = cached
+            else:
+                self.base_f_weak = self._calibrate_f_weak()
+                self._refine_f_weak()
+                if use_cache:
+                    calibration_cache.store_base_f_weak(
+                        spec, geometry, self.base_f_weak)
 
     @property
     def n_weak_reference(self) -> int:

@@ -13,15 +13,22 @@ t_AggON, sidedness) to effective disturbance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from collections import OrderedDict
+
 from repro.chips.profiles import ChipProfile
-from repro.chips.vectorized import PopulationGrid, population_grid
+from repro.chips.vectorized import (PopulationBatch, PopulationGrid,
+                                    population_batch, population_combos,
+                                    population_grid)
 from repro.core import metrics
 from repro.core.patterns import ALL_PATTERNS
 from repro.dram.geometry import RowAddress
+
+#: One (channel, pseudo_channel, bank) coordinate of a study sweep.
+Combo = Tuple[int, int, int]
 
 
 def effective_hammers(chip: ChipProfile, hammer_count: float,
@@ -126,6 +133,117 @@ def wcdp_ber(chip: ChipProfile, channel: int, pseudo_channel: int,
     ber_matrix = np.stack([bers[name] for name in names])
     wcdp_index = np.argmin(hc_matrix, axis=0)
     bers["WCDP"] = ber_matrix[wcdp_index, np.arange(rows.size)]
+    return bers
+
+
+#: Memo of recent combo batches.  The WCDP helpers evaluate HC_first and
+#: BER over the *same* combos x rows cross-product, one batch per
+#: pattern; caching the immutable batches halves the kernel work of a
+#: combined study.  Bounded FIFO — a handful of (combos, rows, pattern)
+#: keys covers every repeated lookup within one experiment.
+_COMBO_CACHE: "OrderedDict[tuple, PopulationBatch]" = OrderedDict()
+_COMBO_CACHE_LIMIT = 12
+
+
+def combo_population(chip: ChipProfile, combos: Sequence[Combo],
+                     rows: np.ndarray, pattern: str) -> PopulationBatch:
+    """One population batch covering ``combos`` x ``rows``.
+
+    The batch is laid out rows-fastest — element ``c * len(rows) + r`` is
+    row ``rows[r]`` of ``combos[c]`` — so reshaping any per-element
+    result to ``(len(combos), len(rows))`` recovers one
+    :func:`population_grid` result per combo, bit-identically (the
+    batched and grid kernels share ``_population_arrays``).  Results are
+    memoized (treat the returned batch as read-only).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    key = (chip.spec.index, chip.spec.seed, tuple(combos),
+           rows.tobytes(), pattern)
+    batch = _COMBO_CACHE.get(key)
+    if batch is not None:
+        _COMBO_CACHE.move_to_end(key)
+        return batch
+    batch = population_combos(
+        chip,
+        [channel for channel, __, __ in combos],
+        [pseudo_channel for __, pseudo_channel, __ in combos],
+        [bank for __, __, bank in combos],
+        rows, pattern)
+    _COMBO_CACHE[key] = batch
+    while len(_COMBO_CACHE) > _COMBO_CACHE_LIMIT:
+        _COMBO_CACHE.popitem(last=False)
+    return batch
+
+
+def wcdp_hc_first_multi(chip: ChipProfile, combos: Sequence[Combo],
+                        rows: np.ndarray,
+                        t_on: Optional[float] = None
+                        ) -> Dict[str, np.ndarray]:
+    """Batched :func:`wcdp_hc_first` over many (ch, pc, bank) combos.
+
+    Returns pattern name (plus ``"WCDP"``) -> ``(len(combos),
+    len(rows))`` arrays; row ``c`` equals ``wcdp_hc_first(chip,
+    *combos[c], rows, t_on)`` bit-for-bit.
+    """
+    rows = np.asarray(rows)
+    amp = amplification(chip, t_on)
+    shape = (len(combos), rows.size)
+    per_pattern = {}
+    for pattern in ALL_PATTERNS:
+        batch = combo_population(chip, combos, rows, pattern.name)
+        per_pattern[pattern.name] = batch.hc_first(amp).reshape(shape)
+    stacked = np.stack(list(per_pattern.values()))
+    per_pattern["WCDP"] = stacked.min(axis=0)
+    return per_pattern
+
+
+def wcdp_ber_multi(chip: ChipProfile, combos: Sequence[Combo],
+                   rows: np.ndarray,
+                   hammer_count: int = metrics.BER_TEST_HAMMERS,
+                   t_on: Optional[float] = None,
+                   sampled: bool = True,
+                   rng: Optional[np.random.Generator] = None
+                   ) -> Dict[str, np.ndarray]:
+    """Batched :func:`wcdp_ber` over many (ch, pc, bank) combos.
+
+    Returns pattern name (plus ``"WCDP"``) -> ``(len(combos),
+    len(rows))`` arrays equal to per-combo :func:`wcdp_ber` calls.  The
+    closed-form probabilities are computed in one batch per pattern; the
+    binomial sampling then consumes ``rng`` in the exact scalar order
+    (combo-major, pattern-minor) so shared-generator studies draw the
+    same variates as the per-combo loop.
+    """
+    rows = np.asarray(rows)
+    shape = (len(combos), rows.size)
+    hc = wcdp_hc_first_multi(chip, combos, rows, t_on)
+    eff = effective_hammers(chip, hammer_count, t_on)
+    names = [pattern.name for pattern in ALL_PATTERNS]
+    probabilities = {}
+    seeds = {}
+    for name in names:
+        batch = combo_population(chip, combos, rows, name)
+        probabilities[name] = batch.ber(eff).reshape(shape)
+        seeds[name] = batch.profile_seeds.reshape(shape)
+    bers = {}
+    if not sampled:
+        bers.update(probabilities)
+    else:
+        sampled_values = {name: np.empty(shape) for name in names}
+        for index in range(len(combos)):
+            for name in names:
+                # rng=None replays the scalar per-grid default: a fresh
+                # generator seeded from the grid's first profile seed.
+                generator = rng if rng is not None else \
+                    np.random.default_rng(
+                        int(seeds[name][index, 0]) & 0x7FFFFFFF)
+                sampled_values[name][index] = generator.binomial(
+                    8192, probabilities[name][index]) / 8192.0
+        bers.update(sampled_values)
+    hc_matrix = np.stack([hc[name] for name in names])
+    ber_matrix = np.stack([bers[name] for name in names])
+    wcdp_index = np.argmin(hc_matrix, axis=0)
+    combo_index, row_index = np.indices(shape)
+    bers["WCDP"] = ber_matrix[wcdp_index, combo_index, row_index]
     return bers
 
 

@@ -30,6 +30,7 @@ from repro.bender.routines.ber_test import RowBerResult, measure_row_ber
 from repro.bender.routines.rowinit import initialize_window
 from repro.chips.profiles import ChipProfile
 from repro.core import analytic, metrics
+from repro.dram.batch import batch_enabled
 from repro.dram.geometry import RowAddress
 from repro.dram.timing import DEFAULT_TIMINGS
 
@@ -112,18 +113,35 @@ def rowpress_ber_study(chips: Sequence[ChipProfile],
             for segment in ("first", "middle", "last")])
         by_t: Dict[float, Dict[int, float]] = {}
         expected_by_t: Dict[float, Dict[int, float]] = {}
-        grids = {
-            channel: analytic.population_grid(
-                chip, channel, pseudo_channel, bank, rows, pattern)
-            for channel in range(chip.geometry.channels)}
-        for t_on in t_ons:
-            eff = analytic.effective_hammers(chip, hammer_count, t_on)
-            by_t[t_on] = {
-                channel: float(grid.sampled_ber(eff, rng).mean())
-                for channel, grid in grids.items()}
-            expected_by_t[t_on] = {
-                channel: float(grid.ber(eff).mean())
-                for channel, grid in grids.items()}
+        n_channels = chip.geometry.channels
+        if batch_enabled():
+            combos = [(channel, pseudo_channel, bank)
+                      for channel in range(n_channels)]
+            batch = analytic.combo_population(chip, combos, rows, pattern)
+            for t_on in t_ons:
+                eff = analytic.effective_hammers(chip, hammer_count, t_on)
+                probabilities = batch.ber(eff).reshape(n_channels,
+                                                       rows.size)
+                by_t[t_on] = {
+                    channel: float((rng.binomial(
+                        8192, probabilities[channel]) / 8192.0).mean())
+                    for channel in range(n_channels)}
+                expected_by_t[t_on] = {
+                    channel: float(probabilities[channel].mean())
+                    for channel in range(n_channels)}
+        else:
+            grids = {
+                channel: analytic.population_grid(
+                    chip, channel, pseudo_channel, bank, rows, pattern)
+                for channel in range(chip.geometry.channels)}
+            for t_on in t_ons:
+                eff = analytic.effective_hammers(chip, hammer_count, t_on)
+                by_t[t_on] = {
+                    channel: float(grid.sampled_ber(eff, rng).mean())
+                    for channel, grid in grids.items()}
+                expected_by_t[t_on] = {
+                    channel: float(grid.ber(eff).mean())
+                    for channel, grid in grids.items()}
         channel_means[chip.label] = by_t
         expected_means[chip.label] = expected_by_t
     return RowPressBerStudy(hammer_count, pattern, tuple(t_ons),
@@ -174,17 +192,34 @@ def rowpress_hcfirst_study(chips: Sequence[ChipProfile],
     """
     hc_by_chip: Dict[str, Dict[float, np.ndarray]] = {}
     included: Dict[str, int] = {}
+    use_batch = batch_enabled()
     for chip in chips:
         rows = analytic.stratified_rows(chip.geometry.rows,
                                         rows_per_channel)
         timings = DEFAULT_TIMINGS
         per_t: Dict[float, List[np.ndarray]] = {t: [] for t in t_ons}
         keep_masks = []
-        for channel in channels:
-            grid = analytic.population_grid(chip, channel, pseudo_channel,
-                                            bank, rows, pattern)
-            hc_per_t = {t: grid.hc_first(chip.disturbance.amplification(t))
-                        for t in t_ons}
+        # amplification_array is element-wise identical to the scalar
+        # method, so both paths may share the one vectorized call.
+        amplifications = dict(zip(
+            t_ons, chip.disturbance.amplification_array(list(t_ons))))
+        if use_batch:
+            combos = [(channel, pseudo_channel, bank)
+                      for channel in channels]
+            batch = analytic.combo_population(chip, combos, rows, pattern)
+            hc_matrix = {
+                t: batch.hc_first(amplifications[t]).reshape(
+                    len(channels), rows.size)
+                for t in t_ons}
+        for index, channel in enumerate(channels):
+            if use_batch:
+                hc_per_t = {t: hc_matrix[t][index] for t in t_ons}
+            else:
+                grid = analytic.population_grid(chip, channel,
+                                                pseudo_channel, bank,
+                                                rows, pattern)
+                hc_per_t = {t: grid.hc_first(amplifications[t])
+                            for t in t_ons}
             mask = np.ones(rows.size, dtype=bool)
             for t in t_ons:
                 # At t_AggON = 16 ms each aggressor fits exactly once in

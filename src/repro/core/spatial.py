@@ -22,6 +22,7 @@ import numpy as np
 from repro.chips.profiles import ChipProfile
 from repro.core import analytic, metrics
 from repro.core.patterns import ALL_PATTERNS
+from repro.dram.batch import batch_enabled
 
 #: Pattern columns reported by the figures (Table 1 order plus WCDP).
 PATTERN_COLUMNS = tuple(p.name for p in ALL_PATTERNS) + ("WCDP",)
@@ -86,6 +87,7 @@ def chip_ber_study(chips: Sequence[ChipProfile],
     ``sampled=False`` removes the finite-row binomial noise — useful for
     spread statistics at reduced population scales.
     """
+    use_batch = batch_enabled()
     summaries: Dict[str, Dict[str, DistributionSummary]] = {}
     for chip in chips:
         rng = np.random.default_rng(seed + chip.spec.index)
@@ -93,12 +95,21 @@ def chip_ber_study(chips: Sequence[ChipProfile],
                                         rows_per_channel)
         per_pattern: Dict[str, List[np.ndarray]] = {
             name: [] for name in PATTERN_COLUMNS}
-        for channel in range(chip.geometry.channels):
-            bers = analytic.wcdp_ber(chip, channel, pseudo_channel, bank,
-                                     rows, hammer_count, rng=rng,
-                                     sampled=sampled)
+        if use_batch:
+            combos = [(channel, pseudo_channel, bank)
+                      for channel in range(chip.geometry.channels)]
+            bers = analytic.wcdp_ber_multi(chip, combos, rows,
+                                           hammer_count, rng=rng,
+                                           sampled=sampled)
             for name in PATTERN_COLUMNS:
-                per_pattern[name].append(bers[name])
+                per_pattern[name].extend(bers[name])
+        else:
+            for channel in range(chip.geometry.channels):
+                bers = analytic.wcdp_ber(chip, channel, pseudo_channel,
+                                         bank, rows, hammer_count, rng=rng,
+                                         sampled=sampled)
+                for name in PATTERN_COLUMNS:
+                    per_pattern[name].append(bers[name])
         summaries[chip.label] = {
             name: DistributionSummary.of(np.concatenate(values))
             for name, values in per_pattern.items()}
@@ -128,18 +139,28 @@ def chip_hcfirst_study(chips: Sequence[ChipProfile],
                        pseudo_channels: Tuple[int, ...] = (0, 1)
                        ) -> ChipHcFirstStudy:
     """Run the Fig. 5 study (Table 2: 3072 rows x 3 banks x 2 PCs x 8 ch)."""
+    use_batch = batch_enabled()
     summaries: Dict[str, Dict[str, DistributionSummary]] = {}
     for chip in chips:
         rows = analytic.stratified_rows(chip.geometry.rows, rows_per_bank)
         collected: Dict[str, List[np.ndarray]] = {
             name: [] for name in PATTERN_COLUMNS}
-        for channel in range(chip.geometry.channels):
-            for pc in pseudo_channels:
-                for bank in banks:
-                    hc = analytic.wcdp_hc_first(chip, channel, pc, bank,
-                                                rows)
-                    for name in PATTERN_COLUMNS:
-                        collected[name].append(hc[name])
+        if use_batch:
+            combos = [(channel, pc, bank)
+                      for channel in range(chip.geometry.channels)
+                      for pc in pseudo_channels
+                      for bank in banks]
+            hc = analytic.wcdp_hc_first_multi(chip, combos, rows)
+            for name in PATTERN_COLUMNS:
+                collected[name].extend(hc[name])
+        else:
+            for channel in range(chip.geometry.channels):
+                for pc in pseudo_channels:
+                    for bank in banks:
+                        hc = analytic.wcdp_hc_first(chip, channel, pc,
+                                                    bank, rows)
+                        for name in PATTERN_COLUMNS:
+                            collected[name].append(hc[name])
         summaries[chip.label] = {
             name: DistributionSummary.of(np.concatenate(values))
             for name, values in collected.items()}
@@ -185,6 +206,16 @@ def channel_ber_study(chip: ChipProfile, rows_per_channel: int = 16384,
     rows = analytic.stratified_rows(chip.geometry.rows, rows_per_channel)
     summaries: Dict[str, Dict[int, DistributionSummary]] = {
         name: {} for name in PATTERN_COLUMNS}
+    if batch_enabled():
+        combos = [(channel, pseudo_channel, bank)
+                  for channel in range(chip.geometry.channels)]
+        bers = analytic.wcdp_ber_multi(chip, combos, rows, hammer_count,
+                                       rng=rng, sampled=sampled)
+        for name in PATTERN_COLUMNS:
+            for channel in range(chip.geometry.channels):
+                summaries[name][channel] = DistributionSummary.of(
+                    bers[name][channel])
+        return ChannelStudy(chip.label, "ber", summaries)
     for channel in range(chip.geometry.channels):
         bers = analytic.wcdp_ber(chip, channel, pseudo_channel, bank, rows,
                                  hammer_count, rng=rng, sampled=sampled)
@@ -201,6 +232,23 @@ def channel_hcfirst_study(chip: ChipProfile, rows_per_bank: int = 3072,
     rows = analytic.stratified_rows(chip.geometry.rows, rows_per_bank)
     summaries: Dict[str, Dict[int, DistributionSummary]] = {
         name: {} for name in PATTERN_COLUMNS}
+    if batch_enabled():
+        per_channel = len(pseudo_channels) * len(banks)
+        combos = [(channel, pc, bank)
+                  for channel in range(chip.geometry.channels)
+                  for pc in pseudo_channels
+                  for bank in banks]
+        hc = analytic.wcdp_hc_first_multi(chip, combos, rows)
+        for name in PATTERN_COLUMNS:
+            # Combos are channel-major, so each channel's measurements
+            # are one contiguous (per_channel * rows) slab — the same
+            # values the scalar loop concatenates.
+            slabs = hc[name].reshape(chip.geometry.channels,
+                                     per_channel * rows.size)
+            for channel in range(chip.geometry.channels):
+                summaries[name][channel] = DistributionSummary.of(
+                    slabs[channel])
+        return ChannelStudy(chip.label, "hc_first", summaries)
     for channel in range(chip.geometry.channels):
         collected: Dict[str, List[np.ndarray]] = {
             name: [] for name in PATTERN_COLUMNS}
@@ -262,10 +310,17 @@ def row_ber_profile(chip: ChipProfile,
     rng = np.random.default_rng(seed + chip.spec.index)
     rows = np.arange(0, chip.geometry.rows, row_stride)
     ber_by_channel = {}
-    for channel in channels:
-        bers = analytic.wcdp_ber(chip, channel, pseudo_channel, bank, rows,
-                                 hammer_count, rng=rng)
-        ber_by_channel[channel] = bers["WCDP"]
+    if batch_enabled():
+        combos = [(channel, pseudo_channel, bank) for channel in channels]
+        bers = analytic.wcdp_ber_multi(chip, combos, rows, hammer_count,
+                                       rng=rng)
+        for index, channel in enumerate(channels):
+            ber_by_channel[channel] = bers["WCDP"][index]
+    else:
+        for channel in channels:
+            bers = analytic.wcdp_ber(chip, channel, pseudo_channel, bank,
+                                     rows, hammer_count, rng=rng)
+            ber_by_channel[channel] = bers["WCDP"]
     return RowProfileStudy(
         chip_label=chip.label,
         channels=tuple(channels),
@@ -333,10 +388,19 @@ def bank_variation_study(chip: ChipProfile, rows_per_segment: int = 100,
     ])
     study = BankVariationStudy(chip.label)
     eff = analytic.effective_hammers(chip, hammer_count)
-    for channel, pc, bank in geometry.iter_banks():
-        grid = analytic.population_grid(chip, channel, pc, bank, rows,
-                                        pattern)
-        ber = grid.sampled_ber(eff, rng)
+    combos = list(geometry.iter_banks())
+    if batch_enabled():
+        batch = analytic.combo_population(chip, combos, rows, pattern)
+        probabilities = batch.ber(eff).reshape(len(combos), rows.size)
+    else:
+        probabilities = None
+    for index, (channel, pc, bank) in enumerate(combos):
+        if probabilities is not None:
+            ber = rng.binomial(8192, probabilities[index]) / 8192.0
+        else:
+            grid = analytic.population_grid(chip, channel, pc, bank, rows,
+                                            pattern)
+            ber = grid.sampled_ber(eff, rng)
         mean = float(ber.mean())
         cv = float(ber.std() / mean) if mean > 0 else 0.0
         study.points.append(BankPoint(channel, pc, bank, mean, cv))

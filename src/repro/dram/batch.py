@@ -1,0 +1,294 @@
+"""Batched row-population execution engine.
+
+The paper's methodology evaluates the same measurement — initialize the
+pattern window, hammer the two neighbors, read the victim — over
+thousands of victim rows.  Driving :class:`~repro.dram.device.HBM2Stack`
+one command at a time replays that faithfully but serializes every row
+through Python-level command dispatch.  This engine evaluates the *same
+physics* against arrays of victim rows in one shot:
+
+- per-cell threshold arrays for the whole row sample are stacked into one
+  ``(rows, row_bits)`` matrix (materialized once and reused across
+  probes, where the scalar path re-materializes per probe),
+- accumulated-disturbance units replay the exact float operation order of
+  the command engine (window-init writes, then each aggressor's fused
+  hammer),
+- pending-flip masks, retention failures, on-die ECC correction and the
+  data-pattern XOR are applied across the population with numpy.
+
+**Equivalence contract** (asserted in ``tests/dram/test_batch.py``): for
+any victim set, :meth:`RowBatchProfile.hammer` returns bit-identical row
+images and flip counts to running ``initialize_window`` /
+``double_sided_hammer`` / ``read_row`` per victim on the device.  The
+engine is a *measurement surface*: it does not mutate device state,
+advance device time, or update command statistics, exactly like the
+analytic engine in :mod:`repro.core.analytic`.
+
+**When not to use it**: the engine models the fault-free, refresh-free
+measurement window.  Callers must fall back to the scalar command path
+when a fault plan is installed (:func:`repro.faults.active_plan`), when
+the device is wrapped (``FaultyStack``), or when TRR is enabled — the
+session-level wrappers in :class:`repro.bender.host.BenderSession` do
+this automatically, and ``HBMSIM_BATCH=0`` forces the scalar path
+everywhere (the escape hatch).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.device import ROW_IO_NS, HBM2Stack, classify_victim_pattern
+from repro.dram.geometry import RowAddress
+
+#: Window-init radius of the paper's methodology (Table 1: the pattern
+#: extends to distance 8 from the victim).  Mirrors
+#: ``repro.bender.routines.rowinit.PATTERN_RADIUS`` without importing the
+#: bender layer from the dram layer.
+PATTERN_RADIUS = 8
+
+_ENV_FLAG = "HBMSIM_BATCH"
+
+
+def batch_enabled() -> bool:
+    """Whether batched execution is enabled (``HBMSIM_BATCH`` escape
+    hatch; any of ``0/false/no/off`` disables, default enabled)."""
+    value = os.environ.get(_ENV_FLAG)
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "no", "off")
+
+
+def engine_supported(device) -> bool:
+    """Whether ``device`` can be measured through the batch engine.
+
+    Requires a plain :class:`HBM2Stack` (no fault wrapper or subclass —
+    overridden command semantics would diverge from the engine's
+    closed-form replay) with TRR disabled (the scalar path mutates TRR
+    activation counters; bypassing it would desynchronize later REFs).
+    """
+    return type(device) is HBM2Stack and not device.trr_config.enabled
+
+
+@dataclass
+class BatchHammerResult:
+    """Outcome of one batched hammer evaluation."""
+
+    #: Victims, in request order.
+    victims: List[RowAddress]
+    #: Per-victim row images exactly as ``read_row`` would return them.
+    images: np.ndarray
+    #: Committed flip mask per victim (pre-ECC), ``(rows, row_bits)``.
+    committed: np.ndarray
+    #: Observed mismatch mask vs the expected pattern image (post-ECC).
+    observed_flips: np.ndarray
+    #: Observed bitflip count per victim (what ``count_bitflips`` sees).
+    bitflips: np.ndarray
+
+
+class RowBatchProfile:
+    """Stacked fault-physics state for a batch of victim rows.
+
+    Building the profile materializes every victim's cell thresholds and
+    retention floor once; :meth:`hammer` then evaluates any (count,
+    t_AggON) schedule against the whole batch without touching the
+    device.  Victims may be arbitrary addresses (different banks or
+    channels); each is evaluated independently, which matches the scalar
+    sequence because every measurement re-initializes its whole pattern
+    window (blast radius 2 < init radius 8 — no cross-victim residue
+    survives the re-init).
+    """
+
+    def __init__(self, device: HBM2Stack, victims: Sequence[RowAddress],
+                 pattern, radius: int = PATTERN_RADIUS) -> None:
+        if not engine_supported(device):
+            raise ValueError(
+                "batch engine requires a plain HBM2Stack with TRR "
+                "disabled; use the scalar command path instead")
+        self.device = device
+        self.victims = [address.validate(device.geometry)
+                        for address in victims]
+        self.pattern = pattern
+        self.radius = radius
+        geometry = device.geometry
+        expected = pattern.victim_row(geometry.row_bytes)
+        #: The profile the device looks up is keyed on the *written*
+        #: victim image, classified back to a canonical pattern name.
+        self.pattern_name = classify_victim_pattern(expected)
+        self.expected = np.asarray(expected, dtype=np.uint8)
+
+        n = len(self.victims)
+        layout = geometry.subarrays
+        model = device.disturbance
+        provider = device.profile_provider
+
+        self.thresholds = np.empty((n, geometry.row_bits), dtype=float)
+        self.min_thresholds = np.empty(n, dtype=float)
+        self.retention_floors = np.full(n, np.inf)
+        self.init_units = np.zeros(n, dtype=float)
+        #: Whether the aggressor at row-1 / row+1 exists in the bank.
+        self.has_low_aggressor = np.zeros(n, dtype=bool)
+        self.has_high_aggressor = np.zeros(n, dtype=bool)
+        #: ... and also shares the victim's subarray (disturbs it).
+        self.low_disturbs = np.zeros(n, dtype=bool)
+        self.high_disturbs = np.zeros(n, dtype=bool)
+        #: Window rows written after the victim (for the retention clock).
+        self.upper_writes = np.zeros(n, dtype=np.int64)
+
+        timings = device.timings
+        #: Open time of one window-init write (stretched to tRAS).
+        self.t_write_on = max(timings.t_rcd + ROW_IO_NS, timings.t_ras)
+        temperature = device.temperature_disturbance_factor()
+        distances = sorted(model.distance_factors)
+
+        for index, victim in enumerate(self.victims):
+            row = victim.row
+            if row - 1 < 0 and row + 1 >= geometry.rows:
+                raise ValueError("victim has no neighbors in the bank")
+            self.has_low_aggressor[index] = row - 1 >= 0
+            self.has_high_aggressor[index] = row + 1 < geometry.rows
+            self.low_disturbs[index] = (
+                row - 1 >= 0 and layout.same_subarray(row, row - 1))
+            self.high_disturbs[index] = (
+                row + 1 < geometry.rows
+                and layout.same_subarray(row, row + 1))
+            self.upper_writes[index] = min(radius,
+                                           geometry.rows - 1 - row)
+            # Window-init disturbance: rewriting the victim clears its
+            # accumulator, so only the writes *after* it (rows victim+d,
+            # ascending d) contribute — replayed in the same add order.
+            units = 0.0
+            for distance in distances:
+                neighbor = row + distance
+                if distance > radius or neighbor >= geometry.rows:
+                    continue
+                if not layout.same_subarray(row, neighbor):
+                    continue
+                contribution = (1 * temperature) \
+                    * model.units_per_activation(self.t_write_on, distance)
+                if contribution > 0:
+                    units += contribution
+            self.init_units[index] = units
+
+            profile = provider.profile(victim, self.pattern_name)
+            population = profile.population
+            strong_floor = 10.0 ** (population.mu_strong
+                                    - 3.0 * population.sigma_strong)
+            self.min_thresholds[index] = min(float(profile.hc_first()),
+                                             strong_floor)
+            self.thresholds[index] = profile.materialize()
+            if device.retention is not None:
+                self.retention_floors[index] = \
+                    device.retention.row_retention_ns(victim)
+
+    def __len__(self) -> int:
+        return len(self.victims)
+
+    # ------------------------------------------------------------------
+
+    def _elapsed_at_read(self, counts: np.ndarray, effective_t_on: float,
+                         indices: np.ndarray) -> np.ndarray:
+        """Time between the victim's init write and the read's commit.
+
+        Replays the command clock: the victim's own write, the window
+        writes above it, then one fused hammer per in-range aggressor.
+        """
+        timings = self.device.timings
+        per_write = self.t_write_on + timings.t_rp
+        commands = (self.has_low_aggressor[indices].astype(np.int64)
+                    + self.has_high_aggressor[indices].astype(np.int64))
+        return (per_write * (1 + self.upper_writes[indices])
+                + commands * counts * timings.act_to_act(effective_t_on))
+
+    def hammer(self, counts, t_on: Optional[float] = None,
+               subset: Optional[np.ndarray] = None) -> BatchHammerResult:
+        """Evaluate a double-sided hammer of ``counts`` per aggressor.
+
+        ``counts`` broadcasts over the batch (per-victim counts are what
+        the vectorized HC_first bisection feeds).  ``subset`` restricts
+        evaluation to the given victim indices (results align with the
+        subset order).
+        """
+        device = self.device
+        timings = device.timings
+        if subset is None:
+            indices = np.arange(len(self.victims))
+        else:
+            indices = np.asarray(subset, dtype=np.int64)
+        counts = np.broadcast_to(
+            np.asarray(counts, dtype=np.int64), indices.shape).copy()
+        if (counts < 0).any():
+            raise ValueError("count must be non-negative")
+        effective_t_on = timings.t_ras if t_on is None \
+            else max(t_on, timings.t_ras)
+
+        # Accumulated units at the read's commit, replaying the command
+        # engine's add order: init writes first, then aggressor hammers
+        # (low side, then high side), each `count * temperature * upa`.
+        temperature = device.temperature_disturbance_factor()
+        per_activation = device.disturbance.units_per_activation(
+            effective_t_on, 1)
+        per_side = (counts * temperature) * per_activation
+        acc = self.init_units[indices].copy()
+        low = self.low_disturbs[indices]
+        acc[low] += per_side[low]
+        high = self.high_disturbs[indices]
+        acc[high] += per_side[high]
+
+        committed = self.thresholds[indices] <= acc[:, None]
+        # min-threshold fast path parity: acc below the row's weakest
+        # cell yields an empty mask by construction (the bound is exact).
+
+        if device.retention is not None:
+            elapsed = self._elapsed_at_read(counts, effective_t_on, indices)
+            effective = elapsed * device.retention_acceleration()
+            failing = np.flatnonzero(
+                effective >= self.retention_floors[indices])
+            for position in failing:
+                victim = self.victims[int(indices[position])]
+                bits = device.retention.failing_bits(
+                    victim, float(effective[position]))
+                committed[position, bits] = True
+
+        images = np.broadcast_to(
+            self.expected, (indices.size, self.expected.size)).copy()
+        images ^= np.packbits(committed, axis=1)
+
+        observed = committed
+        if device.mode_registers.ecc_enabled:
+            corrections = _ecc_correction_mask(committed)
+            if corrections is not None:
+                images ^= np.packbits(corrections, axis=1)
+                observed = committed & ~corrections
+
+        return BatchHammerResult(
+            victims=[self.victims[int(i)] for i in indices],
+            images=images,
+            committed=committed,
+            observed_flips=observed,
+            bitflips=observed.sum(axis=1),
+        )
+
+
+def _ecc_correction_mask(committed: np.ndarray) -> Optional[np.ndarray]:
+    """Single-bit-per-64-bit-word SECDED corrections for a flip stack.
+
+    Mirrors ``HBM2Stack._apply_on_die_ecc``: words with exactly one
+    committed flip are corrected (that bit restored in the read image);
+    multi-bit words pass through.  Returns ``None`` when nothing is
+    correctable.
+    """
+    n, row_bits = committed.shape
+    words = committed.reshape(n, row_bits // 64, 64)
+    flips_per_word = words.sum(axis=2)
+    correctable = flips_per_word == 1
+    if not correctable.any():
+        return None
+    corrections = np.zeros_like(committed)
+    rows, word_index = np.nonzero(correctable)
+    offsets = np.argmax(words[rows, word_index], axis=1)
+    corrections[rows, word_index * 64 + offsets] = True
+    return corrections

@@ -75,15 +75,22 @@ def splitmix64_array(values: np.ndarray) -> np.ndarray:
 
     uint64 wraparound is the algorithm, not an error: inputs go through
     ``np.asarray`` because ndarray integer ops (any ndim) wrap silently,
-    while numpy *generic* scalars would raise overflow warnings.
+    while numpy *generic* scalars would raise overflow warnings.  The
+    scrambling rounds update their temporaries in place — the same
+    operations (hence bits) as the naive expression at roughly half the
+    memory traffic, which dominates on sweep-sized arrays.
     """
-    values = np.asarray(values).astype(np.uint64)
+    values = np.asarray(values, dtype=np.uint64)
     values = values + np.uint64(0x9E3779B97F4A7C15)
-    values = (values ^ (values >> np.uint64(30))) \
-        * np.uint64(0xBF58476D1CE4E5B9)
-    values = (values ^ (values >> np.uint64(27))) \
-        * np.uint64(0x94D049BB133111EB)
-    return values ^ (values >> np.uint64(31))
+    mixed = values >> np.uint64(30)
+    mixed ^= values
+    mixed *= np.uint64(0xBF58476D1CE4E5B9)
+    values = mixed >> np.uint64(27)
+    values ^= mixed
+    values *= np.uint64(0x94D049BB133111EB)
+    mixed = values >> np.uint64(31)
+    mixed ^= values
+    return mixed
 
 
 def seed_array_for(pre: tuple, varying: np.ndarray,
@@ -148,11 +155,68 @@ def seed_array_mixed(*components) -> np.ndarray:
     return state
 
 
+def fold_seed_states(states: np.ndarray, *components) -> np.ndarray:
+    """Continue per-element :func:`derive_seed` chains with more folds.
+
+    ``states`` is an array of chain states (what :func:`seed_array_mixed`
+    returns); each component — scalar or broadcastable array — is folded
+    exactly as another ``derive_seed`` argument would be.  Lets callers
+    with block-structured coordinates (e.g. a combo cross-product where
+    channel/bank are constant within each block) fold the shared prefix
+    once per block and only run the full-size arrays through the varying
+    tail — bit-identical to the flat chain, at a fraction of the passes.
+    """
+    states = np.asarray(states, dtype=np.uint64)
+    for component in components:
+        if isinstance(component, (int, np.integer)):
+            value = np.uint64(int(component) & _MASK64)
+        else:
+            value = np.asarray(component, dtype=np.uint64)
+        states = splitmix64_array(states ^ value)
+    return states
+
+
+#: 2**-64 is an exact power of two, so ``draw * _INV_2_64`` rounds
+#: identically to ``draw / 2**64`` — the scalar path's division — for
+#: every uint64 input.
+_INV_2_64 = 2.0 ** -64
+
+
+def uniforms_from_states(states: np.ndarray) -> np.ndarray:
+    """U(0,1) draws from completed chain states (one per element)."""
+    draws = splitmix64_array(np.atleast_1d(states)).astype(np.float64)
+    draws *= _INV_2_64
+    return draws
+
+
+def normals_from_states(states: np.ndarray) -> np.ndarray:
+    """Standard-normal draws from completed chain states.
+
+    Branches each chain at the two Box-Muller tags, then applies the
+    Box-Muller transform with in-place kernels — the identical operation
+    sequence (hence bits) as the scalar :func:`normal_for`, minus the
+    intermediate allocations.
+    """
+    state = np.atleast_1d(np.asarray(states, dtype=np.uint64))
+    u1 = splitmix64_array(
+        splitmix64_array(state ^ np.uint64(0x55AA))).astype(np.float64)
+    u1 *= _INV_2_64
+    u2 = splitmix64_array(
+        splitmix64_array(state ^ np.uint64(0xAA55))).astype(np.float64)
+    u2 *= _INV_2_64
+    np.maximum(u1, 1.0e-12, out=u1)
+    np.log(u1, out=u1)
+    u1 *= -2.0
+    np.sqrt(u1, out=u1)
+    u2 *= 2.0 * np.pi
+    np.cos(u2, out=u2)
+    u1 *= u2
+    return u1
+
+
 def uniform_array_mixed(*components) -> np.ndarray:
     """Vectorized :func:`uniform_for` over mixed scalar/array components."""
-    seeds = seed_array_mixed(*components)
-    return splitmix64_array(np.atleast_1d(seeds)).astype(np.float64) \
-        / float(_MASK64 + 1)
+    return uniforms_from_states(seed_array_mixed(*components))
 
 
 def normal_array_mixed(*components) -> np.ndarray:
@@ -162,15 +226,7 @@ def normal_array_mixed(*components) -> np.ndarray:
     the two Box-Muller tags — the same states (hence bits) as two full
     :func:`uniform_array_mixed` chains at nearly half the array work.
     """
-    state = np.atleast_1d(seed_array_mixed(*components))
-    u1 = splitmix64_array(
-        splitmix64_array(state ^ np.uint64(0x55AA))
-    ).astype(np.float64) / float(_MASK64 + 1)
-    u2 = splitmix64_array(
-        splitmix64_array(state ^ np.uint64(0xAA55))
-    ).astype(np.float64) / float(_MASK64 + 1)
-    u1 = np.maximum(u1, 1.0e-12)
-    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+    return normals_from_states(seed_array_mixed(*components))
 
 
 def uniforms_from_seeds(seeds: np.ndarray, post: tuple) -> np.ndarray:
@@ -185,4 +241,6 @@ def uniforms_from_seeds(seeds: np.ndarray, post: tuple) -> np.ndarray:
         np.uint64(_INIT_STATE) ^ np.asarray(seeds, dtype=np.uint64))
     for component in post:
         states = splitmix64_array(states ^ np.uint64(component & _MASK64))
-    return splitmix64_array(states).astype(np.float64) / float(_MASK64 + 1)
+    draws = splitmix64_array(states).astype(np.float64)
+    draws *= _INV_2_64
+    return draws

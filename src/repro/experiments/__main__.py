@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.errors import ExperimentError, HbmSimError, UnknownExperimentError
 from repro.experiments import bench
@@ -81,6 +82,7 @@ def main(argv=None) -> int:
     scale = args.scale if args.scale is not None else default_scale()
     ids = args.ids or list(EXPERIMENTS)
     cache = bench.cache_state()  # observed before the run warms it
+    sweep_start = time.perf_counter()
     try:
         __, records = run_timed(
             ids, scale, jobs=args.jobs, timeout=args.timeout,
@@ -122,11 +124,13 @@ def main(argv=None) -> int:
         print(f"\n{ok}/{len(records)} experiments succeeded, "
               f"{failures} failed", file=sys.stderr)
     if args.bench is not None:
+        wall = time.perf_counter() - sweep_start
         timed = [record for record in records
                  if record.succeeded and record.status != "cached"]
         if timed:
             path = bench.record_run(timed, scale, jobs=args.jobs,
-                                    cache=cache, path=args.bench)
+                                    cache=cache, path=args.bench,
+                                    wall_seconds=wall)
             print(f"\nbench: recorded {len(timed)} timings -> {path}",
                   file=sys.stderr)
         else:

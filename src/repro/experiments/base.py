@@ -19,6 +19,11 @@ class ExperimentResult:
     data: Dict[str, Any] = field(default_factory=dict)
     #: Headline values from the paper for side-by-side comparison.
     paper_reference: Dict[str, Any] = field(default_factory=dict)
+    #: Wall seconds by phase ("calibrate" / "execute" / "report"),
+    #: filled by :func:`repro.experiments.registry.run_experiment` from
+    #: the :mod:`repro.perf` collection.  Empty for results constructed
+    #: outside the registry (and for checkpoints from older runs).
+    phases: Dict[str, float] = field(default_factory=dict)
 
     def __str__(self) -> str:
         return self.text

@@ -7,25 +7,37 @@ PR instead of living in commit messages.  The file is a single JSON
 document::
 
     {
-      "schema": 1,
+      "schema": 2,
       "runs": [
         {
           "timestamp": "2026-08-06T12:00:00+00:00",
           "scale": 0.25,
           "jobs": 1,
           "cache": "cold",          # "cold" | "warm" | "disabled"
-          "experiments": {"fig05": 1.03, "fig07": 0.61},
-          "total_seconds": 1.64
+          "batch": true,            # batched analytic engine active?
+          "experiments": {
+            "fig05": {"seconds": 1.03,
+                      "phases": {"calibrate": 0.7, "execute": 0.3,
+                                 "report": 0.03}}
+          },
+          "total_seconds": 1.03,
+          "wall_seconds": 1.1       # whole-sweep wall clock (if known)
         },
         ...
       ]
     }
 
-Reading it: compare the same (scale, jobs, cache) tuples across runs —
-a "warm" run isolates compute from calibration, a "cold" run includes
-one calibration per chip, and "disabled" reproduces the pre-cache
-behaviour.  Entries append chronologically; the last run with matching
-parameters is the current state of the tree.
+Reading it: compare the same (scale, jobs, cache, batch) tuples across
+runs — a "warm" run isolates compute from calibration, a "cold" run
+includes one calibration per chip, "disabled" reproduces the pre-cache
+behaviour, and ``batch: false`` is the scalar (``HBMSIM_BATCH=0``)
+engine.  ``total_seconds`` sums per-experiment attempt times;
+``wall_seconds`` is the sweep's wall clock, which ``jobs > 1`` can
+push *below* ``total_seconds``.  Entries append chronologically; the
+last run with matching parameters is the current state of the tree.
+Schema 1 entries (``experiments`` mapping id -> plain seconds, no
+``batch``/``wall_seconds``) remain valid history; readers should accept
+both shapes (see :func:`experiment_seconds`).
 """
 
 from __future__ import annotations
@@ -45,7 +57,7 @@ from repro.chips import cache as calibration_cache
 DEFAULT_BENCH_PATH = "BENCH_experiments.json"
 
 _ENV_PATH = "HBMSIM_BENCH_PATH"
-_SCHEMA = 1
+_SCHEMA = 2
 
 #: How long a concurrent writer waits for the lock before giving up.
 _LOCK_TIMEOUT_S = 10.0
@@ -130,57 +142,109 @@ def _exclusive_lock(target: Path):
                 lock.unlink()
 
 
-def _as_timings(timings_or_records) -> Dict[str, float]:
-    """Normalize ``{id: seconds}`` or an iterable of run records.
+def experiment_seconds(entry) -> float:
+    """Seconds of one per-experiment bench entry, any schema.
 
-    Per-invocation records (``run_timed``'s second return) may repeat
-    an experiment id; repeats aggregate by *summing* wall seconds so
-    the bench schema stays one entry per id.
+    Schema 1 stored a plain float; schema 2 stores ``{"seconds": ...,
+    "phases": {...}}``.  Gate scripts and tests should read through
+    this helper so old baselines keep working.
     """
+    if isinstance(entry, dict):
+        return float(entry.get("seconds", 0.0))
+    return float(entry)
+
+
+def _as_entries(timings_or_records) -> Dict[str, dict]:
+    """Normalize inputs to ``{id: {"seconds": ..., "phases": {...}}}``.
+
+    Accepts ``{id: seconds}`` dicts (phases unknown), schema-2 style
+    ``{id: {"seconds": ...}}`` dicts, or an iterable of
+    :class:`~repro.experiments.runner.RunRecord`.  Per-invocation
+    records may repeat an experiment id; repeats aggregate by *summing*
+    seconds (and phases) so the bench schema stays one entry per id.
+    """
+    entries: Dict[str, dict] = {}
+
+    def merge(experiment_id: str, seconds: float,
+              phases: Optional[Dict[str, float]]) -> None:
+        entry = entries.setdefault(experiment_id,
+                                   {"seconds": 0.0, "phases": {}})
+        entry["seconds"] += seconds
+        for name, value in (phases or {}).items():
+            entry["phases"][name] = entry["phases"].get(name, 0.0) + value
+
     if isinstance(timings_or_records, dict):
-        return dict(timings_or_records)
-    timings: Dict[str, float] = {}
-    for record in timings_or_records:
-        timings[record.experiment_id] = timings.get(
-            record.experiment_id, 0.0) + record.elapsed
-    return timings
+        for experiment_id, value in timings_or_records.items():
+            if isinstance(value, dict):
+                merge(experiment_id, experiment_seconds(value),
+                      value.get("phases"))
+            else:
+                merge(experiment_id, float(value), None)
+    else:
+        for record in timings_or_records:
+            phases = getattr(record.result, "phases", None) \
+                if record.result is not None else None
+            merge(record.experiment_id, record.elapsed, phases)
+    return entries
 
 
 def record_run(timings: Union[Dict[str, float], Iterable],
                scale: float, jobs: int = 1,
                cache: Optional[str] = None,
-               path: Optional[str] = None) -> Path:
+               path: Optional[str] = None,
+               batch: Optional[bool] = None,
+               wall_seconds: Optional[float] = None) -> Path:
     """Append one run record; returns the path written.
 
-    ``timings`` maps experiment id -> wall seconds, or is an iterable
-    of :class:`~repro.experiments.runner.RunRecord` (the second return
+    ``timings`` maps experiment id -> wall seconds (or a schema-2 entry
+    dict), or is an iterable of
+    :class:`~repro.experiments.runner.RunRecord` (the second return
     of :func:`repro.experiments.registry.run_timed`; duplicate-id
-    invocations aggregate by summing).  ``cache`` defaults to
+    invocations aggregate by summing — their per-phase breakdowns come
+    along from ``result.phases``).  ``cache`` defaults to
     :func:`cache_state` *as observed now* — call it before the run for
     an accurate cold/warm label, since the run itself warms the cache.
-    Concurrent writers are serialized through a lock file so no record
-    is ever lost.
+    ``batch`` defaults to the live ``HBMSIM_BATCH`` setting;
+    ``wall_seconds`` is the sweep's wall clock when the caller measured
+    one.  Concurrent writers are serialized through a lock file so no
+    record is ever lost.
     """
-    timings = _as_timings(timings)
+    entries = _as_entries(timings)
     target = bench_path(path)
     with _exclusive_lock(target):
-        return _append_run(target, timings, scale, jobs, cache)
+        return _append_run(target, entries, scale, jobs, cache, batch,
+                           wall_seconds)
 
 
-def _append_run(target: Path, timings: Dict[str, float], scale: float,
-                jobs: int, cache: Optional[str]) -> Path:
+def _append_run(target: Path, entries: Dict[str, dict], scale: float,
+                jobs: int, cache: Optional[str], batch: Optional[bool],
+                wall_seconds: Optional[float]) -> Path:
+    if batch is None:
+        from repro.dram.batch import batch_enabled
+        batch = batch_enabled()
     payload = _load(target)
     payload["schema"] = _SCHEMA
-    payload["runs"].append({
+    run = {
         "timestamp": datetime.datetime.now(
             datetime.timezone.utc).isoformat(timespec="seconds"),
         "scale": scale,
         "jobs": jobs,
         "cache": cache if cache is not None else cache_state(),
-        "experiments": {experiment_id: round(seconds, 4)
-                        for experiment_id, seconds in timings.items()},
-        "total_seconds": round(sum(timings.values()), 4),
-    })
+        "batch": bool(batch),
+        "experiments": {
+            experiment_id: {
+                "seconds": round(entry["seconds"], 4),
+                "phases": {name: round(value, 4)
+                           for name, value in sorted(
+                               entry["phases"].items())},
+            }
+            for experiment_id, entry in entries.items()},
+        "total_seconds": round(sum(entry["seconds"]
+                                   for entry in entries.values()), 4),
+    }
+    if wall_seconds is not None:
+        run["wall_seconds"] = round(wall_seconds, 4)
+    payload["runs"].append(run)
     target.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(dir=target.parent,
                                     prefix=target.name, suffix=".tmp")

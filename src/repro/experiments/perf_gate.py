@@ -1,0 +1,123 @@
+"""CI perf gate: fail when a fresh run regresses past the baseline.
+
+``python -m repro.experiments.perf_gate --baseline BENCH_experiments.json
+--measured bench-ci.json --experiment fig05 --scale 0.25 --factor 2.0``
+compares the newest matching run in ``--measured`` (what CI just
+recorded) against the newest matching run in ``--baseline`` (the
+checked-in history) and exits 1 when the measured per-experiment wall
+time exceeds ``factor`` times the baseline.
+
+Both files are read through
+:func:`repro.experiments.bench.experiment_seconds`, so schema-1 history
+(plain float entries) keeps working as a baseline.  Runs are matched on
+(experiment, scale, jobs, cache) — the warm/jobs=1 default isolates the
+compute path from calibration and pool variance, which is what a 2x
+threshold can police without flaking on shared CI hardware.
+
+Exit status: 0 pass, 1 regression, 2 missing/unreadable data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Tuple
+
+from repro.experiments.bench import experiment_seconds
+
+
+def find_run(payload: dict, experiment_id: str, scale: float,
+             jobs: int, cache: Optional[str],
+             batch: Optional[bool] = None) -> Tuple[Optional[float],
+                                                    Optional[dict]]:
+    """Newest (seconds, run) matching the criteria, or ``(None, None)``.
+
+    ``batch=True/False`` restricts to runs recorded with that engine
+    (schema-1 history carries no ``batch`` key and only matches the
+    default ``None`` = any).
+    """
+    for run in reversed(payload.get("runs", [])):
+        if run.get("scale") != scale or run.get("jobs") != jobs:
+            continue
+        if cache is not None and run.get("cache") != cache:
+            continue
+        if batch is not None and run.get("batch") != batch:
+            continue
+        entry = run.get("experiments", {}).get(experiment_id)
+        if entry is not None:
+            return experiment_seconds(entry), run
+    return None, None
+
+
+def _load(path: str, label: str) -> Optional[dict]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"perf-gate: cannot read {label} {path!r}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.perf_gate",
+        description="Fail CI when a bench run regresses past the "
+                    "checked-in baseline.")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in bench record (the reference)")
+    parser.add_argument("--measured", required=True,
+                        help="bench record produced by this CI run")
+    parser.add_argument("--experiment", default="fig05")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache", default="warm",
+                        help="cache state to match ('warm'; pass '' to "
+                             "match any)")
+    parser.add_argument("--batch", choices=["any", "on", "off"],
+                        default="any",
+                        help="engine to match: 'on' compares batched "
+                             "runs only, 'off' the scalar engine, "
+                             "'any' the newest run regardless (the "
+                             "only choice that matches schema-1 "
+                             "history, which has no batch flag)")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="fail when measured > factor * baseline")
+    args = parser.parse_args(argv)
+    cache = args.cache or None
+    batch = {"any": None, "on": True, "off": False}[args.batch]
+
+    baseline_payload = _load(args.baseline, "baseline")
+    measured_payload = _load(args.measured, "measured run")
+    if baseline_payload is None or measured_payload is None:
+        return 2
+
+    baseline, baseline_run = find_run(baseline_payload, args.experiment,
+                                      args.scale, args.jobs, cache, batch)
+    measured, measured_run = find_run(measured_payload, args.experiment,
+                                      args.scale, args.jobs, cache, batch)
+    criteria = (f"{args.experiment} @ scale {args.scale}, "
+                f"jobs={args.jobs}, cache={cache or 'any'}, "
+                f"batch={args.batch}")
+    if baseline is None:
+        print(f"perf-gate: no baseline run matches {criteria} in "
+              f"{args.baseline!r}", file=sys.stderr)
+        return 2
+    if measured is None:
+        print(f"perf-gate: no measured run matches {criteria} in "
+              f"{args.measured!r}", file=sys.stderr)
+        return 2
+
+    limit = args.factor * baseline
+    verdict = "PASS" if measured <= limit else "FAIL"
+    print(f"perf-gate [{verdict}] {criteria}: measured {measured:.4f}s "
+          f"vs baseline {baseline:.4f}s "
+          f"(limit {args.factor:g}x = {limit:.4f}s; baseline recorded "
+          f"{baseline_run.get('timestamp', '?')}, batch="
+          f"{baseline_run.get('batch', 'n/a')})")
+    return 0 if measured <= limit else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import difflib
+import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.errors import UnknownExperimentError
 from repro.experiments import (fig03_temperature, fig04_ber_chips,
                                fig05_hcfirst_chips, fig06_ber_channels,
@@ -77,12 +79,24 @@ def validate_ids(experiment_ids: Iterable[str]) -> None:
 
 def run_experiment(experiment_id: str,
                    scale: float = 1.0) -> ExperimentResult:
-    """Run one experiment (paper artifact or extension) by id."""
-    if experiment_id in EXPERIMENTS:
-        return EXPERIMENTS[experiment_id](scale)
-    if experiment_id in EXTENSIONS:
-        return EXTENSIONS[experiment_id](scale)
-    raise _unknown(experiment_id)
+    """Run one experiment (paper artifact or extension) by id.
+
+    The result's :attr:`~repro.experiments.base.ExperimentResult.phases`
+    breaks its wall time into ``calibrate`` (chip setup, credited by
+    ``chips.profiles``), ``report`` (text rendering, credited by
+    ``analysis.reporting``), and ``execute`` (the remainder).
+    """
+    runner = EXPERIMENTS.get(experiment_id) or EXTENSIONS.get(experiment_id)
+    if runner is None:
+        raise _unknown(experiment_id)
+    start = time.perf_counter()
+    with perf.collect_phases() as phases:
+        result = runner(scale)
+    total = time.perf_counter() - start
+    tracked = sum(phases.values())
+    phases["execute"] = max(0.0, total - tracked)
+    result.phases = dict(phases)
+    return result
 
 
 def run_timed(experiment_ids: Iterable[str], scale: float = 1.0,

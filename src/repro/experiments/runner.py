@@ -447,12 +447,42 @@ def _run_inline(tasks: Deque[_Task], records: List[RunRecord],
             break
 
 
+def _available_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def _prewarm_calibration() -> None:
+    """Calibrate every chip once in the parent before forking workers.
+
+    Forked workers inherit the parent's ``make_chip`` memo, so warming
+    it here turns N-per-worker calibration-cache loads (the jobs>1
+    slowdown: every worker repeated the whole chip setup) into zero.
+    Best-effort: a failure here surfaces later in whichever experiment
+    actually needs the chip, with its normal error handling.
+    """
+    try:
+        from repro.chips.profiles import all_chips
+        all_chips()
+    except Exception:  # noqa: BLE001 — warming must never kill the run
+        pass
+
+
 def _run_pool(tasks: Deque[_Task], records: List[RunRecord], jobs: int,
               timeout: Optional[float], retries: int, keep_going: bool,
               retry_delay: float, checkpoint: Optional[_RunDir]) -> None:
     """Kill-capable worker-pool execution with crash recovery."""
     ctx = _fork_context()
-    slots = max(1, min(jobs, len(tasks)))
+    # More workers than runnable cores only adds fork and context-switch
+    # cost: the pool keeps its process-isolation semantics (crash
+    # recovery, timeout kills) at any slot count, so cap fan-out at the
+    # CPUs the scheduler will actually grant us.
+    slots = max(1, min(jobs, len(tasks), _available_cores()))
+    if slots > 1:
+        _prewarm_calibration()
     workers = [_Worker(ctx) for _ in range(slots)]
     pending: Deque[_Task] = deque(tasks)
     outstanding = len(pending)
@@ -507,7 +537,13 @@ def _run_pool(tasks: Deque[_Task], records: List[RunRecord], jobs: int,
                          if worker.deadline is not None]
             if deadlines:
                 wait_for = max(0.0, min(deadlines) - time.monotonic())
-            if pending:
+            # A pending task can only start once a slot frees up, and a
+            # reply wakes the wait anyway — so its not_before matters
+            # only when an *idle* slot is waiting out a retry backoff.
+            # (Waiting on it with every slot busy degenerated to
+            # timeout=0: the parent busy-spun through this loop and
+            # starved the workers of a core.)
+            if pending and len(busy) < len(workers):
                 next_ready = min(task.not_before for task in pending)
                 until_ready = max(0.0, next_ready - time.monotonic())
                 wait_for = until_ready if wait_for is None \

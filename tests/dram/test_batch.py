@@ -1,0 +1,214 @@
+"""Equivalence suite for the batched row-population execution engine.
+
+The contract under test (see ``repro.dram.batch``): for any victim set,
+:class:`RowBatchProfile` returns bit-identical row images, flip masks and
+HC_first values to replaying ``initialize_window`` /
+``double_sided_hammer`` / ``read_row`` per victim through the scalar
+command path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bender.host import BenderSession
+from repro.bender.routines.hammer import double_sided_hammer
+from repro.bender.routines.hcfirst import (search_hc_first,
+                                           search_hc_first_rows)
+from repro.bender.routines.rowinit import initialize_window
+from repro.chips.profiles import make_chip
+from repro.core import metrics
+from repro.core.patterns import CHECKERED0, ROWSTRIPE1
+from repro.dram.batch import (RowBatchProfile, batch_enabled,
+                              engine_supported)
+from repro.dram.geometry import RowAddress
+from repro.faults import FaultPlan, FaultyStack, clear_plan, install_plan
+
+HAMMERS = 600_000
+
+
+@pytest.fixture(scope="module")
+def chip1():
+    """A TRR-free chip (the engine rejects Chip 0's TRR device)."""
+    return make_chip(1)
+
+
+@pytest.fixture
+def batch_session(chip1):
+    device = chip1.make_device()
+    return BenderSession(device, mapping=chip1.row_mapping())
+
+
+def scalar_measure(chip, victims, pattern, count, t_on=None, ecc=False):
+    """Reference scalar sequence on a fresh device: init, hammer, read.
+
+    ``make_device`` disables on-die ECC (the methodology observes raw
+    flips); ``ecc=True`` re-enables it for the correction tests.
+    """
+    device = chip.make_device()
+    device.mode_registers.set_field(4, "ecc_enable", ecc)
+    session = BenderSession(device, mapping=chip.row_mapping())
+    images = []
+    for victim in victims:
+        initialize_window(session, victim, pattern)
+        double_sided_hammer(session, victim, count, t_on)
+        images.append(session.read_physical_row(victim))
+    return images
+
+
+def mixed_victims(geometry):
+    """Victims spanning banks/channels, plus both bank-edge rows."""
+    return [
+        RowAddress(0, 0, 0, 0),                     # low edge: no row -1
+        RowAddress(0, 0, 0, geometry.rows - 1),     # high edge: no row +1
+        RowAddress(0, 0, 0, 5000),
+        RowAddress(2, 1, 3, 5000),
+        RowAddress(5, 0, 15, 831),                  # subarray boundary
+        RowAddress(5, 0, 15, 832),
+    ]
+
+
+class TestHammerEquivalence:
+    def test_images_match_scalar_path(self, chip1, batch_session):
+        victims = mixed_victims(chip1.geometry)
+        assert batch_session.batching_active()
+        profile = batch_session.profile_rows(victims, CHECKERED0)
+        result = profile.hammer(HAMMERS)
+        # The comparison must not be vacuous: something has to flip.
+        assert result.bitflips.sum() > 0
+        expected = scalar_measure(chip1, victims, CHECKERED0, HAMMERS)
+        for index, image in enumerate(expected):
+            assert np.array_equal(result.images[index], image), \
+                f"victim {victims[index]} image diverged"
+
+    def test_bitflip_counts_match_count_bitflips(self, chip1,
+                                                 batch_session):
+        victims = mixed_victims(chip1.geometry)
+        result = batch_session.profile_rows(victims, ROWSTRIPE1) \
+            .hammer(HAMMERS)
+        expected_row = ROWSTRIPE1.victim_row(chip1.geometry.row_bytes)
+        for index, image in enumerate(result.images):
+            assert result.bitflips[index] \
+                == metrics.count_bitflips(expected_row, image)
+
+    def test_zero_count_hammer(self, chip1, batch_session):
+        victims = mixed_victims(chip1.geometry)
+        result = batch_session.profile_rows(victims, CHECKERED0).hammer(0)
+        expected = scalar_measure(chip1, victims, CHECKERED0, 0)
+        for index, image in enumerate(expected):
+            assert np.array_equal(result.images[index], image)
+
+    def test_hammer_rows_scalar_fallback_identical(self, chip1,
+                                                   monkeypatch):
+        """The session wrapper's env-gated fallback renders the same
+        images as the batched path."""
+        victims = mixed_victims(chip1.geometry)[:3]
+        batched = BenderSession(chip1.make_device(),
+                                mapping=chip1.row_mapping()) \
+            .hammer_rows(victims, CHECKERED0, HAMMERS)
+        monkeypatch.setenv("HBMSIM_BATCH", "0")
+        assert not batch_enabled()
+        scalar = BenderSession(chip1.make_device(),
+                               mapping=chip1.row_mapping()) \
+            .hammer_rows(victims, CHECKERED0, HAMMERS)
+        for batch_image, scalar_image in zip(batched, scalar):
+            assert np.array_equal(batch_image, scalar_image)
+
+    def test_extended_t_on_matches_scalar(self, chip1, batch_session):
+        """RowPress-style aggressor-on-time amplification agrees."""
+        t_on = 500.0
+        victims = [RowAddress(0, 0, 0, 5000), RowAddress(1, 0, 2, 7000)]
+        result = batch_session.profile_rows(victims, CHECKERED0) \
+            .hammer(HAMMERS // 8, t_on)
+        expected = scalar_measure(chip1, victims, CHECKERED0,
+                                  HAMMERS // 8, t_on=t_on)
+        for index, image in enumerate(expected):
+            assert np.array_equal(result.images[index], image)
+
+
+class TestEccEquivalence:
+    def test_ecc_on_matches_scalar(self, chip1):
+        victims = mixed_victims(chip1.geometry)
+        device = chip1.make_device()
+        device.mode_registers.set_field(4, "ecc_enable", True)
+        session = BenderSession(device, mapping=chip1.row_mapping())
+        result = session.profile_rows(victims, CHECKERED0).hammer(HAMMERS)
+        expected = scalar_measure(chip1, victims, CHECKERED0, HAMMERS,
+                                  ecc=True)
+        for index, image in enumerate(expected):
+            assert np.array_equal(result.images[index], image)
+
+    def test_ecc_corrects_single_bit_words(self, chip1):
+        victims = mixed_victims(chip1.geometry)
+        device = chip1.make_device()
+        session = BenderSession(device, mapping=chip1.row_mapping())
+        device.mode_registers.set_field(4, "ecc_enable", True)
+        with_ecc = session.profile_rows(victims, CHECKERED0) \
+            .hammer(HAMMERS)
+        device.mode_registers.set_field(4, "ecc_enable", False)
+        without = session.profile_rows(victims, CHECKERED0) \
+            .hammer(HAMMERS)
+        # ECC never invents flips and the committed physics is shared.
+        assert np.array_equal(with_ecc.committed, without.committed)
+        assert (with_ecc.bitflips <= without.bitflips).all()
+        assert np.array_equal(without.observed_flips, without.committed)
+
+
+class TestHcFirstEquivalence:
+    def test_vectorized_search_matches_scalar(self, chip1, batch_session):
+        victims = [RowAddress(0, 0, 0, 5000), RowAddress(0, 0, 0, 0),
+                   RowAddress(3, 1, 7, 2048)]
+        batched = search_hc_first_rows(batch_session, victims, CHECKERED0)
+        scalar_session = BenderSession(chip1.make_device(),
+                                       mapping=chip1.row_mapping())
+        for victim, result in zip(victims, batched):
+            reference = search_hc_first(scalar_session, victim, CHECKERED0)
+            assert result.hc_first == reference.hc_first
+            assert result.probes == reference.probes
+            assert result.found == reference.found
+
+    def test_budget_exhaustion_matches_scalar(self, chip1, batch_session):
+        victims = [RowAddress(0, 0, 0, 5000)]
+        batched = search_hc_first_rows(batch_session, victims, CHECKERED0,
+                                       max_hammers=1000)
+        assert not batched[0].found
+        assert batched[0].hc_first is None
+        scalar_session = BenderSession(chip1.make_device(),
+                                       mapping=chip1.row_mapping())
+        reference = search_hc_first(scalar_session, victims[0], CHECKERED0,
+                                    max_hammers=1000)
+        assert batched[0].probes == reference.probes
+
+
+class TestFallbackGates:
+    def test_trr_device_rejected(self, chip0):
+        device = chip0.make_device()
+        assert device.trr_config.enabled
+        assert not engine_supported(device)
+        with pytest.raises(ValueError, match="TRR"):
+            RowBatchProfile(device, [RowAddress(0, 0, 0, 5000)],
+                            CHECKERED0)
+
+    def test_faulty_stack_rejected(self, chip1):
+        wrapped = FaultyStack(chip1.make_device(), FaultPlan(seed=7))
+        assert not engine_supported(wrapped)
+
+    def test_fault_plan_disables_session_batching(self, chip1):
+        session = BenderSession(chip1.make_device(),
+                                mapping=chip1.row_mapping())
+        assert session.batching_active()
+        install_plan(FaultPlan(seed=7))
+        try:
+            assert not session.batching_active()
+        finally:
+            clear_plan()
+        assert session.batching_active()
+
+    def test_env_escape_hatch(self, chip1, monkeypatch):
+        session = BenderSession(chip1.make_device(),
+                                mapping=chip1.row_mapping())
+        for value in ("0", "false", "no", "off"):
+            monkeypatch.setenv("HBMSIM_BATCH", value)
+            assert not batch_enabled()
+            assert not session.batching_active()
+        monkeypatch.setenv("HBMSIM_BATCH", "1")
+        assert batch_enabled()

@@ -41,10 +41,12 @@ class TestAmplification:
         assert model.amplification(32.0e6) > model.amplification(16.0e6)
 
     def test_array_matches_scalar(self):
-        t_ons = [29.0, 58.0, 100.0, 3.9e3, 1.0e6]
+        """Element-wise bit-identical to the scalar method (the batched
+        experiment path depends on exact equality, not closeness)."""
+        t_ons = [29.0, 58.0, 100.0, 3.9e3, 31.3e3, 1.0e6, 32.0e6]
         array = DEFAULT_DISTURBANCE.amplification_array(t_ons)
         scalar = [DEFAULT_DISTURBANCE.amplification(t) for t in t_ons]
-        assert np.allclose(array, scalar)
+        assert np.array_equal(array, scalar)
 
 
 class TestDistanceCoupling:

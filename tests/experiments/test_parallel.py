@@ -58,13 +58,45 @@ class TestBenchHarness:
         bench.record_run({"fig05": 0.40, "fig07": 0.30}, scale=0.25,
                          jobs=2, cache="warm", path=str(path))
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert len(payload["runs"]) == 2
         first, second = payload["runs"]
         assert first["cache"] == "cold"
-        assert first["experiments"] == {"fig05": 1.25}
+        assert bench.experiment_seconds(
+            first["experiments"]["fig05"]) == 1.25
+        assert isinstance(first["batch"], bool)
         assert second["jobs"] == 2
         assert second["total_seconds"] == pytest.approx(0.70)
+
+    def test_schema2_phases_batch_and_wall(self, tmp_path):
+        path = tmp_path / "bench.json"
+        bench.record_run(
+            {"fig05": {"seconds": 1.0,
+                       "phases": {"calibrate": 0.4, "execute": 0.6}}},
+            scale=0.1, batch=False, wall_seconds=1.25, path=str(path))
+        run = json.loads(path.read_text())["runs"][0]
+        assert run["batch"] is False
+        assert run["wall_seconds"] == 1.25
+        assert run["experiments"]["fig05"]["phases"]["calibrate"] == 0.4
+        assert bench.experiment_seconds(run["experiments"]["fig05"]) == 1.0
+
+    def test_experiment_seconds_reads_schema1_floats(self):
+        """Checked-in schema-1 baselines must stay readable (the CI
+        perf gate compares against them)."""
+        assert bench.experiment_seconds(1.2838) == 1.2838
+        assert bench.experiment_seconds({"seconds": 0.31}) == 0.31
+
+    def test_run_records_carry_phases_into_bench(self, tmp_path):
+        path = tmp_path / "bench.json"
+        __, records = run_timed(["table1"], SCALE)
+        assert "execute" in records[0].result.phases
+        assert "report" in records[0].result.phases
+        bench.record_run(records, SCALE, path=str(path))
+        entry = json.loads(path.read_text())["runs"][0] \
+            ["experiments"]["table1"]
+        assert entry["phases"]
+        assert entry["seconds"] == pytest.approx(records[0].elapsed,
+                                                 abs=1e-3)
 
     def test_corrupt_file_is_replaced(self, tmp_path):
         path = tmp_path / "BENCH_experiments.json"

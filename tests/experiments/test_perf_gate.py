@@ -1,0 +1,129 @@
+"""Tests for the CI perf gate (``repro.experiments.perf_gate``)."""
+
+import json
+
+from repro.experiments import bench
+from repro.experiments.perf_gate import find_run, main
+
+
+def write_bench(path, runs):
+    path.write_text(json.dumps({"schema": 2, "runs": runs}))
+
+
+def run_entry(seconds, scale=0.25, jobs=1, cache="warm", **extra):
+    run = {"scale": scale, "jobs": jobs, "cache": cache,
+           "batch": True, "timestamp": "2026-08-06T00:00:00+00:00",
+           "experiments": {"fig05": {"seconds": seconds, "phases": {}}},
+           "total_seconds": seconds}
+    run.update(extra)
+    return run
+
+
+class TestFindRun:
+    def test_newest_matching_run_wins(self, tmp_path):
+        payload = {"runs": [run_entry(1.0), run_entry(0.5)]}
+        seconds, run = find_run(payload, "fig05", 0.25, 1, "warm")
+        assert seconds == 0.5
+
+    def test_criteria_filter(self):
+        payload = {"runs": [run_entry(9.0, cache="cold"),
+                            run_entry(8.0, jobs=2),
+                            run_entry(7.0, scale=0.1),
+                            run_entry(0.4)]}
+        seconds, __ = find_run(payload, "fig05", 0.25, 1, "warm")
+        assert seconds == 0.4
+
+    def test_schema1_float_entries(self):
+        """The checked-in PR-1 history stores plain floats."""
+        payload = {"runs": [{"scale": 0.25, "jobs": 1, "cache": "warm",
+                             "experiments": {"fig05": 1.2838},
+                             "total_seconds": 1.2838}]}
+        seconds, __ = find_run(payload, "fig05", 0.25, 1, "warm")
+        assert seconds == 1.2838
+
+    def test_no_match_returns_none(self):
+        assert find_run({"runs": []}, "fig05", 0.25, 1, "warm") \
+            == (None, None)
+
+    def test_batch_filter_skips_other_engine(self):
+        """A newer scalar-engine record must not shadow the batched
+        baseline when the gate asks for like-for-like."""
+        payload = {"runs": [run_entry(0.3, batch=True),
+                            run_entry(1.1, batch=False)]}
+        seconds, __ = find_run(payload, "fig05", 0.25, 1, "warm",
+                               batch=True)
+        assert seconds == 0.3
+        seconds, __ = find_run(payload, "fig05", 0.25, 1, "warm",
+                               batch=False)
+        assert seconds == 1.1
+        seconds, __ = find_run(payload, "fig05", 0.25, 1, "warm")
+        assert seconds == 1.1  # default: newest regardless of engine
+
+    def test_batch_filter_excludes_schema1(self):
+        """Schema-1 entries carry no batch flag, so they only match
+        the 'any' default."""
+        payload = {"runs": [{"scale": 0.25, "jobs": 1, "cache": "warm",
+                             "experiments": {"fig05": 1.2838},
+                             "total_seconds": 1.2838}]}
+        assert find_run(payload, "fig05", 0.25, 1, "warm",
+                        batch=True) == (None, None)
+        seconds, __ = find_run(payload, "fig05", 0.25, 1, "warm")
+        assert seconds == 1.2838
+
+
+class TestGateCli:
+    def gate(self, tmp_path, baseline_s, measured_s, factor="2.0"):
+        baseline = tmp_path / "baseline.json"
+        measured = tmp_path / "measured.json"
+        write_bench(baseline, [run_entry(baseline_s)])
+        write_bench(measured, [run_entry(measured_s)])
+        return main(["--baseline", str(baseline),
+                     "--measured", str(measured),
+                     "--factor", factor])
+
+    def test_passes_within_limit(self, tmp_path):
+        assert self.gate(tmp_path, 0.30, 0.55) == 0
+
+    def test_fails_beyond_limit(self, tmp_path):
+        assert self.gate(tmp_path, 0.30, 0.61) == 1
+
+    def test_limit_is_inclusive(self, tmp_path):
+        assert self.gate(tmp_path, 0.30, 0.60) == 0
+
+    def test_missing_baseline_run_errors(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        measured = tmp_path / "measured.json"
+        write_bench(baseline, [run_entry(0.3, cache="cold")])
+        write_bench(measured, [run_entry(0.3)])
+        assert main(["--baseline", str(baseline),
+                     "--measured", str(measured)]) == 2
+
+    def test_unreadable_file_errors(self, tmp_path):
+        measured = tmp_path / "measured.json"
+        write_bench(measured, [run_entry(0.3)])
+        assert main(["--baseline", str(tmp_path / "nope.json"),
+                     "--measured", str(measured)]) == 2
+
+    def test_batch_on_ignores_newer_scalar_baseline(self, tmp_path):
+        """The CI invocation (--batch on) gates against the batched
+        baseline even when a scalar-engine run was recorded later."""
+        baseline = tmp_path / "baseline.json"
+        measured = tmp_path / "measured.json"
+        write_bench(baseline, [run_entry(0.30, batch=True),
+                               run_entry(1.10, batch=False)])
+        write_bench(measured, [run_entry(0.90, batch=True)])
+        args = ["--baseline", str(baseline), "--measured", str(measured)]
+        assert main(args) == 0            # any: 0.90 <= 2 * 1.10
+        assert main(args + ["--batch", "on"]) == 1  # 0.90 > 2 * 0.30
+
+    def test_gate_reads_record_run_output(self, tmp_path):
+        """End to end: records written by the bench harness gate
+        cleanly (schema-2 round trip)."""
+        baseline = tmp_path / "baseline.json"
+        measured = tmp_path / "measured.json"
+        bench.record_run({"fig05": 0.30}, scale=0.25, jobs=1,
+                         cache="warm", path=str(baseline))
+        bench.record_run({"fig05": 0.45}, scale=0.25, jobs=1,
+                         cache="warm", path=str(measured))
+        assert main(["--baseline", str(baseline),
+                     "--measured", str(measured)]) == 0
