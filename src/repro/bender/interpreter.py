@@ -58,6 +58,13 @@ class Interpreter:
     and therefore every command-level experiment — runs under the
     configured chaos.  With no plan the device is used as-is and
     behaviour is bit-identical to a fault-free build.
+
+    With ``HBMSIM_LINT=strict`` (or ``warn``) every program is first
+    statically verified against the device's timing parameters by
+    :func:`repro.lint.protocol.verify_program`; strict mode raises
+    :class:`~repro.errors.LintError` before the first command executes,
+    warn mode prints the findings to stderr and continues.  The default
+    (``off``) skips verification entirely.
     """
 
     def __init__(self, device: HBM2Stack,
@@ -65,8 +72,32 @@ class Interpreter:
         plan = fault_plan if fault_plan is not None else active_plan()
         self.device = wrap_device(device, plan)
 
+    def _pre_execution_gate(self, program: TestProgram) -> None:
+        """Statically verify ``program`` when ``HBMSIM_LINT`` asks for it."""
+        # Lazy imports: the gate is off by default and the lint layer
+        # must not weigh on (or cycle with) the interpreter hot path.
+        from repro.lint.config import LintMode, lint_mode
+
+        mode = lint_mode()
+        if mode is LintMode.OFF:
+            return
+        from repro.lint.protocol import verify_program
+
+        report = verify_program(program, timings=self.device.timings)
+        if report.ok:
+            return
+        if mode is LintMode.STRICT:
+            from repro.errors import LintError
+
+            raise LintError(program.name, report.findings)
+        import sys
+
+        for finding in report.findings:
+            print(f"HBMSIM_LINT: {finding.render()}", file=sys.stderr)
+
     def run(self, program: TestProgram) -> ExecutionResult:
         """Replay ``program``, returning tagged reads and statistics."""
+        self._pre_execution_gate(program)
         started = self.device.now_ns
         reads: Dict[str, List[np.ndarray]] = {}
         executed = 0

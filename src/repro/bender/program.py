@@ -14,7 +14,8 @@ constraint the paper's tests obey when refresh is disabled).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Union
+from types import TracebackType
+from typing import Iterator, List, Optional, Sequence, Type, Union
 
 import numpy as np
 
@@ -175,7 +176,9 @@ class _LoopBuilder:
         inner.instructions = self._loop.body
         return inner
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
         if exc_type is None:
             self._program.append(self._loop)
 

@@ -24,13 +24,15 @@ class CountingBloomFilter:
     """Counting Bloom filter over (bank, row) activation counts."""
 
     def __init__(self, size: int = 1024, hashes: int = 4,
-                 seed: int = 0xB10C) -> None:
+                 seed: int = 0xB10C,
+                 rng: Optional[np.random.Generator] = None) -> None:
         if size < 8 or hashes < 1:
             raise ValueError("size must be >= 8 and hashes >= 1")
         self.size = size
         self.hashes = hashes
         self.counts = np.zeros(size, dtype=np.int64)
-        rng = np.random.default_rng(seed)
+        if rng is None:
+            rng = np.random.default_rng(seed)
         self._salts = [int(s) for s in rng.integers(1, 2 ** 62,
                                                     size=hashes)]
 
@@ -67,7 +69,8 @@ class BlockHammer(MitigationController):
                  rows: int = 16384,
                  believed_mapping: Optional[RowMapping] = None,
                  timings: TimingParameters = DEFAULT_TIMINGS,
-                 filter_size: int = 4096) -> None:
+                 filter_size: int = 4096,
+                 rng: Optional[np.random.Generator] = None) -> None:
         super().__init__(rows, believed_mapping)
         if blacklist_threshold >= max_safe_activations:
             raise ValueError(
@@ -75,7 +78,7 @@ class BlockHammer(MitigationController):
         self.blacklist_threshold = blacklist_threshold
         self.max_safe_activations = max_safe_activations
         self.timings = timings
-        self.filter = CountingBloomFilter(size=filter_size)
+        self.filter = CountingBloomFilter(size=filter_size, rng=rng)
         self._window_start_ns = 0.0
 
     @staticmethod

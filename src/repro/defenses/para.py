@@ -43,12 +43,15 @@ class Para(MitigationController):
 
     def __init__(self, probability: float = 0.001, rows: int = 16384,
                  believed_mapping: Optional[RowMapping] = None,
-                 seed: int = 0x9A7A) -> None:
+                 seed: int = 0x9A7A,
+                 rng: Optional[np.random.Generator] = None) -> None:
         super().__init__(rows, believed_mapping)
         if not 0.0 < probability <= 1.0:
             raise ValueError("probability must be in (0, 1]")
         self.probability = probability
-        self._rng = np.random.default_rng(seed)
+        # An injected generator lets campaigns share one seeded stream;
+        # the default remains the fixed per-controller seed.
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def _samples(self, count: int, probability: float) -> int:
         if count <= 0:
@@ -80,8 +83,9 @@ class RowPressAwarePara(Para):
     def __init__(self, probability: float = 0.001, rows: int = 16384,
                  believed_mapping: Optional[RowMapping] = None,
                  disturbance: DisturbanceModel = DEFAULT_DISTURBANCE,
-                 seed: int = 0x9A7B) -> None:
-        super().__init__(probability, rows, believed_mapping, seed)
+                 seed: int = 0x9A7B,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(probability, rows, believed_mapping, seed, rng)
         self.disturbance = disturbance
 
     def observe(self, address: RowAddress, count: int,

@@ -46,6 +46,23 @@ class FaultPlanError(HbmSimError):
     """A fault plan spec (``HBMSIM_FAULTS`` or programmatic) is invalid."""
 
 
+class LintError(HbmSimError):
+    """A program failed static verification under ``HBMSIM_LINT=strict``.
+
+    Carries the findings of the protocol verifier so callers can render
+    them or inspect rule ids without re-running the analysis.
+    """
+
+    def __init__(self, program: str, findings: Sequence[object]) -> None:
+        self.program = program
+        self.findings = list(findings)
+        lines = "\n".join(f"  {f}" for f in self.findings)
+        plural = "s" if len(self.findings) != 1 else ""
+        super().__init__(
+            f"program {program!r} failed static verification with "
+            f"{len(self.findings)} finding{plural}:\n{lines}")
+
+
 class PlatformFaultError(HbmSimError):
     """An injected fault of the test platform (board, link), not the DRAM."""
 

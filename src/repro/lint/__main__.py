@@ -1,0 +1,160 @@
+"""CLI: static analysis over sources and SoftBender programs.
+
+Usage::
+
+    python -m repro.lint src/repro                # determinism linter
+    python -m repro.lint program.sbp              # protocol verifier
+    python -m repro.lint src/repro --routines     # + routine corpus
+    python -m repro.lint --rules                  # print the catalog
+
+Exit codes: 0 — clean (after baseline), 1 — findings, 2 — usage or
+input errors (missing paths, malformed baseline, unassemblable
+program).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import (Baseline, BaselineError, load_baseline)
+from repro.lint.determinism import DETERMINISM_RULES, lint_tree
+from repro.lint.findings import Finding
+from repro.lint.protocol import (PROTOCOL_RULES, VerificationReport,
+                                 verify_program)
+
+
+def _print_rules() -> None:
+    for catalog, title in ((PROTOCOL_RULES, "protocol verifier"),
+                           (DETERMINISM_RULES, "determinism linter")):
+        print(f"# {title}")
+        for rule in catalog.rules.values():
+            print(f"  {rule.rule_id}  {rule.slug:<16} "
+                  f"[{rule.severity}]  {rule.summary}")
+
+
+def _lint_sbp(path: Path) -> VerificationReport:
+    from repro.bender.assembler import assemble
+
+    return verify_program(assemble(path.read_text(encoding="utf-8"),
+                                   name=path.name))
+
+
+def _routine_reports() -> List[VerificationReport]:
+    from repro.lint.corpus import (capture_attack_programs,
+                                   capture_routine_programs)
+
+    programs = capture_routine_programs() + capture_attack_programs()
+    return [verify_program(program) for program in programs]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static protocol verifier + determinism linter.")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="python files/trees to lint and/or .sbp programs to verify")
+    parser.add_argument(
+        "--routines", action="store_true",
+        help="also verify the captured bender-routine program corpus")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline file (default: the packaged lint/baseline.json)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON")
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        _print_rules()
+        return 0
+    if not args.paths and not args.routines:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (and --routines not set)",
+              file=sys.stderr)
+        return 2
+
+    source_roots: List[Path] = []
+    program_paths: List[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+        if path.suffix == ".sbp":
+            program_paths.append(path)
+        else:
+            source_roots.append(path)
+
+    findings: List[Finding] = []
+    reports: List[VerificationReport] = []
+    if source_roots:
+        findings.extend(lint_tree(source_roots))
+    for path in program_paths:
+        try:
+            reports.append(_lint_sbp(path))
+        except Exception as error:  # AssemblyError, IO errors
+            print(f"error: {path}: {error}", file=sys.stderr)
+            return 2
+    if args.routines:
+        reports.extend(_routine_reports())
+    for report in reports:
+        findings.extend(report.findings)
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    surviving, used = baseline.apply(findings)
+    # Only call out unused suppressions for analyzers that actually ran:
+    # a protocol-only invocation says nothing about determinism entries.
+    unused = [s for s in baseline.unused(used)
+              if (s.rule.startswith("D") and source_roots)
+              or (s.rule.startswith("P") and reports)]
+
+    if args.as_json:
+        print(json.dumps({
+            "findings": [
+                {"rule": f.rule, "severity": f.severity,
+                 "message": f.message, "location": f.location}
+                for f in surviving],
+            "suppressed": len(findings) - len(surviving),
+            "unused_suppressions": [
+                {"rule": s.rule, "location": s.location}
+                for s in unused],
+            "programs_verified": len(reports),
+        }, indent=2))
+    else:
+        for finding in surviving:
+            print(finding.render())
+        if unused:
+            for suppression in unused:
+                print(f"note: unused baseline suppression "
+                      f"{suppression.rule} @ {suppression.location}",
+                      file=sys.stderr)
+        suppressed = len(findings) - len(surviving)
+        bits = [f"{len(surviving)} finding(s)"]
+        if suppressed:
+            bits.append(f"{suppressed} baseline-suppressed")
+        if reports:
+            bits.append(f"{len(reports)} program(s) verified")
+        print("repro.lint: " + ", ".join(bits))
+    return 1 if surviving else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Lint-gate configuration (the ``HBMSIM_LINT`` environment variable).
+
+The interpreter can statically verify every program before executing it:
+
+- ``HBMSIM_LINT=strict`` — raise :class:`~repro.errors.LintError` on any
+  finding (campaigns abort before burning hours on a malformed
+  routine),
+- ``HBMSIM_LINT=warn`` — print findings to stderr and execute anyway,
+- ``HBMSIM_LINT=off`` (or unset) — no pre-execution verification; the
+  hot path is untouched and behaviour is bit-identical to builds
+  without the lint layer.
+
+This is the lint subsystem's config module: the single place the
+environment variable is read (itself baseline-suppressed for the
+determinism linter's D105 env-read rule).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+
+
+class LintMode(enum.Enum):
+    """Pre-execution verification mode of the interpreter."""
+
+    OFF = "off"
+    WARN = "warn"
+    STRICT = "strict"
+
+
+_ENV_VAR = "HBMSIM_LINT"
+
+
+def lint_mode() -> LintMode:
+    """The gate mode selected by ``HBMSIM_LINT`` (default: off).
+
+    Unknown values fall back to ``warn`` — a misspelled opt-in should
+    surface findings rather than silently disable the gate.
+    """
+    value = os.environ.get(_ENV_VAR, "").strip().lower()
+    if value in ("", "0", "off", "no", "none"):
+        return LintMode.OFF
+    if value in ("warn", "warning", "1"):
+        return LintMode.WARN
+    if value == "strict":
+        return LintMode.STRICT
+    return LintMode.WARN

@@ -1,0 +1,114 @@
+"""Program corpus: capture what the bender routines actually execute.
+
+The protocol verifier is only useful if it blesses the real workload.
+This module runs every routine in :mod:`repro.bender.routines` (plus the
+attack builders that construct multi-window refresh-managed programs)
+against a small simulated stack, records each
+:class:`~repro.bender.program.TestProgram` that reaches the interpreter,
+and hands the corpus to callers — the CLI's ``--routines`` mode and the
+test suite both verify that every captured program lints clean.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bender.host import BenderSession
+from repro.bender.interpreter import ExecutionResult
+from repro.bender.program import TestProgram
+from repro.dram.device import HBM2Stack
+from repro.dram.geometry import RowAddress
+from repro.dram.row_mapping import IdentityMapping
+
+
+class CapturingSession(BenderSession):
+    """A host session that records every program it executes."""
+
+    def __init__(self, device: HBM2Stack) -> None:
+        super().__init__(device,
+                         mapping=IdentityMapping(device.geometry.rows))
+        self.captured: List[TestProgram] = []
+
+    def run(self, program: TestProgram) -> ExecutionResult:
+        self.captured.append(program)
+        return super().run(program)
+
+
+def capture_routine_programs(hammer_count: int = 12_000,
+                             row: int = 5000) -> List[TestProgram]:
+    """Run each bender routine once, returning the programs it issued.
+
+    Uses the uniform (uncalibrated) cell profile so the capture is fast;
+    program *structure* — the verifier's input — does not depend on the
+    cell population.
+    """
+    from repro.bender.routines.ber_sweep import measure_ber_curve
+    from repro.bender.routines.ber_test import measure_row_ber
+    from repro.bender.routines.hammer import (build_double_sided,
+                                              double_sided_hammer,
+                                              single_sided_hammer)
+    from repro.bender.routines.hcfirst import search_hc_first
+    from repro.bender.routines.mapping_reveng import observe_adjacency
+    from repro.bender.routines.rowinit import initialize_window
+    from repro.bender.routines.subarray_reveng import rows_are_coupled
+    from repro.core.patterns import CHECKERED0
+
+    session = CapturingSession(HBM2Stack())
+    victim = RowAddress(0, 0, 0, row)
+
+    initialize_window(session, victim, CHECKERED0)
+    double_sided_hammer(session, victim, hammer_count)
+    session.captured.append(
+        build_double_sided(session, victim, hammer_count, interleave=64))
+    single_sided_hammer(session, victim.with_row(row + 1), hammer_count)
+    measure_row_ber(session, victim, CHECKERED0,
+                    hammer_count=hammer_count)
+    measure_ber_curve(session, victim, CHECKERED0,
+                      hammer_counts=(hammer_count, 2 * hammer_count))
+    search_hc_first(session, victim, CHECKERED0, start=hammer_count,
+                    max_hammers=8 * hammer_count)
+    observe_adjacency(session, 0, 0, 0, row, hammer_count=hammer_count,
+                      window=2)
+    rows_are_coupled(session, 0, 0, 0, row, hammer_count=hammer_count)
+    return session.captured
+
+
+def capture_attack_programs() -> List[TestProgram]:
+    """Refresh-managed programs from the attack builders.
+
+    These exercise the REF-bearing rules (activation budget, REF
+    postponement, refresh-window coverage) on real multi-window
+    patterns: the Section 7 TRR-bypass schedule and the Section 8.1
+    HalfDouble pattern.
+    """
+    from repro.core.patterns import CHECKERED0
+    from repro.core.trr_bypass import AttackConfig, dummy_rows_for
+
+    session = CapturingSession(HBM2Stack())
+    victim = RowAddress(0, 0, 0, 5000)
+    config = AttackConfig(dummy_rows=4, aggressor_acts=16, windows=24)
+    aggressors = session.aggressors_of(victim)
+    dummies = [victim.with_row(r) for r in dummy_rows_for(
+        victim, config, session.device.geometry.rows)]
+    timings = config.timings
+    window_time = (config.dummy_rows * config.dummy_acts_each
+                   + 2 * config.aggressor_acts) * timings.t_rc \
+        + timings.t_rfc
+    pad = max(0.0, timings.t_refi - window_time)
+    bypass = TestProgram("bypass_corpus")
+    for __ in range(config.total_windows):
+        for dummy in dummies:
+            bypass.hammer(dummy, config.dummy_acts_each)
+        bypass.hammer(aggressors[0], config.aggressor_acts)
+        bypass.hammer(aggressors[1], config.aggressor_acts)
+        bypass.refresh(victim.channel, victim.pseudo_channel)
+        if pad:
+            bypass.wait(pad)
+
+    half_double = TestProgram("half_double_corpus")
+    fars = [victim.with_row(victim.row - 2), victim.with_row(victim.row + 2)]
+    for __ in range(170):
+        for far in fars:
+            half_double.hammer(far, 8)
+        half_double.refresh(victim.channel, victim.pseudo_channel)
+    return [bypass, half_double]

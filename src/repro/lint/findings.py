@@ -1,0 +1,107 @@
+"""Shared finding/rule vocabulary for the static analyzers.
+
+Both analyzers — the protocol verifier (:mod:`repro.lint.protocol`) and
+the determinism linter (:mod:`repro.lint.determinism`) — report
+:class:`Finding` records instead of raising: a finding names the violated
+rule, where it was detected (a source location or a program instruction
+path), and a human-readable message.  Rule metadata lives in
+:class:`Rule` so the CLI, the docs, and the baseline machinery agree on
+one catalog.
+
+Severities:
+
+- ``error`` — the simulated device would raise
+  :class:`~repro.errors.TimingError` on this command stream (the
+  verifier's verdicts agree with the interpreter by construction; a
+  property test enforces it).
+- ``protocol`` — the stream violates a JESD235-level rule the device
+  models only implicitly (activation budget, REF postponement, refresh
+  window coverage): execution would not raise, but the program is not a
+  faithful HBM2 command sequence.
+- ``warning`` — the declared timing is infeasible and the platform will
+  silently adjust it (e.g. an aggressor on-time below ``tRAS``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Ordered severity levels, most severe first.
+SEVERITIES: Tuple[str, ...] = ("error", "protocol", "warning")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One entry of the static-analysis rule catalog."""
+
+    rule_id: str
+    slug: str
+    severity: str
+    summary: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation detected by a static analyzer."""
+
+    rule: str
+    severity: str
+    message: str
+    #: Source location (``path:line``) or program location
+    #: (``program@instruction.path``).
+    location: str
+    #: Index into the flattened command stream where the violation was
+    #: first detected (protocol findings only).
+    command_index: Optional[int] = None
+
+    def render(self) -> str:
+        """One-line human-readable form (CLI output)."""
+        return f"{self.location}: {self.rule} [{self.severity}]: " \
+               f"{self.message}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+    @property
+    def suppression_path(self) -> str:
+        """Location with any trailing ``:line`` stripped (baseline key).
+
+        Baseline suppressions match on file/program, not line numbers,
+        so unrelated edits do not churn the baseline.
+        """
+        head, sep, tail = self.location.rpartition(":")
+        if sep and tail.isdigit():
+            return head
+        return self.location
+
+
+@dataclass
+class RuleCatalog:
+    """Registry of rules keyed by id (and by slug for convenience)."""
+
+    rules: Dict[str, Rule] = field(default_factory=dict)
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.rule_id in self.rules:
+            raise ValueError(f"duplicate rule id {rule.rule_id}")
+        self.rules[rule.rule_id] = rule
+        return rule
+
+    def __getitem__(self, rule_id: str) -> Rule:
+        return self.rules[rule_id]
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self.rules
+
+    def finding(self, rule_id: str, message: str, location: str,
+                command_index: Optional[int] = None) -> Finding:
+        """Build a finding carrying the rule's registered severity."""
+        rule = self.rules[rule_id]
+        return Finding(rule=rule.rule_id, severity=rule.severity,
+                       message=message, location=location,
+                       command_index=command_index)

@@ -10,7 +10,7 @@ counts per scheduling epoch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,7 +60,8 @@ def benign_trace(total_activations: int = 100_000,
                  zipf_exponent: float = 0.7,
                  epoch_activations: int = 2_000,
                  channel: int = 0, pseudo_channel: int = 0, bank: int = 0,
-                 seed: int = 0xBE19) -> AccessTrace:
+                 seed: int = 0xBE19,
+                 rng: Optional[np.random.Generator] = None) -> AccessTrace:
     """Generate a Zipf-popularity activation trace.
 
     ``zipf_exponent`` around 0.7 keeps the hottest row at a few percent
@@ -71,7 +72,8 @@ def benign_trace(total_activations: int = 100_000,
         raise ValueError("total_activations must be positive")
     if not 0.0 <= zipf_exponent < 3.0:
         raise ValueError("zipf_exponent must be in [0, 3)")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     ranks = np.arange(1, rows + 1, dtype=float)
     weights = ranks ** -zipf_exponent
     weights /= weights.sum()

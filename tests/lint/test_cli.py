@@ -1,0 +1,149 @@
+"""CLI and interpreter-gate tests: exit codes, .sbp verification, and
+the ``HBMSIM_LINT`` pre-execution gate."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bender.interpreter import Interpreter
+from repro.bender.program import TestProgram
+from repro.dram.device import HBM2Stack
+from repro.dram.geometry import RowAddress
+from repro.errors import HbmSimError, LintError
+from repro.lint.__main__ import main
+from repro.lint.config import LintMode, lint_mode
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+# -- exit codes ----------------------------------------------------------
+
+
+def test_clean_sbp_exits_zero(capsys):
+    assert main([str(FIXTURES / "clean.sbp")]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("fixture,rule", [
+    ("double_act.sbp", "P001"),
+    ("budget_overflow.sbp", "P004"),
+    ("late_ref.sbp", "P005"),
+])
+def test_violating_sbp_exits_nonzero_with_rule_id(capsys, fixture, rule):
+    assert main([str(FIXTURES / fixture)]) == 1
+    out = capsys.readouterr().out
+    assert rule in out
+    # Each fixture is built to trip exactly one rule.
+    for other in ("P001", "P002", "P003", "P004", "P005", "P006"):
+        if other != rule:
+            assert other not in out
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert main(["/no/such/path.sbp"]) == 2
+
+
+def test_no_arguments_is_usage_error(capsys):
+    assert main([]) == 2
+
+
+def test_unassemblable_sbp_is_usage_error(tmp_path, capsys):
+    bad = tmp_path / "bad.sbp"
+    bad.write_text("FROB 1 2 3\n", encoding="utf-8")
+    assert main([str(bad)]) == 2
+    assert "bad.sbp" in capsys.readouterr().err
+
+
+def test_rules_listing(capsys):
+    assert main(["--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("P001", "P006", "D101", "D105"):
+        assert rule in out
+
+
+def test_malformed_baseline_is_usage_error(tmp_path, capsys):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{oops", encoding="utf-8")
+    source = tmp_path / "mod.py"
+    source.write_text("x = 1\n", encoding="utf-8")
+    assert main([str(source), "--baseline", str(bad)]) == 2
+
+
+def test_python_tree_linting(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import numpy as np\nx = np.random.rand()\n",
+                     encoding="utf-8")
+    assert main([str(dirty)]) == 1
+    assert "D101" in capsys.readouterr().out
+    clean = tmp_path / "clean.py"
+    clean.write_text("import numpy as np\nr = np.random.default_rng(0)\n",
+                     encoding="utf-8")
+    assert main([str(clean)]) == 0
+
+
+def test_json_output(tmp_path, capsys):
+    import json
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n", encoding="utf-8")
+    assert main([str(dirty), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"][0]["rule"] == "D102"
+
+
+def test_repo_sources_exit_zero():
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    assert main([str(src)]) == 0
+
+
+# -- HBMSIM_LINT interpreter gate ----------------------------------------
+
+
+def _violating_program():
+    program = TestProgram("gate_bad")
+    row = RowAddress(0, 0, 0, 100)
+    program.activate(row)
+    program.activate(row.with_row(101))
+    return program
+
+
+def test_lint_mode_parsing(monkeypatch):
+    for raw, expected in [("", LintMode.OFF), ("off", LintMode.OFF),
+                          ("0", LintMode.OFF), ("warn", LintMode.WARN),
+                          ("1", LintMode.WARN),
+                          ("strict", LintMode.STRICT),
+                          ("bogus", LintMode.WARN)]:
+        monkeypatch.setenv("HBMSIM_LINT", raw)
+        assert lint_mode() is expected
+    monkeypatch.delenv("HBMSIM_LINT")
+    assert lint_mode() is LintMode.OFF
+
+
+def test_strict_gate_raises_before_execution(monkeypatch):
+    monkeypatch.setenv("HBMSIM_LINT", "strict")
+    device = HBM2Stack()
+    with pytest.raises(LintError) as excinfo:
+        Interpreter(device).run(_violating_program())
+    assert excinfo.value.findings[0].rule == "P001"
+    assert isinstance(excinfo.value, HbmSimError)
+    # Strict mode must fire *before* the first command touches the
+    # device: no time passed, no ACT was issued.
+    assert device.now_ns == 0.0
+    assert device.stats.acts == 0
+
+
+def test_warn_gate_prints_and_executes(monkeypatch, capsys):
+    monkeypatch.setenv("HBMSIM_LINT", "warn")
+    program = TestProgram("gate_ok")
+    program.hammer(RowAddress(0, 0, 0, 100), 10, t_on=5.0)  # P003
+    result = Interpreter(HBM2Stack()).run(program)
+    assert result.commands_executed == 1
+    assert "P003" in capsys.readouterr().err
+
+
+def test_off_gate_is_default_noop(monkeypatch, capsys):
+    monkeypatch.delenv("HBMSIM_LINT", raising=False)
+    program = TestProgram("gate_quiet")
+    program.hammer(RowAddress(0, 0, 0, 100), 10, t_on=5.0)
+    Interpreter(HBM2Stack()).run(program)
+    assert capsys.readouterr().err == ""

@@ -1,0 +1,77 @@
+"""Property test: three independent command-count accountings agree.
+
+``TestProgram.static_command_count()`` (arithmetic over the instruction
+tree), ``flatten()`` (actual unrolling), and the protocol verifier's
+``commands_checked`` (symbolic walk with loop extrapolation) must be
+bit-equal on arbitrarily nested loop programs — including zero-count
+loops and loops long enough to trigger the verifier's steady-state
+extrapolation path.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bender.program import Loop, TestProgram
+from repro.dram import commands as cmd
+from repro.lint.protocol import verify_program
+
+
+def _leaf(code: int):
+    """Map a small int to a concrete command (deterministic)."""
+    if code == 0:
+        return cmd.act(0, 0, 0, 100)
+    if code == 1:
+        return cmd.pre(0, 0, 0)
+    if code == 2:
+        return cmd.hammer(0, 0, 0, 100, 3)
+    if code == 3:
+        return cmd.wait(50.0)
+    return cmd.Command(cmd.CommandKind.NOP)
+
+
+_leaves = st.integers(min_value=0, max_value=4).map(_leaf)
+
+# Nested instruction trees: leaves are commands, inner nodes are loops
+# with counts spanning zero, small, and extrapolation-triggering sizes.
+_instructions = st.recursive(
+    _leaves,
+    lambda children: st.builds(
+        Loop,
+        st.sampled_from([0, 1, 2, 3, 7, 5000, 100_000]),
+        st.lists(children, min_size=1, max_size=4)),
+    max_leaves=12)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_instructions, min_size=0, max_size=6))
+def test_count_flatten_and_verifier_agree(instructions):
+    program = TestProgram("prop")
+    program.extend(instructions)
+    static = program.static_command_count()
+    report = verify_program(program)
+    assert report.commands_checked == static
+    # Only unroll for real when it is tractable; the verifier has no
+    # such escape hatch, which is the point of the comparison.
+    if static <= 50_000:
+        assert len(list(program.flatten())) == static
+
+
+def test_deep_nesting_exact():
+    inner = Loop(3, [cmd.act(0, 0, 0, 100), cmd.pre(0, 0, 0)])
+    middle = Loop(4, [inner, cmd.wait(10.0)])
+    outer = Loop(5, [middle, cmd.Command(cmd.CommandKind.NOP)])
+    program = TestProgram("deep")
+    program.append(outer)
+    expected = 5 * (4 * (3 * 2 + 1) + 1)
+    assert program.static_command_count() == expected
+    assert len(list(program.flatten())) == expected
+    assert verify_program(program).commands_checked == expected
+
+
+def test_zero_count_loop_contributes_nothing():
+    program = TestProgram("zero")
+    program.append(Loop(0, [cmd.act(0, 0, 0, 100)]))
+    program.append(cmd.Command(cmd.CommandKind.NOP))
+    assert program.static_command_count() == 1
+    assert len(list(program.flatten())) == 1
+    assert verify_program(program).commands_checked == 1

@@ -1,0 +1,255 @@
+"""Protocol-verifier tests: rule triggers, exemptions, and the
+agreement property (error-severity findings <=> interpreter
+``TimingError``)."""
+
+import numpy as np
+import pytest
+
+from repro.bender.interpreter import Interpreter
+from repro.bender.program import Loop, TestProgram
+from repro.dram import commands as cmd
+from repro.dram.device import HBM2Stack
+from repro.dram.geometry import RowAddress
+from repro.dram.timing import DEFAULT_TIMINGS
+from repro.errors import TimingError
+from repro.lint.protocol import verify_program, verify_programs
+
+ROW = RowAddress(0, 0, 0, 100)
+
+
+def _rules(report):
+    return sorted({f.rule for f in report.findings})
+
+
+# -- individual rule triggers -------------------------------------------
+
+
+def test_p001_double_act():
+    program = TestProgram("double_act")
+    program.activate(ROW)
+    program.activate(ROW.with_row(101))
+    report = verify_program(program)
+    assert _rules(report) == ["P001"]
+    assert report.errors and report.errors[0].rule == "P001"
+
+
+def test_p001_hammer_on_open_bank():
+    program = TestProgram("hammer_open")
+    program.activate(ROW)
+    program.hammer(ROW.with_row(101), 10)
+    assert _rules(verify_program(program)) == ["P001"]
+
+
+def test_p002_read_conflicting_row():
+    program = TestProgram("rw_conflict")
+    program.activate(ROW)
+    program.read_row(ROW.with_row(101), "victim")
+    assert _rules(verify_program(program)) == ["P002"]
+
+
+def test_p003_short_on_time_is_warning_only():
+    program = TestProgram("short_t_on")
+    program.hammer(ROW, 10, t_on=10.0)  # below tRAS = 29 ns
+    report = verify_program(program)
+    assert _rules(report) == ["P003"]
+    assert not report.errors  # the platform stretches it; no raise
+
+
+def test_p004_activation_budget():
+    program = TestProgram("budget")
+    program.refresh(0, 0)
+    program.hammer(ROW, DEFAULT_TIMINGS.activation_budget + 22)
+    program.refresh(0, 0)
+    report = verify_program(program)
+    assert _rules(report) == ["P004"]
+    assert "budget" in report.by_rule("P004")[0].message
+
+
+def test_p005_postponed_ref():
+    program = TestProgram("late_ref")
+    program.refresh(0, 0)
+    program.wait(DEFAULT_TIMINGS.t_refi
+                 + DEFAULT_TIMINGS.max_ref_postpone + 1000.0)
+    program.refresh(0, 0)
+    assert _rules(verify_program(program)) == ["P005"]
+
+
+def test_p006_underprovisioned_refresh():
+    program = TestProgram("starved")
+    program.refresh(0, 0)
+    program.wait(100 * DEFAULT_TIMINGS.t_refi)
+    assert _rules(verify_program(program)) == ["P006"]
+
+
+# -- exemptions and edge semantics --------------------------------------
+
+
+def test_refresh_disabled_program_exempt_from_budget():
+    # The paper's methodology (Section 3.1): no REF at all means the
+    # refresh rules do not apply, however many activations occur.
+    program = TestProgram("refresh_disabled")
+    program.hammer(ROW, 1_000_000)
+    assert verify_program(program).ok
+
+
+def test_budget_scoped_to_refreshed_pseudo_channel():
+    # REFs on pseudo channel (0, 0) must not make banks of the
+    # never-refreshed (0, 1) subject to the budget.
+    # 500 acts: well over the 78-act budget, but short enough (22.5 us)
+    # not to postpone pc (0, 0)'s next REF beyond the 39 us limit.
+    other = RowAddress(0, 1, 0, 100)
+    program = TestProgram("pc_scope")
+    program.refresh(0, 0)
+    program.hammer(other, 500)
+    program.refresh(0, 0)
+    assert verify_program(program).ok
+
+
+def test_hammer_zero_count_is_noop_even_on_open_bank():
+    # The device returns before any check when count == 0.
+    program = TestProgram("zero_hammer")
+    program.activate(ROW)
+    program.hammer(ROW.with_row(101), 0)
+    assert verify_program(program).ok
+
+
+def test_noop_pre_is_legal():
+    program = TestProgram("noop_pre")
+    program.precharge(ROW)
+    program.precharge(ROW)
+    assert verify_program(program).ok
+
+
+def test_act_pre_cycle_clean():
+    program = TestProgram("act_pre")
+    program.activate(ROW)
+    program.precharge(ROW)
+    program.activate(ROW.with_row(101))
+    program.precharge(ROW)
+    assert verify_program(program).ok
+
+
+def test_finding_carries_instruction_path():
+    program = TestProgram("located")
+    with program.loop(3) as body:
+        body.activate(ROW)  # opens; second iteration hits open bank
+    report = verify_program(program)
+    finding = report.by_rule("P001")[0]
+    assert finding.location.startswith("located@0.")
+    assert finding.command_index is not None
+
+
+# -- loop extrapolation --------------------------------------------------
+
+
+def test_loop_extrapolation_matches_static_count():
+    program = TestProgram("big")
+    body = [cmd.hammer(0, 0, 0, 4999, 32), cmd.hammer(0, 0, 0, 5001, 32)]
+    program.append(Loop(1_000_000, body))
+    report = verify_program(program)
+    assert report.commands_checked == program.static_command_count()
+    expected = 2_000_000 * 32 * DEFAULT_TIMINGS.act_to_act(
+        DEFAULT_TIMINGS.t_ras)
+    assert report.elapsed_ns == pytest.approx(expected, rel=1.0e-9)
+
+
+def test_loop_extrapolation_still_catches_budget():
+    # The violation only materializes after extrapolating a long loop:
+    # each iteration adds acts to a refresh-managed bank without a REF.
+    program = TestProgram("slow_burn")
+    program.refresh(0, 0)
+    program.append(Loop(100_000, [cmd.act(0, 0, 0, 100),
+                                  cmd.pre(0, 0, 0)]))
+    program.refresh(0, 0)
+    report = verify_program(program)
+    assert "P004" in _rules(report)
+    assert report.commands_checked == program.static_command_count()
+
+
+def test_nested_loop_command_count():
+    program = TestProgram("nested")
+    inner = Loop(7, [cmd.act(0, 0, 0, 100), cmd.pre(0, 0, 0)])
+    program.append(Loop(5_000, [inner, cmd.wait(100.0)]))
+    report = verify_program(program)
+    assert report.commands_checked == program.static_command_count() \
+        == 5_000 * (7 * 2 + 1)
+
+
+# -- the real workload lints clean --------------------------------------
+
+
+@pytest.fixture(scope="module")
+def routine_corpus():
+    from repro.lint.corpus import (capture_attack_programs,
+                                   capture_routine_programs)
+
+    return capture_routine_programs(hammer_count=2_000) \
+        + capture_attack_programs()
+
+
+def test_every_routine_program_verifies_clean(routine_corpus):
+    assert routine_corpus
+    for report in verify_programs(routine_corpus):
+        assert report.ok, report.render()
+
+
+# -- agreement with the interpreter -------------------------------------
+
+
+def _random_program(rng, geometry, index):
+    """A short random command stream over two banks of one channel."""
+    program = TestProgram(f"fuzz{index}")
+    rows = [100, 101, 200]
+    for __ in range(int(rng.integers(4, 14))):
+        bank = int(rng.integers(0, 2))
+        row = rows[int(rng.integers(0, len(rows)))]
+        address = RowAddress(0, 0, bank, row)
+        choice = int(rng.integers(0, 7))
+        if choice == 0:
+            program.activate(address)
+        elif choice == 1:
+            program.precharge(address)
+        elif choice == 2:
+            program.read_row(address, f"t{index}")
+        elif choice == 3:
+            data = np.full(geometry.row_bytes,
+                           int(rng.integers(0, 256)), dtype=np.uint8)
+            program.append(cmd.wr(0, 0, bank, row, data))
+        elif choice == 4:
+            program.hammer(address, int(rng.integers(0, 5)))
+        elif choice == 5:
+            program.wait(float(rng.integers(10, 500)))
+        else:
+            program.refresh(0, 0)
+    return program
+
+
+def test_verifier_agrees_with_interpreter_on_sampled_corpus():
+    rng = np.random.default_rng(0x11DE)
+    geometry = HBM2Stack().geometry
+    disagreements = []
+    saw_error, saw_clean = 0, 0
+    for index in range(60):
+        program = _random_program(rng, geometry, index)
+        report = verify_program(program)
+        interpreter = Interpreter(HBM2Stack())
+        raised = False
+        result = None
+        try:
+            result = interpreter.run(program)
+        except TimingError:
+            raised = True
+        predicted = bool(report.errors)
+        if predicted != raised:
+            disagreements.append((program.name, _rules(report), raised))
+        if raised:
+            saw_error += 1
+        else:
+            saw_clean += 1
+            # On clean executions the symbolic clock mirrors the
+            # device clock (same accounting, different engine).
+            assert result.elapsed_ns == pytest.approx(
+                report.elapsed_ns, rel=1.0e-9, abs=1.0e-6)
+    assert not disagreements, disagreements
+    # The corpus must exercise both verdicts to mean anything.
+    assert saw_error > 5 and saw_clean > 5
