@@ -121,9 +121,10 @@ class BenderSession:
 
         False when the ``HBMSIM_BATCH`` escape hatch disables it, a fault
         plan is installed (installed after session construction counts
-        too), the device is wrapped (``FaultyStack``), or TRR is enabled
-        — all cases where per-command execution has observable effects
-        the closed-form engine cannot replay.
+        too), or the device is wrapped (``FaultyStack``) — cases where
+        per-command execution has observable effects the closed-form
+        engine cannot replay.  TRR-enabled devices batch fine: the
+        engine mirrors the activation stream into the TRR sampler.
         """
         return (batch_enabled() and active_plan() is None
                 and engine_supported(self.device))

@@ -68,6 +68,8 @@ _LAZY = {
     "BypassStudy": ("repro.core.trr_bypass", "BypassStudy"),
     "bypass_study": ("repro.core.trr_bypass", "bypass_study"),
     "run_attack_exact": ("repro.core.trr_bypass", "run_attack_exact"),
+    "run_attack_epochs": ("repro.core.trr_bypass", "run_attack_epochs"),
+    "run_attack": ("repro.core.trr_bypass", "run_attack"),
     "SecdedOutcomes": ("repro.core.wordlevel", "SecdedOutcomes"),
     "WordLevelStudy": ("repro.core.wordlevel", "WordLevelStudy"),
     "secded_outcomes": ("repro.core.wordlevel", "secded_outcomes"),

@@ -16,6 +16,7 @@ to 24 / 30 / 34 in the paper).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,10 +24,12 @@ import numpy as np
 
 from repro.bender.host import BenderSession
 from repro.bender.program import TestProgram
-from repro.bender.routines.rowinit import initialize_window
+from repro.bender.routines.rowinit import PATTERN_RADIUS, initialize_window
 from repro.chips.profiles import ChipProfile
 from repro.core import analytic, metrics
 from repro.core.patterns import CHECKERED0, DataPattern
+from repro.dram.batch import EpochPlan
+from repro.dram.device import ROW_IO_NS, classify_victim_pattern
 from repro.dram.geometry import RowAddress
 from repro.dram.timing import DEFAULT_TIMINGS, TimingParameters
 
@@ -133,6 +136,208 @@ def run_attack_exact(session: BenderSession,
     observed = session.read_physical_row(victim_physical)
     expected = pattern.victim_row(geometry.row_bytes)
     return metrics.count_bitflips(expected, observed)
+
+
+def run_attack_epochs(session: BenderSession,
+                      victim_physical: RowAddress,
+                      config: AttackConfig,
+                      pattern: DataPattern = CHECKERED0) -> int:
+    """Epoch-level replay of :func:`run_attack_exact`.
+
+    Lowers the per-window hammer schedule into one :class:`EpochPlan`,
+    obtains the full victim-refresh schedule from the array-form TRR
+    step (:meth:`~repro.dram.trr.TrrEngine.run_epochs` on a sampler
+    clone), and replays only the events that touch the victim row:
+    per-window aggressor disturbance, TRR victim refreshes within blast
+    radius, rolling-refresh sweeps, and the final read's commit — with
+    the exact float-accumulation order of the command engine, so the
+    returned bitflip count is bit-identical to the scalar path.
+
+    Like the batch engine, this is a *measurement surface*: it reads the
+    device's clock, rolling-refresh pointer and TRR sampler but mutates
+    none of them.  Use a fresh session per attack configuration (the
+    experiments do) — back-to-back attacks on one session would see the
+    scalar path's state evolution, which this replay does not apply.
+    """
+    device = session.device
+    geometry = device.geometry
+    timings = config.timings
+    layout = geometry.subarrays
+    model = device.disturbance
+    victim = victim_physical.validate(geometry)
+    if len(session.aggressors_of(victim)) != 2:
+        raise ValueError("victim must have two in-bank neighbors")
+    dummies = dummy_rows_for(victim, config, geometry.rows)
+
+    temp = device.temperature_disturbance_factor()
+    blast = model.blast_radius
+    t_ras = timings.t_ras
+    retention = device.retention
+    accel = device.retention_acceleration()
+
+    expected = np.asarray(pattern.victim_row(geometry.row_bytes),
+                          dtype=np.uint8)
+    profile = device.profile_provider.profile(
+        victim, classify_victim_pattern(expected))
+    population = profile.population
+    strong_floor = 10.0 ** (population.mu_strong
+                            - 3.0 * population.sigma_strong)
+    min_threshold = min(float(profile.hc_first()), strong_floor)
+    thresholds: Optional[np.ndarray] = None
+    floor = retention.row_retention_ns(victim) \
+        if retention is not None else None
+
+    # -- window init: replay the command clock and the victim's state --
+    now = device.now_ns
+    acc = 0.0
+    restored_at = now
+    ref_time = device.last_rolling_refresh_ns(victim)
+    t_rcd_io = timings.t_rcd + ROW_IO_NS
+    low_row = max(0, victim.row - PATTERN_RADIUS)
+    high_row = min(geometry.rows - 1, victim.row + PATTERN_RADIUS)
+    init_rows = list(range(low_row, high_row + 1))
+    past_victim = False
+    for row in init_rows:
+        open_since = now
+        if row == victim.row:
+            # The victim's own write replaces its state mid-window.
+            restored_at = now
+            acc = 0.0
+            past_victim = True
+        now += t_rcd_io
+        t_on = now - open_since
+        if t_on < t_ras:
+            now = open_since + t_ras
+            t_on = t_ras
+        distance = abs(row - victim.row)
+        if past_victim and 1 <= distance <= blast \
+                and layout.same_subarray(row, victim.row):
+            units = (1 * temp) * model.units_per_activation(t_on, distance)
+            if units > 0:
+                acc += units
+        now += timings.t_rp
+
+    # -- TRR victim-refresh schedule from the array-form sampler step --
+    engine = copy.deepcopy(
+        device.trr_engine(victim.channel, victim.pseudo_channel))
+    engine.note_window(victim.bank, [(row, 1) for row in init_rows])
+    plan = EpochPlan.single_bank(
+        victim.bank,
+        [(dummy, config.dummy_acts_each) for dummy in dummies]
+        + [(victim.row - 1, config.aggressor_acts),
+           (victim.row + 1, config.aggressor_acts)])
+    total_windows = config.total_windows
+    schedule = dict(engine.run_epochs(plan.as_trr_epoch(), total_windows))
+
+    # -- per-window increments (same float expressions as the device) --
+    entry_durations = plan.entry_durations(timings)
+    entry_units = []
+    for row, count in zip(plan.rows.tolist(), plan.counts.tolist()):
+        distance = abs(row - victim.row)
+        units = 0.0
+        if 1 <= distance <= blast \
+                and layout.same_subarray(row, victim.row):
+            units = (count * temp) \
+                * model.units_per_activation(t_ras, distance)
+        entry_units.append(units if units > 0 else 0.0)
+    trr_disturb = {
+        distance: (1 * temp) * model.units_per_activation(t_ras, distance)
+        for distance in range(1, blast + 1)}
+    window_time = (config.dummy_rows * config.dummy_acts_each
+                   + 2 * config.aggressor_acts) * timings.t_rc \
+        + timings.t_rfc
+    pad = max(0.0, timings.t_refi - window_time)
+
+    # -- rolling-refresh sweeps of the victim within the run --
+    pointer = device.rolling_refresh_pointer(victim.channel,
+                                             victim.pseudo_channel)
+    per_ref = timings.rows_refreshed_per_ref
+    sweeps = set()
+    slot = (victim.row - pointer) % geometry.rows
+    while slot < total_windows * per_ref:
+        sweeps.add(slot // per_ref + 1)
+        slot += geometry.rows
+
+    already: Optional[np.ndarray] = None
+
+    def commit(time: float) -> None:
+        """Mirror ``_commit`` / ``_pending_flip_bits`` for the victim."""
+        nonlocal acc, restored_at, already, thresholds
+        parts: List[np.ndarray] = []
+        if acc > 0 and acc >= min_threshold:
+            if thresholds is None:
+                thresholds = profile.materialize()
+            parts.append(np.flatnonzero(thresholds <= acc))
+        if retention is not None:
+            elapsed = time - max(restored_at, ref_time)
+            if elapsed > 0:
+                effective = elapsed * accel
+                if floor is not None and effective >= floor:
+                    parts.append(retention.failing_bits(victim, effective))
+        if parts:
+            candidates = np.unique(
+                np.concatenate(parts)).astype(np.int64)
+            if already is not None:
+                candidates = candidates[~already[candidates]]
+            if candidates.size:
+                if already is None:
+                    already = np.zeros(geometry.row_bits, dtype=bool)
+                already[candidates] = True
+        acc = 0.0
+        restored_at = time
+
+    for window in range(1, total_windows + 1):
+        for units, duration in zip(entry_units, entry_durations):
+            if units > 0:
+                acc += units
+            now += duration
+        victims = schedule.get(window)
+        if victims:
+            for bank, row in victims:
+                if bank != victim.bank:
+                    continue
+                if row == victim.row:
+                    commit(now)
+                    continue
+                distance = abs(row - victim.row)
+                if 1 <= distance <= blast \
+                        and layout.same_subarray(row, victim.row):
+                    units = trr_disturb[distance]
+                    if units > 0:
+                        acc += units
+        if window in sweeps:
+            ref_time = now
+            commit(now)
+        now += timings.t_rfc
+        if pad:
+            now += pad
+
+    commit(now)  # the final read's activation
+    if already is None:
+        return 0
+    flips = int(already.sum())
+    if device.mode_registers.ecc_enabled and flips:
+        per_word = already.reshape(-1, 64).sum(axis=1)
+        flips -= int(np.count_nonzero(per_word == 1))
+    return flips
+
+
+def run_attack(session: BenderSession,
+               victim_physical: RowAddress,
+               config: AttackConfig,
+               pattern: DataPattern = CHECKERED0) -> int:
+    """Execute the bypass attack on the fastest bit-identical path.
+
+    Uses the epoch-level replay when the session may batch
+    (:meth:`~repro.bender.host.BenderSession.batching_active`), falling
+    back to the command-accurate :func:`run_attack_exact` under
+    ``HBMSIM_BATCH=0``, fault plans, or wrapped devices.  Both paths
+    return the same bitflip count; only the exact path mutates the
+    device, so callers comparing engines must use fresh sessions.
+    """
+    if session.batching_active():
+        return run_attack_epochs(session, victim_physical, config, pattern)
+    return run_attack_exact(session, victim_physical, config, pattern)
 
 
 def attack_effective_hammers(chip: ChipProfile, config: AttackConfig,

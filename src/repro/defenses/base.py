@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.dram.device import HBM2Stack
 from repro.dram.commands import Command, CommandKind
@@ -63,6 +63,29 @@ class MitigationController(abc.ABC):
 
         Returns the *logical* rows to preventively refresh now.
         """
+
+    def observe_epoch(self, entries: Sequence[
+            Tuple[RowAddress, int, Optional[float]]],
+            now_ns: float) -> List[int]:
+        """Process one epoch's worth of activations in a single call.
+
+        ``entries`` lists ``(address, count, t_on)`` in issue order — the
+        same stream :meth:`observe` would see call by call.  Returns the
+        concatenated victim lists in observation order.
+
+        This reference implementation *is* the per-ACT path: it loops
+        :meth:`observe` so the sequential contract (call order, RNG draw
+        order, counter update order) is preserved exactly.  Subclasses
+        may override with an array-form step, but only where the state
+        update provably commutes (BlockHammer's filter adds do; PARA's
+        RNG stream and Graphene's Misra-Gries table do not) — parity
+        with this loop is the bit-identity contract, enforced by
+        ``tests/defenses/test_observe_epoch.py``.
+        """
+        victims: List[int] = []
+        for address, count, t_on in entries:
+            victims.extend(self.observe(address, count, t_on, now_ns))
+        return victims
 
     def victims_of(self, logical_row: int) -> List[int]:
         """Believed logical addresses of the row's physical neighbors."""
@@ -146,6 +169,29 @@ class DefendedDevice:
     def refresh(self, channel: int, pseudo_channel: int) -> None:
         self._check_rollover()
         self.device.refresh(channel, pseudo_channel)
+
+    def refresh_burst(self, channel: int, pseudo_channel: int,
+                      count: int) -> None:
+        """``count`` REFs, bit-identical to ``count`` :meth:`refresh`.
+
+        The scalar path re-checks the tREFW rollover before every REF;
+        a burst must not overshoot that boundary, or the controller's
+        :meth:`~MitigationController.on_window_rollover` would fire at a
+        later ``now_ns`` than in the sequential replay.  Each chunk is
+        therefore sized to stop strictly short of the window edge, and
+        the check re-runs between chunks — the rollover fires at exactly
+        the REF index (hence exactly the clock value) the scalar loop
+        would have produced.
+        """
+        timings = self.device.timings
+        remaining = int(count)
+        while remaining > 0:
+            self._check_rollover()
+            elapsed = self.device.now_ns - self._window_start_ns
+            headroom = int((timings.t_refw - elapsed) / timings.t_rfc) - 2
+            chunk = min(remaining, max(1, headroom))
+            self.device.refresh_burst(channel, pseudo_channel, chunk)
+            remaining -= chunk
 
     def wait(self, duration_ns: float) -> None:
         self.device.wait(duration_ns)

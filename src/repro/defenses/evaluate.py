@@ -20,6 +20,7 @@ from repro.chips.profiles import ChipProfile
 from repro.core import metrics
 from repro.core.patterns import CHECKERED0, DataPattern
 from repro.defenses.base import DefendedDevice, MitigationController
+from repro.dram.batch import batch_enabled
 from repro.dram.geometry import RowAddress
 
 
@@ -86,6 +87,26 @@ class _RefPacer:
 
     def tick(self) -> None:
         device = self.session.device
+        if device.now_ns < self.next_ref_ns:
+            return
+        if batch_enabled():
+            # Pre-simulate the catch-up loop arithmetically (each REF
+            # advances the clock by exactly tRFC), then issue the whole
+            # burst at once.  refresh_burst — both the stack's and the
+            # DefendedDevice wrapper's — is bit-identical to the
+            # sequential REFs, so the report hash cannot move.
+            count = 0
+            now_sim = device.now_ns
+            next_sim = self.next_ref_ns
+            t_rfc = device.timings.t_rfc
+            while now_sim >= next_sim:
+                count += 1
+                now_sim += t_rfc
+                next_sim += self.t_refi
+            device.refresh_burst(self.victim.channel,
+                                 self.victim.pseudo_channel, count)
+            self.next_ref_ns = next_sim
+            return
         while device.now_ns >= self.next_ref_ns:
             device.refresh(self.victim.channel,
                            self.victim.pseudo_channel)

@@ -67,12 +67,22 @@ class HeterogeneousGraphene(Graphene):
                          rows=chip.geometry.rows,
                          believed_mapping=believed_mapping)
         self._layout = chip.geometry.subarrays
+        # threshold_for is a pure function of (channel, logical row);
+        # memoizing it keeps the (inherited, order-preserving)
+        # observe_epoch step from re-walking the believed mapping and
+        # subarray layout for every entry.  Bit-identical by purity.
+        self._threshold_memo: Dict[Tuple[int, int], int] = {}
 
     def threshold_for(self, address: RowAddress) -> int:
-        subarray = self._layout.subarray_of(
-            self.believed_mapping.to_physical(address.row))
-        return self.local_thresholds.get((address.channel, subarray),
-                                         self.threshold)
+        key = (address.channel, address.row)
+        cached = self._threshold_memo.get(key)
+        if cached is None:
+            subarray = self._layout.subarray_of(
+                self.believed_mapping.to_physical(address.row))
+            cached = self.local_thresholds.get(
+                (address.channel, subarray), self.threshold)
+            self._threshold_memo[key] = cached
+        return cached
 
     def uniform_equivalent_threshold(self) -> int:
         """The single threshold a vulnerability-blind design must use

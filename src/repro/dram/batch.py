@@ -24,13 +24,27 @@ engine is a *measurement surface*: it does not mutate device state,
 advance device time, or update command statistics, exactly like the
 analytic engine in :mod:`repro.core.analytic`.
 
+TRR-enabled devices are fully supported: the measurement window issues
+no REF commands, so TRR cannot alter what the batch measures, and the
+engine *mirrors* the measurement's activation stream into the device's
+TRR sampler (the one piece of device state whose future behaviour
+depends on the activation history) so that later REF commands see the
+same sampler state as after the scalar command sequence.
+
 **When not to use it**: the engine models the fault-free, refresh-free
 measurement window.  Callers must fall back to the scalar command path
-when a fault plan is installed (:func:`repro.faults.active_plan`), when
-the device is wrapped (``FaultyStack``), or when TRR is enabled — the
-session-level wrappers in :class:`repro.bender.host.BenderSession` do
-this automatically, and ``HBMSIM_BATCH=0`` forces the scalar path
-everywhere (the escape hatch).
+when a fault plan is installed (:func:`repro.faults.active_plan`) or
+when the device is wrapped (``FaultyStack``) — the session-level
+wrappers in :class:`repro.bender.host.BenderSession` do this
+automatically, and ``HBMSIM_BATCH=0`` forces the scalar path everywhere
+(the escape hatch).
+
+The module also defines the **epoch plan** lowering used by the TRR-aware
+executors: a hammer schedule between two REF commands, represented as
+per-bank ordered ``(row, count)`` arrays (:class:`EpochPlan`).  The
+array-form :meth:`repro.dram.trr.TrrEngine.run_epochs` consumes these
+plans directly, which is what lets the Section 7 attack replay and the
+REF-heavy defense workloads skip per-command execution entirely.
 """
 
 from __future__ import annotations
@@ -67,10 +81,12 @@ def engine_supported(device) -> bool:
 
     Requires a plain :class:`HBM2Stack` (no fault wrapper or subclass —
     overridden command semantics would diverge from the engine's
-    closed-form replay) with TRR disabled (the scalar path mutates TRR
-    activation counters; bypassing it would desynchronize later REFs).
+    closed-form replay).  TRR-enabled stacks are supported: the profile
+    mirrors each measurement's activation stream into the TRR sampler
+    (see :meth:`RowBatchProfile._mirror_trr`), so later REF commands
+    select the same victims as after the scalar command sequence.
     """
-    return type(device) is HBM2Stack and not device.trr_config.enabled
+    return type(device) is HBM2Stack
 
 
 @dataclass
@@ -106,8 +122,8 @@ class RowBatchProfile:
                  pattern, radius: int = PATTERN_RADIUS) -> None:
         if not engine_supported(device):
             raise ValueError(
-                "batch engine requires a plain HBM2Stack with TRR "
-                "disabled; use the scalar command path instead")
+                "batch engine requires a plain HBM2Stack (no fault "
+                "wrapper); use the scalar command path instead")
         self.device = device
         self.victims = [address.validate(device.geometry)
                         for address in victims]
@@ -264,6 +280,8 @@ class RowBatchProfile:
                 images ^= np.packbits(corrections, axis=1)
                 observed = committed & ~corrections
 
+        self._mirror_trr(indices, counts)
+
         return BatchHammerResult(
             victims=[self.victims[int(i)] for i in indices],
             images=images,
@@ -271,6 +289,107 @@ class RowBatchProfile:
             observed_flips=observed,
             bitflips=observed.sum(axis=1),
         )
+
+    def _mirror_trr(self, indices: np.ndarray,
+                    counts: np.ndarray) -> None:
+        """Replay the measurement's activation stream into the sampler.
+
+        The scalar sequence per victim is: the window-init writes
+        (ascending rows), one fused hammer per in-range aggressor (low
+        side first), then the read's activation of the victim.  Each is
+        an ``on_activate`` the TRR sampler observes; replaying them in
+        the same order keeps the sampler — CAM, window counts, pending
+        set — bit-identical to the scalar command path, so any later REF
+        refreshes the same victims.  (No REF occurs inside the
+        measurement itself, so this is the only device state the batch
+        evaluation has to keep in sync.)
+        """
+        device = self.device
+        if not device.trr_config.enabled:
+            return
+        geometry = device.geometry
+        for position, index in enumerate(indices):
+            victim = self.victims[int(index)]
+            engine = device.trr_engine(victim.channel,
+                                       victim.pseudo_channel)
+            low = max(0, victim.row - self.radius)
+            high = min(geometry.rows - 1, victim.row + self.radius)
+            stream = [(row, 1) for row in range(low, high + 1)]
+            count = int(counts[position])
+            if count > 0:
+                if victim.row - 1 >= 0:
+                    stream.append((victim.row - 1, count))
+                if victim.row + 1 < geometry.rows:
+                    stream.append((victim.row + 1, count))
+            stream.append((victim.row, 1))
+            engine.note_window(victim.bank, stream)
+
+
+@dataclass(frozen=True)
+class EpochPlan:
+    """One REF-to-REF run of activations, lowered to count arrays.
+
+    A hammer schedule between two REF commands is a sequence of fused
+    hammers: ``rows[i]`` receives ``counts[i]`` activations in bank
+    ``banks[i]``, with entries listed in first-activation order within
+    each bank (the contract of :meth:`repro.dram.trr.TrrEngine.
+    note_window`).  Repeating the same plan every tREFI — exactly what
+    the Section 7 bypass attack and the defense-evaluation attack loops
+    do — is what :meth:`repro.dram.trr.TrrEngine.run_epochs` and the
+    epoch-level executors consume wholesale instead of dispatching each
+    hammer as a command.
+    """
+
+    banks: np.ndarray
+    rows: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.banks) == len(self.rows) == len(self.counts)):
+            raise ValueError("banks/rows/counts must align")
+        if len(self.counts) and int(np.min(self.counts)) < 1:
+            raise ValueError("counts must be at least 1")
+
+    @classmethod
+    def single_bank(cls, bank: int,
+                    pairs: Sequence[tuple]) -> "EpochPlan":
+        """Lower an ordered ``(row, count)`` schedule in one bank."""
+        rows = np.asarray([row for row, __ in pairs], dtype=np.int64)
+        counts = np.asarray([count for __, count in pairs],
+                            dtype=np.int64)
+        banks = np.full(len(rows), bank, dtype=np.int64)
+        return cls(banks=banks, rows=rows, counts=counts)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def total_activations(self) -> int:
+        """ACTs issued per epoch (the tREFI activation-budget user)."""
+        return int(self.counts.sum())
+
+    def as_trr_epoch(self):
+        """The ``bank -> ordered (row, count)`` mapping ``run_epochs``
+        consumes (entry order within each bank is preserved)."""
+        epoch: dict = {}
+        for bank, row, count in zip(self.banks.tolist(),
+                                    self.rows.tolist(),
+                                    self.counts.tolist()):
+            epoch.setdefault(bank, []).append((row, count))
+        return epoch
+
+    def entry_durations(self, timings, t_on: Optional[float] = None
+                        ) -> List[float]:
+        """Wall-clock time of each fused hammer, in entry order.
+
+        Scalar replay adds ``count * act_to_act(t_on)`` to the device
+        clock once per hammer command; callers accumulate these values
+        in the same order to stay bit-identical with that clock.
+        """
+        effective = timings.t_ras if t_on is None \
+            else max(t_on, timings.t_ras)
+        per_act = timings.act_to_act(effective)
+        return [count * per_act for count in self.counts.tolist()]
 
 
 def _ecc_correction_mask(committed: np.ndarray) -> Optional[np.ndarray]:

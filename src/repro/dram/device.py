@@ -436,6 +436,115 @@ class HBM2Stack:
         self.stats.refs += 1
         self._record("REF", channel, pseudo_channel)
 
+    def refresh_burst(self, channel: int, pseudo_channel: int,
+                      count: int) -> None:
+        """Issue ``count`` REF commands as one batched operation.
+
+        Bit-identical to ``count`` sequential :meth:`refresh` calls —
+        same TRR victim refreshes, rolling-refresh commits, retention
+        clocks, stats and final ``now_ns`` (the per-REF timestamps replay
+        the scalar clock's float accumulation order) — but without the
+        per-REF Python dispatch: the TRR engine fast-forwards through
+        :meth:`~repro.dram.trr.TrrEngine.run_epochs`, rolling-refresh
+        touches of *materialized* rows replay as individual commits at
+        their exact REF timestamps, and the untouched majority of the
+        ref-time bookkeeping collapses into one bulk update.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        pc_key = (channel, pseudo_channel)
+        if pc_key not in self._trr:
+            raise ValueError(f"no such pseudo channel {pc_key}")
+        if self._trace is not None or count < 4:
+            # Tracing wants one entry per REF; tiny bursts are not worth
+            # the setup.  The scalar loop is the reference semantics.
+            for __ in range(count):
+                self.refresh(channel, pseudo_channel)
+            return
+        timings = self.timings
+        t_rfc = timings.t_rfc
+        per_ref = timings.rows_refreshed_per_ref
+        rows = self.geometry.rows
+        banks = self.geometry.banks
+        pointer = self._ref_pointer[pc_key]
+        ref_times = self._pc_ref_time[pc_key]
+        # Per-REF timestamps with the scalar clock's exact accumulation
+        # order (np.add.accumulate is strictly sequential, so ref_t[i]
+        # reproduces `now += t_rfc` i times bit-for-bit).
+        steps = np.full(count + 1, t_rfc)
+        steps[0] = self.now_ns
+        ref_t = np.cumsum(steps)
+
+        victim_schedule = self._trr[pc_key].run_epochs({}, count)
+
+        # Rows whose rolling-refresh touches must replay as individual
+        # commits: everything materialized now, plus whatever a TRR
+        # victim refresh may materialize mid-burst (its blast radius).
+        candidates = set()
+        for bank_index in range(banks):
+            bank_rows = self._rows.get((channel, pseudo_channel,
+                                        bank_index))
+            if bank_rows:
+                candidates.update(bank_rows)
+        radius = self.disturbance.blast_radius
+        for __, victims in victim_schedule:
+            for __bank, victim_row in victims:
+                candidates.update(range(max(0, victim_row - radius),
+                                        min(rows, victim_row + radius + 1)))
+
+        # Event list: (ref_index, phase, slot, payload) replayed in the
+        # scalar order — victims first (phase 0), then rolling touches
+        # in slot order within each REF.
+        slots = count * per_ref
+        events: list = [(offset - 1, 0, 0, victims)
+                        for offset, victims in victim_schedule]
+        if candidates:
+            if len(candidates) * (1 + slots // rows) < slots:
+                for row in candidates:
+                    first_slot = (row - pointer) % rows
+                    for slot in range(first_slot, slots, rows):
+                        events.append((slot // per_ref, 1,
+                                       slot % per_ref, row))
+            else:
+                slot_idx = np.arange(slots, dtype=np.int64)
+                swept = (pointer + slot_idx) % rows
+                hits = slot_idx[np.isin(
+                    swept, np.fromiter(candidates, dtype=np.int64))]
+                for slot in hits.tolist():
+                    events.append((slot // per_ref, 1, slot % per_ref,
+                                   int((pointer + slot) % rows)))
+        events.sort(key=lambda event: event[:3])
+
+        for ref_index, phase, __slot, payload in events:
+            self.now_ns = float(ref_t[ref_index])
+            if phase == 0:
+                for bank_index, victim_row in payload:
+                    physical = RowAddress(channel, pseudo_channel,
+                                          bank_index, victim_row)
+                    self._commit(physical)
+                    self._disturb_neighbors(physical, count=1,
+                                            t_on=timings.t_ras)
+                    self.stats.trr_victim_refreshes += 1
+            else:
+                row = payload
+                ref_times[row] = self.now_ns
+                for bank_index in range(banks):
+                    bank_rows = self._rows.get(
+                        (channel, pseudo_channel, bank_index))
+                    if bank_rows and row in bank_rows:
+                        self._commit(RowAddress(channel, pseudo_channel,
+                                                bank_index, row))
+
+        # Bulk ref-time update: only each row's *last* touch survives,
+        # so replaying the final min(slots, rows) slots suffices (zip
+        # feeds dict.update in ascending slot order; later wins).
+        tail = np.arange(max(0, slots - rows), slots, dtype=np.int64)
+        ref_times.update(zip(((pointer + tail) % rows).tolist(),
+                             ref_t[tail // per_ref].tolist()))
+        self._ref_pointer[pc_key] = (pointer + slots) % rows
+        self.now_ns = float(ref_t[count])
+        self.stats.refs += count
+
     # ------------------------------------------------------------------
     # Inspection helpers (no time advance, no state mutation)
     # ------------------------------------------------------------------
@@ -461,6 +570,26 @@ class HBM2Stack:
     def trr_engine(self, channel: int, pseudo_channel: int) -> TrrEngine:
         """The TRR engine of a pseudo channel (for probes and tests)."""
         return self._trr[(channel, pseudo_channel)]
+
+    def rolling_refresh_pointer(self, channel: int,
+                                pseudo_channel: int) -> int:
+        """Next row slot the pseudo channel's rolling refresh covers.
+
+        Epoch-level replays (``repro.core.trr_bypass.run_attack_epochs``)
+        use this to predict which future REF commands sweep a given row.
+        """
+        pc_key = (channel, pseudo_channel)
+        if pc_key not in self._ref_pointer:
+            raise ValueError(f"no such pseudo channel {pc_key}")
+        return self._ref_pointer[pc_key]
+
+    def last_rolling_refresh_ns(self, physical: RowAddress) -> float:
+        """Device time of the last rolling refresh of a physical row
+        (0.0 if the row has not been swept since power-up)."""
+        pc_key = (physical.channel, physical.pseudo_channel)
+        if pc_key not in self._pc_ref_time:
+            raise ValueError(f"no such pseudo channel {pc_key}")
+        return self._pc_ref_time[pc_key].get(physical.row, 0.0)
 
     # ------------------------------------------------------------------
     # Command tracing (debugging aid, off by default)

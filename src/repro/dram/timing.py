@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from functools import cached_property
 
 # Re-homed into the shared taxonomy (repro.errors); re-exported here so
 # the historical `from repro.dram.timing import TimingError` keeps working.
@@ -56,12 +57,16 @@ class TimingParameters:
         if self.t_refi <= self.t_rfc:
             raise ValueError("t_refi must exceed t_rfc")
 
-    @property
+    # Cached: the refresh path reads these once per REF command, and a
+    # defense evaluation issues millions of REFs.  The dataclass is
+    # frozen, so caching on first read is safe (cached_property writes
+    # to __dict__ directly, bypassing the frozen __setattr__).
+    @cached_property
     def refs_per_window(self) -> int:
         """Number of REF commands issued per refresh window."""
         return int(self.t_refw // self.t_refi)
 
-    @property
+    @cached_property
     def rows_refreshed_per_ref(self) -> int:
         """Rows refreshed per bank by one REF (rolling refresh pointer)."""
         rows = 16384

@@ -26,7 +26,17 @@ which refreshes their neighbors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+#: One epoch of activations: bank -> ordered ``(row, count)`` pairs in
+#: first-activation order (the same contract as :meth:`TrrEngine.note_window`).
+EpochCounts = Mapping[int, Sequence[Tuple[int, int]]]
+
+#: Sparse victim-refresh schedule: ``(window_offset, victims)`` pairs where
+#: ``window_offset`` is 1-based within the run and ``victims`` lists
+#: ``(bank, victim_row)`` in emission order.  Windows without victim
+#: refreshes are omitted.
+VictimSchedule = List[Tuple[int, List[Tuple[int, int]]]]
 
 
 @dataclass(frozen=True)
@@ -166,6 +176,83 @@ class TrrEngine:
         if capable:
             self.detection_log.append((self.ref_count, detected_by_bank))
         return victims
+
+    # ------------------------------------------------------------------
+    # Array-form epoch execution
+    # ------------------------------------------------------------------
+
+    def run_epochs(self, epoch: EpochCounts, repeats: int) -> VictimSchedule:
+        """Execute ``repeats`` identical (epoch, REF) windows at once.
+
+        Bit-identical to repeating ``note_window(bank, epoch[bank])`` for
+        every bank followed by one :meth:`on_refresh`, ``repeats`` times:
+        the same victim-refresh pairs in the same order (returned as a
+        sparse per-window schedule), the same :attr:`detection_log`
+        entries, and the same end state for any subsequent command.
+
+        The speedup comes from the mechanism's *periodic steady state*:
+        every TRR-capable REF clears the CAM and the pending set, and
+        every REF clears the activation window — so once one full
+        capable-to-capable period of identical epochs has been simulated,
+        every later period repeats it exactly and is replicated
+        arithmetically instead of re-executed.
+        """
+        if repeats < 0:
+            raise ValueError("repeats must be non-negative")
+        if not self.config.enabled or repeats == 0:
+            return []
+        ref_start = self.ref_count
+        interval = self.config.capable_interval
+        events: VictimSchedule = []
+        first_capable = 0  # 1-based offset of the first capable REF
+        simulated = 0
+        while simulated < repeats:
+            if first_capable and simulated >= first_capable + interval:
+                break
+            for bank, ordered_counts in epoch.items():
+                self.note_window(bank, ordered_counts)
+            victims = self.on_refresh()
+            simulated += 1
+            if victims:
+                events.append((simulated, victims))
+            if not first_capable and self.is_capable_ref(self.ref_count):
+                first_capable = simulated
+        if simulated == repeats:
+            return events
+        # Steady state reached: the capable REF at `first_capable +
+        # interval` was computed from the cleared post-capable state, so
+        # every later capable REF emits the same victims and logs the
+        # same detections.  Non-capable REFs emit nothing.
+        period_victims: List[Tuple[int, int]] = []
+        period_detected: Dict[int, List[int]] = {}
+        if events and events[-1][0] == simulated:
+            period_victims = events[-1][1]
+        if self.detection_log and \
+                self.detection_log[-1][0] == ref_start + simulated:
+            period_detected = self.detection_log[-1][1]
+        offset = simulated + interval
+        while offset <= repeats:
+            if period_victims:
+                events.append((offset, list(period_victims)))
+            self.detection_log.append(
+                (ref_start + offset,
+                 {bank: list(rows)
+                  for bank, rows in period_detected.items()}))
+            offset += interval
+        # Fast-forward the engine state: the tail windows past the last
+        # capable REF replay against a cleared tracker (what any capable
+        # REF leaves behind), closing each window non-capably.
+        self.ref_count = ref_start + repeats
+        tail = (repeats - first_capable) % interval
+        self._trackers = [_BankTracker() for __ in range(self.banks)]
+        for __ in range(tail):
+            for bank, ordered_counts in epoch.items():
+                self.note_window(bank, ordered_counts)
+            for tracker in self._trackers:
+                self._apply_count_rule(tracker)
+                tracker.window_counts = {}
+                tracker.window_total = 0
+        return events
 
     def _apply_count_rule(self, tracker: _BankTracker) -> None:
         if not self.config.count_rule or tracker.window_total == 0:

@@ -70,6 +70,15 @@ def main(argv=None) -> int:
                         default=None, metavar="PATH",
                         help="append per-experiment wall times to PATH "
                              f"(default {bench.DEFAULT_BENCH_PATH})")
+    parser.add_argument("--bench-repeats", type=int, default=3,
+                        metavar="N",
+                        help="timing samples per experiment when "
+                             "--bench is given: the first sweep prints "
+                             "reports as usual, N-1 silent re-runs "
+                             "follow, and the recorded seconds are the "
+                             "per-experiment median (the run entry "
+                             "carries 'repeats'; default 3, use 1 to "
+                             "skip re-runs)")
     parser.add_argument("--list", action="store_true",
                         help="list experiment ids and exit")
     args = parser.parse_args(argv)
@@ -128,10 +137,31 @@ def main(argv=None) -> int:
         timed = [record for record in records
                  if record.succeeded and record.status != "cached"]
         if timed:
-            path = bench.record_run(timed, scale, jobs=args.jobs,
+            samples = [timed]
+            # Median-of-N: extra silent sweeps (no checkpoint resume —
+            # a cached repeat would time nothing).  The wall clock and
+            # cold/warm label describe the first, printed sweep.
+            repeat_ids = [record.experiment_id for record in timed]
+            for __ in range(max(1, args.bench_repeats) - 1):
+                try:
+                    __, extra = run_timed(
+                        repeat_ids, scale, jobs=args.jobs,
+                        timeout=args.timeout, retries=args.retries,
+                        retry_delay=args.retry_delay, keep_going=True)
+                except HbmSimError as exc:
+                    print(f"bench: repeat sweep failed ({exc}); "
+                          f"recording {len(samples)} sample(s)",
+                          file=sys.stderr)
+                    break
+                samples.append([record for record in extra
+                                if record.succeeded])
+            entries = bench.median_entries(samples)
+            path = bench.record_run(entries, scale, jobs=args.jobs,
                                     cache=cache, path=args.bench,
-                                    wall_seconds=wall)
-            print(f"\nbench: recorded {len(timed)} timings -> {path}",
+                                    wall_seconds=wall,
+                                    repeats=len(samples))
+            print(f"\nbench: recorded {len(entries)} timings "
+                  f"(median of {len(samples)}) -> {path}",
                   file=sys.stderr)
         else:
             print("\nbench: nothing to record (no timed successes)",

@@ -7,7 +7,7 @@ PR instead of living in commit messages.  The file is a single JSON
 document::
 
     {
-      "schema": 2,
+      "schema": 3,
       "runs": [
         {
           "timestamp": "2026-08-06T12:00:00+00:00",
@@ -15,6 +15,8 @@ document::
           "jobs": 1,
           "cache": "cold",          # "cold" | "warm" | "disabled"
           "batch": true,            # batched analytic engine active?
+          "repeats": 3,             # timing samples behind each entry
+          "peak_rss_mb": 412.3,     # process peak RSS at record time
           "experiments": {
             "fig05": {"seconds": 1.03,
                       "phases": {"calibrate": 0.7, "execute": 0.3,
@@ -35,9 +37,16 @@ engine.  ``total_seconds`` sums per-experiment attempt times;
 ``wall_seconds`` is the sweep's wall clock, which ``jobs > 1`` can
 push *below* ``total_seconds``.  Entries append chronologically; the
 last run with matching parameters is the current state of the tree.
-Schema 1 entries (``experiments`` mapping id -> plain seconds, no
-``batch``/``wall_seconds``) remain valid history; readers should accept
-both shapes (see :func:`experiment_seconds`).
+
+Schema 3 adds ``repeats`` (how many timing samples each per-experiment
+entry is the median of; see :func:`median_entries`) and
+``peak_rss_mb`` (the recording process's peak resident set, from
+``resource.getrusage``, which the perf gate polices).  Schema 1 entries
+(``experiments`` mapping id -> plain seconds, no ``batch``/
+``wall_seconds``) and schema 2 entries (no ``repeats``/``peak_rss_mb``)
+remain valid history; readers should accept all three shapes (see
+:func:`experiment_seconds` and :func:`repro.experiments.perf_gate.
+find_run`, which treat the new keys as optional).
 """
 
 from __future__ import annotations
@@ -57,7 +66,7 @@ from repro.chips import cache as calibration_cache
 DEFAULT_BENCH_PATH = "BENCH_experiments.json"
 
 _ENV_PATH = "HBMSIM_BENCH_PATH"
-_SCHEMA = 2
+_SCHEMA = 3
 
 #: How long a concurrent writer waits for the lock before giving up.
 _LOCK_TIMEOUT_S = 10.0
@@ -188,12 +197,58 @@ def _as_entries(timings_or_records) -> Dict[str, dict]:
     return entries
 
 
+def peak_rss_mb() -> Optional[float]:
+    """This process's peak resident set size in MiB, if measurable.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; normalize
+    both.  Returns ``None`` on platforms without ``resource``.
+    """
+    try:
+        import resource
+        import sys as _sys
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    maxrss = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if _sys.platform == "darwin":  # pragma: no cover - linux CI
+        return maxrss / (1024.0 * 1024.0)
+    return maxrss / 1024.0
+
+
+def median_entries(samples: Iterable) -> Dict[str, dict]:
+    """Combine repeated timing sweeps into one per-experiment entry set.
+
+    ``samples`` is an iterable of :func:`record_run`-style inputs (each
+    a ``{id: seconds}`` / schema-entry dict or a RunRecord iterable).
+    Per experiment, the samples are sorted by seconds and the *lower
+    median* sample's whole entry is kept — seconds and phase breakdown
+    stay one real, self-consistent measurement instead of a synthetic
+    average.  Experiments missing from some samples use whatever
+    samples carried them.
+    """
+    normalized = [_as_entries(sample) for sample in samples]
+    merged: Dict[str, dict] = {}
+    for entries in normalized:
+        for experiment_id in entries:
+            merged.setdefault(experiment_id, [])
+    for experiment_id, collected in merged.items():
+        for entries in normalized:
+            if experiment_id in entries:
+                collected.append(entries[experiment_id])
+    return {
+        experiment_id:
+            sorted(collected,
+                   key=lambda entry: entry["seconds"])[
+                       (len(collected) - 1) // 2]
+        for experiment_id, collected in merged.items()}
+
+
 def record_run(timings: Union[Dict[str, float], Iterable],
                scale: float, jobs: int = 1,
                cache: Optional[str] = None,
                path: Optional[str] = None,
                batch: Optional[bool] = None,
-               wall_seconds: Optional[float] = None) -> Path:
+               wall_seconds: Optional[float] = None,
+               repeats: int = 1) -> Path:
     """Append one run record; returns the path written.
 
     ``timings`` maps experiment id -> wall seconds (or a schema-2 entry
@@ -206,19 +261,21 @@ def record_run(timings: Union[Dict[str, float], Iterable],
     an accurate cold/warm label, since the run itself warms the cache.
     ``batch`` defaults to the live ``HBMSIM_BATCH`` setting;
     ``wall_seconds`` is the sweep's wall clock when the caller measured
-    one.  Concurrent writers are serialized through a lock file so no
-    record is ever lost.
+    one.  ``repeats`` records how many timing samples each entry is the
+    median of (pre-combine them with :func:`median_entries`).
+    Concurrent writers are serialized through a lock file so no record
+    is ever lost.
     """
     entries = _as_entries(timings)
     target = bench_path(path)
     with _exclusive_lock(target):
         return _append_run(target, entries, scale, jobs, cache, batch,
-                           wall_seconds)
+                           wall_seconds, repeats)
 
 
 def _append_run(target: Path, entries: Dict[str, dict], scale: float,
                 jobs: int, cache: Optional[str], batch: Optional[bool],
-                wall_seconds: Optional[float]) -> Path:
+                wall_seconds: Optional[float], repeats: int = 1) -> Path:
     if batch is None:
         from repro.dram.batch import batch_enabled
         batch = batch_enabled()
@@ -231,6 +288,7 @@ def _append_run(target: Path, entries: Dict[str, dict], scale: float,
         "jobs": jobs,
         "cache": cache if cache is not None else cache_state(),
         "batch": bool(batch),
+        "repeats": max(1, int(repeats)),
         "experiments": {
             experiment_id: {
                 "seconds": round(entry["seconds"], 4),
@@ -244,6 +302,9 @@ def _append_run(target: Path, entries: Dict[str, dict], scale: float,
     }
     if wall_seconds is not None:
         run["wall_seconds"] = round(wall_seconds, 4)
+    rss = peak_rss_mb()
+    if rss is not None:
+        run["peak_rss_mb"] = round(rss, 1)
     payload["runs"].append(run)
     target.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(dir=target.parent,

@@ -10,10 +10,14 @@ Paper headlines (Takeaway 9):
 - BER grows steeply with aggressor activations: 2.79x / 6.72x / 10.28x
   for 24 / 30 / 34 vs 18 (8 dummies).
 
-The distribution across a bank's rows comes from the analytic engine;
-an exact command-level attack run against a sampled victim (including
-every REF and the TRR engine's sampling) validates the bypass threshold
-in ``benchmarks`` and ``tests``.
+The distribution across a bank's rows comes from the analytic engine.
+The experiment then *validates* the bypass threshold command-exactly: a
+full multi-window attack run (every REF, every TRR sample) against a
+templated weak victim, at 3 and 4 dummy rows.  The run dispatches to
+the epoch-level replay (:func:`repro.core.trr_bypass.run_attack`) when
+batching is enabled and to the scalar command engine under
+``HBMSIM_BATCH=0`` — both bit-identical, which CI checks via the bench
+perf gate and the report-hash equivalence tests.
 """
 
 from __future__ import annotations
@@ -21,8 +25,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.reporting import render_table
+from repro.bender.host import BenderSession
 from repro.chips.profiles import make_chip
-from repro.core.trr_bypass import bypass_study
+from repro.core import analytic
+from repro.core.trr_bypass import AttackConfig, bypass_study, run_attack
+from repro.dram.geometry import RowAddress
 from repro.dram.timing import DEFAULT_TIMINGS
 from repro.experiments.base import ExperimentResult, scaled
 
@@ -60,6 +67,34 @@ def run(scale: float = 1.0) -> ExperimentResult:
                 bypass_threshold = dummies
                 break
     data["bypass_threshold_dummies"] = bypass_threshold
+
+    # -- exact command-level validation of the bypass threshold --
+    # Template a weak victim whose rolling-refresh sweep lands early in
+    # the run, then attack it with 3 vs 4 dummies through the full
+    # REF-managed schedule.
+    windows = scaled(2 * DEFAULT_TIMINGS.refs_per_window, scale, 600)
+    candidates = np.arange(16, 2048, 16)
+    hc = analytic.wcdp_hc_first(chip, 0, 0, 0, candidates)["Checkered0"]
+    needed = candidates // 2 + np.ceil(hc / 34.0).astype(int) + 40
+    victim = RowAddress(
+        0, 0, 0, int(candidates[int(np.argmin(needed))]))
+    exact_windows = int(max(windows, int(needed.min())))
+    exact_flips = {}
+    for dummies in (3, 4):
+        session = BenderSession(chip.make_device(),
+                                mapping=chip.row_mapping())
+        config = AttackConfig(dummy_rows=dummies, aggressor_acts=34,
+                              windows=exact_windows)
+        exact_flips[dummies] = run_attack(session, victim, config)
+    data["exact_validation"] = {
+        "windows": exact_windows,
+        "victim_row": victim.row,
+        "flips_3_dummies": exact_flips[3],
+        "flips_4_dummies": exact_flips[4],
+        "bypass_requires_4_dummies": (exact_flips[3] == 0
+                                      and exact_flips[4] > 0),
+    }
+
     budget = DEFAULT_TIMINGS.activation_budget
     footer = [
         "",
@@ -72,6 +107,11 @@ def run(scale: float = 1.0) -> ExperimentResult:
         "Dummy-count sensitivity at 34 ACTs (max - min mean BER): "
         f"{data['dummy_sensitivity_34']:.4f} "
         "(paper: ~0.003 between 4 and 7 dummies)",
+        f"Exact run, row {victim.row}, {exact_windows} windows: "
+        f"{exact_flips[3]} flips with 3 dummies, "
+        f"{exact_flips[4]} with 4 "
+        f"(bypass threshold confirmed: "
+        f"{data['exact_validation']['bypass_requires_4_dummies']})",
     ]
     text = render_table(
         ["Dummies", "Aggr ACTs", "Mean BER", "Max BER"], table_rows,

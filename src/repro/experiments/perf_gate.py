@@ -14,6 +14,18 @@ Both files are read through
 compute path from calibration and pool variance, which is what a 2x
 threshold can police without flaking on shared CI hardware.
 
+Two further checks, both against the measured file only:
+
+``--max-rss-mb`` fails when the measured run's recorded peak RSS
+(schema 3's ``peak_rss_mb``) exceeds the ceiling; the generous default
+catches accidental whole-population materialization, not incremental
+growth.  ``--min-batch-speedup`` requires the newest batched
+(``batch: true``) run to be at least that many times faster than the
+newest scalar (``batch: false``) run of the same experiment — the CI
+teeth behind the batch engine's TRR support: if the epoch replay ever
+falls back to the scalar path, the speedup collapses and the gate
+trips.
+
 Exit status: 0 pass, 1 regression, 2 missing/unreadable data.
 """
 
@@ -84,6 +96,18 @@ def main(argv=None) -> int:
                              "history, which has no batch flag)")
     parser.add_argument("--factor", type=float, default=2.0,
                         help="fail when measured > factor * baseline")
+    parser.add_argument("--max-rss-mb", type=float, default=6144.0,
+                        metavar="MB",
+                        help="fail when the measured run's recorded "
+                             "peak RSS exceeds this ceiling (schema-3 "
+                             "'peak_rss_mb'; pre-schema-3 runs carry "
+                             "none and pass; default 6144)")
+    parser.add_argument("--min-batch-speedup", type=float, default=None,
+                        metavar="X",
+                        help="additionally require the measured "
+                             "batched run to be at least X times "
+                             "faster than the measured scalar "
+                             "(batch off) run of the same experiment")
     args = parser.parse_args(argv)
     cache = args.cache or None
     batch = {"any": None, "on": True, "off": False}[args.batch]
@@ -116,7 +140,36 @@ def main(argv=None) -> int:
           f"(limit {args.factor:g}x = {limit:.4f}s; baseline recorded "
           f"{baseline_run.get('timestamp', '?')}, batch="
           f"{baseline_run.get('batch', 'n/a')})")
-    return 0 if measured <= limit else 1
+    status = 0 if measured <= limit else 1
+
+    rss = measured_run.get("peak_rss_mb")
+    if rss is not None and args.max_rss_mb:
+        rss_ok = float(rss) <= args.max_rss_mb
+        print(f"perf-gate [{'PASS' if rss_ok else 'FAIL'}] peak RSS "
+              f"{float(rss):.1f} MiB (ceiling {args.max_rss_mb:g} MiB)")
+        if not rss_ok:
+            status = 1
+
+    if args.min_batch_speedup is not None:
+        batched, __ = find_run(measured_payload, args.experiment,
+                               args.scale, args.jobs, cache, True)
+        scalar, __ = find_run(measured_payload, args.experiment,
+                              args.scale, args.jobs, cache, False)
+        if batched is None or scalar is None:
+            print(f"perf-gate: --min-batch-speedup needs both a "
+                  f"batch=on and a batch=off measured run for "
+                  f"{criteria}", file=sys.stderr)
+            return 2
+        speedup = scalar / batched if batched > 0 else float("inf")
+        speedup_ok = speedup >= args.min_batch_speedup
+        print(f"perf-gate [{'PASS' if speedup_ok else 'FAIL'}] "
+              f"{args.experiment} batch speedup {speedup:.2f}x "
+              f"(scalar {scalar:.4f}s / batched {batched:.4f}s; "
+              f"required >= {args.min_batch_speedup:g}x)")
+        if not speedup_ok:
+            status = 1
+
+    return status
 
 
 if __name__ == "__main__":

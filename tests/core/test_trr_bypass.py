@@ -5,8 +5,9 @@ import pytest
 
 from repro.core.trr_bypass import (AttackConfig, attack_effective_hammers,
                                    bypass_study, dummy_rows_for,
+                                   run_attack, run_attack_epochs,
                                    run_attack_exact)
-from repro.core.patterns import CHECKERED0
+from repro.core.patterns import CHECKERED0, ROWSTRIPE1
 from repro.dram.geometry import RowAddress
 
 
@@ -102,3 +103,101 @@ class TestExactAttack:
                                               CHECKERED0)
         assert flips[3] == 0
         assert flips[4] > 0
+
+
+def fresh_session(chip, trr_config=None):
+    from repro.bender.host import BenderSession
+
+    kwargs = {} if trr_config is None else {"trr_config": trr_config}
+    return BenderSession(chip.make_device(**kwargs),
+                         mapping=chip.row_mapping())
+
+
+class TestEpochAttackEquivalence:
+    """``run_attack_epochs`` must return the exact path's flip count."""
+
+    @pytest.fixture(scope="class")
+    def weak_victim(self, chip0):
+        """A weak early row: flips within few hundred windows, and its
+        rolling-refresh sweep lands inside the run."""
+        from repro.core import analytic
+
+        rows = np.arange(16, 2048, 16)
+        hc = analytic.wcdp_hc_first(chip0, 0, 0, 0, rows)["Checkered0"]
+        # Total windows needed: survive the sweep at ~row/2, then
+        # accumulate hc_first units at 34 per window.
+        budget = rows // 2 + np.ceil(hc / 34.0).astype(int) + 40
+        best = int(np.argmin(budget))
+        return RowAddress(0, 0, 0, int(rows[best])), int(budget[best])
+
+    def both_paths(self, chip, victim, config, pattern=CHECKERED0,
+                   trr_config=None):
+        exact = run_attack_exact(fresh_session(chip, trr_config), victim,
+                                 config, pattern)
+        session = fresh_session(chip, trr_config)
+        device = session.device
+        before = (device.now_ns, device.stats.acts, device.stats.refs)
+        assert session.batching_active()
+        epochs = run_attack_epochs(session, victim, config, pattern)
+        # The epoch replay is a measurement surface: no device mutation.
+        assert (device.now_ns, device.stats.acts,
+                device.stats.refs) == before
+        return exact, epochs
+
+    def test_bypass_flips_match_exact(self, chip0, weak_victim):
+        victim, windows = weak_victim
+        config = AttackConfig(dummy_rows=4, aggressor_acts=34,
+                              windows=windows)
+        exact, epochs = self.both_paths(chip0, victim, config)
+        assert exact == epochs
+        assert epochs > 0  # non-vacuous: the attack must flip bits
+
+    def test_protected_configs_match_exact(self, chip0, weak_victim):
+        victim, windows = weak_victim
+        for dummies in (0, 3):
+            config = AttackConfig(dummy_rows=dummies, aggressor_acts=34,
+                                  windows=windows)
+            exact, epochs = self.both_paths(chip0, victim, config)
+            assert exact == epochs == 0
+
+    def test_trr_variant_and_pattern_match_exact(self, chip0, weak_victim):
+        from repro.dram.trr import TrrConfig
+
+        victim, windows = weak_victim
+        variant = TrrConfig(capable_interval=9, cam_capacity=2)
+        config = AttackConfig(dummy_rows=3, aggressor_acts=30,
+                              windows=windows)
+        exact, epochs = self.both_paths(chip0, victim, config,
+                                        pattern=ROWSTRIPE1,
+                                        trr_config=variant)
+        assert exact == epochs
+
+    def test_trr_disabled_chip_matches_exact(self, weak_victim):
+        from repro.chips.profiles import make_chip
+
+        chip1 = make_chip(1)  # a TRR-free chip
+        __, windows = weak_victim
+        victim = RowAddress(0, 0, 0, 900)
+        config = AttackConfig(dummy_rows=4, aggressor_acts=34,
+                              windows=min(windows, 400))
+        exact, epochs = self.both_paths(chip1, victim, config)
+        assert exact == epochs
+
+    def test_subarray_boundary_victim_matches_exact(self, chip0):
+        """Row 832's low aggressor sits across a sense-amp stripe."""
+        victim = RowAddress(0, 0, 0, 832)
+        config = AttackConfig(dummy_rows=4, aggressor_acts=34, windows=120)
+        exact, epochs = self.both_paths(chip0, victim, config)
+        assert exact == epochs
+
+    def test_dispatcher_uses_epoch_path(self, chip0, monkeypatch):
+        victim = RowAddress(0, 0, 0, 5000)
+        config = AttackConfig(dummy_rows=4, aggressor_acts=34, windows=40)
+        session = fresh_session(chip0)
+        now_before = session.device.now_ns
+        run_attack(session, victim, config)
+        assert session.device.now_ns == now_before  # epoch path taken
+        monkeypatch.setenv("HBMSIM_BATCH", "0")
+        session = fresh_session(chip0)
+        run_attack(session, victim, config)
+        assert session.device.now_ns > now_before  # scalar path taken

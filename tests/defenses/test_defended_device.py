@@ -190,3 +190,48 @@ class TestEvaluateHarness:
         for report in reports.values():
             assert report.defense == "para"
             assert report.observed_activations > 0
+
+
+class TestDefendedRefreshBurst:
+    """DefendedDevice.refresh_burst == the sequential refresh() loop."""
+
+    def _twin(self, chip0_module):
+        from repro.defenses.base import DefendedDevice
+        from repro.dram.trr import TrrConfig
+
+        controller = Graphene(threshold=600, entries=8,
+                              believed_mapping=chip0_module.row_mapping())
+        device = chip0_module.make_device(
+            trr_config=TrrConfig(enabled=False))
+        return DefendedDevice(device, controller)
+
+    def test_burst_matches_scalar_across_rollover(self, chip0_module):
+        """Enough REFs to cross a tREFW boundary: the rollover must fire
+        at the same REF index (same now_ns) on both paths."""
+        scalar = self._twin(chip0_module)
+        burst = self._twin(chip0_module)
+        timings = scalar.device.timings
+        # Seed tracker state so on_window_rollover has something to wipe.
+        addr = RowAddress(0, 0, 0, 5000)
+        for target in (scalar, burst):
+            target.hammer(addr, 40)
+        count = int(timings.t_refw / timings.t_rfc) + 37
+        for __ in range(count):
+            scalar.refresh(0, 0)
+        burst.refresh_burst(0, 0, count)
+        assert burst.device.now_ns == scalar.device.now_ns
+        assert burst.device.stats.refs == scalar.device.stats.refs
+        assert burst._window_start_ns == scalar._window_start_ns
+        # The rollover wiped both trackers identically.
+        for key, table in scalar.controller._tables.items():
+            twin = burst.controller._tables[key]
+            assert table.counters == twin.counters
+
+    def test_small_burst_matches(self, chip0_module):
+        scalar = self._twin(chip0_module)
+        burst = self._twin(chip0_module)
+        for __ in range(3):
+            scalar.refresh(0, 0)
+        burst.refresh_burst(0, 0, 3)
+        assert burst.device.now_ns == scalar.device.now_ns
+        assert burst._window_start_ns == scalar._window_start_ns

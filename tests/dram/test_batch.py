@@ -180,13 +180,45 @@ class TestHcFirstEquivalence:
 
 
 class TestFallbackGates:
-    def test_trr_device_rejected(self, chip0):
+    def test_trr_device_supported(self, chip0):
+        """TRR no longer forces the scalar fallback (PR 5)."""
         device = chip0.make_device()
         assert device.trr_config.enabled
-        assert not engine_supported(device)
-        with pytest.raises(ValueError, match="TRR"):
-            RowBatchProfile(device, [RowAddress(0, 0, 0, 5000)],
-                            CHECKERED0)
+        assert engine_supported(device)
+        session = BenderSession(device, mapping=chip0.row_mapping())
+        assert session.batching_active()
+
+    def test_trr_mirror_matches_scalar_sampler(self, chip0):
+        """The batch measurement leaves the TRR sampler in the exact
+        state the scalar command sequence would, so later REFs refresh
+        the same victims."""
+        victims = [RowAddress(0, 0, 0, 5000), RowAddress(0, 0, 1, 700)]
+        batch_device = chip0.make_device()
+        session = BenderSession(batch_device, mapping=chip0.row_mapping())
+        assert session.batching_active()
+        session.hammer_rows(victims, CHECKERED0, 2_000)
+
+        scalar_device = chip0.make_device()
+        scalar_session = BenderSession(scalar_device,
+                                       mapping=chip0.row_mapping())
+        for victim in victims:
+            initialize_window(scalar_session, victim, CHECKERED0)
+            double_sided_hammer(scalar_session, victim, 2_000)
+            scalar_session.read_physical_row(victim)
+
+        for device in (batch_device, scalar_device):
+            assert device.trr_config.enabled
+        mine = batch_device.trr_engine(0, 0)
+        theirs = scalar_device.trr_engine(0, 0)
+        for bank in (0, 1):
+            assert mine._trackers[bank].cam == theirs._trackers[bank].cam
+            assert mine._trackers[bank].window_counts \
+                == theirs._trackers[bank].window_counts
+            assert mine._trackers[bank].window_total \
+                == theirs._trackers[bank].window_total
+        # ... and the next capable REFs emit identical victim refreshes.
+        for __ in range(17):
+            assert mine.on_refresh() == theirs.on_refresh()
 
     def test_faulty_stack_rejected(self, chip1):
         wrapped = FaultyStack(chip1.make_device(), FaultPlan(seed=7))

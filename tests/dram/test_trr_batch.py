@@ -1,0 +1,154 @@
+"""Equivalence suite: array-form TRR vs the scalar state machine.
+
+``TrrEngine.run_epochs`` must be *bit-identical* to repeating the
+scalar ``note_window`` / ``on_refresh`` sequence: same victim-refresh
+schedule, same detection log, and the same engine state afterwards
+(checked by continuing both engines scalar-ly and comparing).  The
+hypothesis properties drive seeded random epoch streams through every
+TrrConfig variant the benchmarks exercise.
+"""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.trr import TrrConfig, TrrEngine
+
+BANKS = 4
+ROWS = 128
+
+
+def scalar_reference(engine, epoch, repeats):
+    """The definitional loop run_epochs must reproduce."""
+    events = []
+    for offset in range(1, repeats + 1):
+        for bank, ordered_counts in epoch.items():
+            engine.note_window(bank, ordered_counts)
+        victims = engine.on_refresh()
+        if victims:
+            events.append((offset, victims))
+    return events
+
+
+def engine_state(engine):
+    """Observable sampler state (for end-state comparison)."""
+    return [(t.cam, sorted(t.cam_members), dict(t.window_counts),
+             t.window_total, sorted(t.pending))
+            for t in engine._trackers]
+
+
+configs = st.builds(
+    TrrConfig,
+    capable_interval=st.sampled_from([1, 2, 3, 5, 9, 17]),
+    cam_capacity=st.integers(min_value=1, max_value=6),
+    count_rule=st.booleans(),
+    first_act_rule=st.booleans(),
+)
+
+window = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=ROWS - 1),
+              st.integers(min_value=1, max_value=12)),
+    max_size=5)
+
+epochs = st.dictionaries(
+    st.integers(min_value=0, max_value=BANKS - 1), window, max_size=3)
+
+#: Pre-existing activity so the run starts at an arbitrary phase with
+#: populated CAM / pending / window state.
+prefixes = st.lists(
+    st.one_of(st.none(),  # a REF
+              st.tuples(st.integers(min_value=0, max_value=BANKS - 1),
+                        st.integers(min_value=0, max_value=ROWS - 1),
+                        st.integers(min_value=1, max_value=9))),
+    max_size=24)
+
+
+def apply_prefix(engine, prefix):
+    for step in prefix:
+        if step is None:
+            engine.on_refresh()
+        else:
+            bank, row, count = step
+            engine.on_activate(bank, row, count)
+
+
+@settings(max_examples=200, deadline=None)
+@given(config=configs, epoch=epochs, prefix=prefixes,
+       repeats=st.integers(min_value=0, max_value=120),
+       probe=window)
+def test_run_epochs_matches_scalar(config, epoch, prefix, repeats, probe):
+    batched = TrrEngine(config, BANKS, ROWS)
+    scalar = TrrEngine(config, BANKS, ROWS)
+    apply_prefix(batched, prefix)
+    apply_prefix(scalar, prefix)
+
+    expected = scalar_reference(scalar, epoch, repeats)
+    got = batched.run_epochs(epoch, repeats)
+
+    assert got == expected
+    assert batched.ref_count == scalar.ref_count
+    assert batched.detection_log == scalar.detection_log
+    assert engine_state(batched) == engine_state(scalar)
+
+    # The engines must stay in lockstep afterwards: one more irregular
+    # window (different from the epoch) then a full capable period.
+    for engine in (batched, scalar):
+        engine.note_window(0, probe)
+    for __ in range(config.capable_interval + 1):
+        assert batched.on_refresh() == scalar.on_refresh()
+    assert batched.detection_log == scalar.detection_log
+
+
+@settings(max_examples=60, deadline=None)
+@given(prefix=prefixes, repeats=st.integers(min_value=0, max_value=200))
+def test_empty_epoch_fast_forward(prefix, repeats):
+    """REF bursts with no interleaved ACTs (the refresh_burst case)."""
+    config = TrrConfig()
+    batched = TrrEngine(config, BANKS, ROWS)
+    scalar = TrrEngine(config, BANKS, ROWS)
+    apply_prefix(batched, prefix)
+    apply_prefix(scalar, prefix)
+    expected = scalar_reference(scalar, {}, repeats)
+    assert batched.run_epochs({}, repeats) == expected
+    assert batched.ref_count == scalar.ref_count
+    assert batched.detection_log == scalar.detection_log
+    assert engine_state(batched) == engine_state(scalar)
+
+
+def test_disabled_engine_is_inert():
+    engine = TrrEngine(TrrConfig(enabled=False), BANKS, ROWS)
+    assert engine.run_epochs({0: [(5, 3)]}, 40) == []
+    assert engine.ref_count == 0
+    assert engine.detection_log == []
+
+
+def test_negative_repeats_rejected():
+    engine = TrrEngine(TrrConfig(), BANKS, ROWS)
+    with pytest.raises(ValueError):
+        engine.run_epochs({}, -1)
+
+
+def test_long_run_logs_every_capable_ref():
+    """Extrapolated capable REFs append (empty) detection entries too."""
+    engine = TrrEngine(TrrConfig(), BANKS, ROWS)
+    reference = TrrEngine(TrrConfig(), BANKS, ROWS)
+    epoch = {1: [(10, 2), (11, 2)]}
+    events = engine.run_epochs(epoch, 1700)
+    expected = scalar_reference(reference, epoch, 1700)
+    assert events == expected
+    assert engine.detection_log == reference.detection_log
+    assert len(engine.detection_log) == 100  # 1700 // 17
+
+
+def test_run_epochs_state_snapshot_roundtrip():
+    """A deep-copied engine replayed scalar-ly agrees after run_epochs."""
+    config = TrrConfig(capable_interval=5, cam_capacity=2)
+    engine = TrrEngine(config, BANKS, ROWS)
+    engine.on_activate(0, 7, 3)
+    engine.on_refresh()
+    twin = copy.deepcopy(engine)
+    epoch = {0: [(7, 4), (9, 4)], 2: [(40, 1)]}
+    assert engine.run_epochs(epoch, 37) == scalar_reference(twin, epoch, 37)
+    assert engine_state(engine) == engine_state(twin)

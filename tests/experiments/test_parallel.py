@@ -58,15 +58,37 @@ class TestBenchHarness:
         bench.record_run({"fig05": 0.40, "fig07": 0.30}, scale=0.25,
                          jobs=2, cache="warm", path=str(path))
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert len(payload["runs"]) == 2
         first, second = payload["runs"]
         assert first["cache"] == "cold"
         assert bench.experiment_seconds(
             first["experiments"]["fig05"]) == 1.25
         assert isinstance(first["batch"], bool)
+        assert first["repeats"] == 1
+        assert first["peak_rss_mb"] > 0
         assert second["jobs"] == 2
         assert second["total_seconds"] == pytest.approx(0.70)
+
+    def test_median_entries_and_repeats(self, tmp_path):
+        """Schema 3: repeated sweeps record the lower-median sample."""
+        samples = [
+            {"fig05": {"seconds": 1.4,
+                       "phases": {"execute": 1.4}}},
+            {"fig05": {"seconds": 0.9, "phases": {"execute": 0.9}},
+             "fig07": 0.5},
+            {"fig05": {"seconds": 1.1, "phases": {"execute": 1.1}}},
+        ]
+        entries = bench.median_entries(samples)
+        assert entries["fig05"]["seconds"] == 1.1
+        assert entries["fig05"]["phases"] == {"execute": 1.1}
+        assert entries["fig07"]["seconds"] == 0.5  # single sample
+        path = tmp_path / "bench.json"
+        bench.record_run(entries, scale=0.25, repeats=len(samples),
+                         path=str(path))
+        run = json.loads(path.read_text())["runs"][0]
+        assert run["repeats"] == 3
+        assert run["experiments"]["fig05"]["seconds"] == 1.1
 
     def test_schema2_phases_batch_and_wall(self, tmp_path):
         path = tmp_path / "bench.json"

@@ -127,3 +127,50 @@ class TestGateCli:
                          cache="warm", path=str(measured))
         assert main(["--baseline", str(baseline),
                      "--measured", str(measured)]) == 0
+
+
+class TestRssCeiling:
+    def gate(self, tmp_path, measured_extra, args=()):
+        baseline = tmp_path / "baseline.json"
+        measured = tmp_path / "measured.json"
+        write_bench(baseline, [run_entry(0.30)])
+        write_bench(measured, [run_entry(0.35, **measured_extra)])
+        return main(["--baseline", str(baseline),
+                     "--measured", str(measured)] + list(args))
+
+    def test_rss_within_ceiling_passes(self, tmp_path):
+        assert self.gate(tmp_path, {"peak_rss_mb": 900.0}) == 0
+
+    def test_rss_beyond_ceiling_fails(self, tmp_path):
+        assert self.gate(tmp_path, {"peak_rss_mb": 900.0},
+                         ["--max-rss-mb", "512"]) == 1
+
+    def test_pre_schema3_runs_without_rss_pass(self, tmp_path):
+        assert self.gate(tmp_path, {}, ["--max-rss-mb", "1"]) == 0
+
+
+class TestBatchSpeedupGate:
+    def gate(self, tmp_path, batched_s, scalar_s, minimum="3.0"):
+        baseline = tmp_path / "baseline.json"
+        measured = tmp_path / "measured.json"
+        write_bench(baseline, [run_entry(batched_s, batch=True)])
+        write_bench(measured, [run_entry(batched_s, batch=True),
+                               run_entry(scalar_s, batch=False)])
+        return main(["--baseline", str(baseline),
+                     "--measured", str(measured), "--batch", "on",
+                     "--min-batch-speedup", minimum])
+
+    def test_sufficient_speedup_passes(self, tmp_path):
+        assert self.gate(tmp_path, 0.10, 0.55) == 0
+
+    def test_insufficient_speedup_fails(self, tmp_path):
+        assert self.gate(tmp_path, 0.30, 0.55) == 1
+
+    def test_missing_scalar_run_errors(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        measured = tmp_path / "measured.json"
+        write_bench(baseline, [run_entry(0.10, batch=True)])
+        write_bench(measured, [run_entry(0.10, batch=True)])
+        assert main(["--baseline", str(baseline),
+                     "--measured", str(measured), "--batch", "on",
+                     "--min-batch-speedup", "3.0"]) == 2
