@@ -21,7 +21,7 @@ from repro.dram.batch import (RowBatchProfile, batch_enabled,
 from repro.dram.device import HBM2Stack
 from repro.dram.geometry import RowAddress
 from repro.dram.row_mapping import RowMapping
-from repro.faults import active_plan
+from repro.faults.injector import FaultyStack
 
 
 class RefreshWindowExceeded(Exception):
@@ -36,8 +36,13 @@ class BenderSession:
         self.interpreter = Interpreter(device)
         # The interpreter wraps the device in a FaultyStack when a fault
         # plan is active; adopt its view so direct row operations
-        # (write_physical_row & co.) run under the same chaos.
+        # (write_physical_row & co.) run under the same chaos.  The
+        # compiled executor shares the exact same (possibly wrapped)
+        # device, so both engines see one command counter and clock.
         self.device = self.interpreter.device
+        from repro.bender.compile import PlanExecutor
+
+        self.executor = PlanExecutor(self.device)
         #: The logical-to-physical mapping the routines should use for
         #: adjacency.  ``None`` until reverse engineering recovers it (or
         #: the caller injects ground truth for speed).
@@ -47,7 +52,16 @@ class BenderSession:
     # -- program execution ----------------------------------------------
 
     def run(self, program: TestProgram) -> ExecutionResult:
-        """Execute a test program on the device."""
+        """Execute a test program on the device.
+
+        Programs compile to epoch-plan segments and run on the batched
+        executor (:mod:`repro.bender.compile`) unless the
+        ``HBMSIM_BATCH`` escape hatch forces the scalar interpreter —
+        both paths are bit-identical by the compiler's contract, so the
+        flag only selects an engine, never a result.
+        """
+        if batch_enabled():
+            return self.executor.run(program)
         return self.interpreter.run(program)
 
     # -- refresh-window bookkeeping ---------------------------------------
@@ -119,15 +133,16 @@ class BenderSession:
     def batching_active(self) -> bool:
         """Whether batched measurement may replace the scalar path here.
 
-        False when the ``HBMSIM_BATCH`` escape hatch disables it, a fault
-        plan is installed (installed after session construction counts
-        too), or the device is wrapped (``FaultyStack``) — cases where
-        per-command execution has observable effects the closed-form
-        engine cannot replay.  TRR-enabled devices batch fine: the
+        False when the ``HBMSIM_BATCH`` escape hatch disables it or the
+        device is a subclass the closed-form engine cannot model.  Fault
+        plans batch too: a ``FaultyStack``-wrapped plain stack is
+        supported — the session classifies each victim's command window
+        with the plan's vectorized samplers, measures fault-free windows
+        on the engine, and replays only fault-hit windows per-command
+        (see :meth:`hammer_rows`).  TRR-enabled devices batch fine: the
         engine mirrors the activation stream into the TRR sampler.
         """
-        return (batch_enabled() and active_plan() is None
-                and engine_supported(self.device))
+        return batch_enabled() and engine_supported(self.device)
 
     def profile_rows(self, addresses, pattern,
                      radius: int = 8) -> RowBatchProfile:
@@ -149,12 +164,25 @@ class BenderSession:
         the hammer would observe, in victim order.  Uses the batch engine
         when :meth:`batching_active`; otherwise falls back to the scalar
         command sequence (which, like the real methodology, advances
-        device time and is visible to fault plans and TRR).
+        device time and is visible to TRR).  Under a fault plan the
+        victims whose command windows draw no fault still measure on the
+        engine; fault-hit windows replay per-command so drops, jitter,
+        stalls and hangs land exactly as they would scalar — images and
+        the fault-event schedule are bit-identical to ``HBMSIM_BATCH=0``
+        either way.
         """
         victims = list(victims)
-        if self.batching_active():
-            result = self.profile_rows(victims, pattern).hammer(count, t_on)
-            return [image for image in result.images]
+        if not victims:
+            return []
+        if not self.batching_active():
+            return self._hammer_rows_scalar(victims, pattern, count, t_on)
+        if isinstance(self.device, FaultyStack):
+            return self._hammer_rows_faulty(victims, pattern, count, t_on)
+        result = self.profile_rows(victims, pattern).hammer(count, t_on)
+        return [image for image in result.images]
+
+    def _hammer_rows_scalar(self, victims, pattern, count: int,
+                            t_on: Optional[float]) -> List[np.ndarray]:
         from repro.bender.routines.hammer import double_sided_hammer
         from repro.bender.routines.rowinit import initialize_window
         images = []
@@ -162,4 +190,109 @@ class BenderSession:
             initialize_window(self, victim, pattern)
             double_sided_hammer(self, victim, count, t_on)
             images.append(self.read_physical_row(victim))
+        return images
+
+    def _hammer_rows_faulty(self, victims, pattern, count: int,
+                            t_on: Optional[float]) -> List[np.ndarray]:
+        """Batched measurement under an active fault plan.
+
+        Per victim the scalar sequence issues a *statically known*
+        command window — the window-init WRs, the aggressor HAMMERs,
+        one RD — so its counter range is known before executing
+        anything.  The plan's vectorized samplers classify each window
+        up front:
+
+        - **clean** (no draw hits): measured through the batch engine;
+          the counters are consumed wholesale and only the read's
+          data-path faults (stuck cells, RD bit errors) apply, at the
+          read's exact counter,
+        - **dirty** (any stall/hang/drop/jitter hit): replayed through
+          the scalar command path on the live device, firing the exact
+          events the scalar run would.
+
+        A dropped window-init WR makes the replay read *stale* row
+        content, which only matches the scalar run if earlier
+        overlapping measurements actually wrote their windows — so any
+        earlier victim within ``2 * radius`` rows of a drop-hit victim
+        is demoted to the dirty set as well.  Victims are processed
+        strictly in order either way, keeping the TRR sampler's
+        first-activation CAM aligned with the scalar stream.
+        """
+        from repro.bender.routines.rowinit import window_rows
+
+        stack = self.device
+        plan = stack.plan
+        radius = 8
+        n = len(victims)
+        # Static command layout per victim: W writes, H hammers, one RD.
+        writes = np.empty(n, dtype=np.int64)
+        hammers = np.empty(n, dtype=np.int64)
+        for i, victim in enumerate(victims):
+            writes[i] = len(window_rows(self, victim, radius))
+            neighbors = len(self.aggressors_of(victim))
+            if neighbors == 2:
+                hammers[i] = 2 if count > 0 else 0
+            elif neighbors == 1:
+                hammers[i] = 1
+            else:
+                raise ValueError("victim has no neighbors in the bank")
+        per_victim = writes + hammers + 1
+        starts = np.concatenate(
+            ([0], np.cumsum(per_victim)[:-1])) + stack._counter
+        read_indices = starts + per_victim
+
+        # Vectorized dirty classification over every future counter.
+        total = int(per_victim.sum())
+        indices = np.arange(stack._counter + 1,
+                            stack._counter + total + 1, dtype=np.int64)
+        hits = plan.stall_mask(indices) | plan.hang_mask(indices)
+        victim_of = np.repeat(np.arange(n), per_victim)
+        offset = indices - 1 - np.repeat(starts, per_victim)
+        is_write = offset < np.repeat(writes, per_victim)
+        is_hammer = ~is_write & (offset < np.repeat(writes + hammers,
+                                                    per_victim))
+        drop_hit = np.zeros(total, dtype=bool)
+        if plan.drop_rate:
+            drop_hit[is_write] = plan.drop_mask(indices[is_write])
+            hits |= drop_hit
+        if plan.act_jitter_rate and plan.act_jitter_ns:
+            jitter_hits, __ = plan.draw_jitter_array(indices[is_hammer])
+            hits[is_hammer] |= jitter_hits
+        dirty = np.zeros(n, dtype=bool)
+        np.logical_or.at(dirty, victim_of, hits)
+        # Demote earlier overlapping victims of drop-hit windows: their
+        # writes are the stale content the dirty replay will read.
+        for j in np.flatnonzero(np.bincount(
+                victim_of, weights=drop_hit, minlength=n) > 0):
+            for i in range(int(j)):
+                if dirty[i]:
+                    continue
+                if (victims[i].bank_key == victims[j].bank_key
+                        and abs(victims[i].row - victims[j].row)
+                        <= 2 * radius):
+                    dirty[i] = True
+
+        profile = None
+        if not dirty.all():
+            profile = self.profile_rows(victims, pattern)
+        images: List[Optional[np.ndarray]] = [None] * n
+        i = 0
+        while i < n:
+            if dirty[i]:
+                images[i] = self._hammer_rows_scalar(
+                    [victims[i]], pattern, count, t_on)[0]
+                i += 1
+                continue
+            run_end = i
+            while run_end < n and not dirty[run_end]:
+                run_end += 1
+            subset = np.arange(i, run_end)
+            result = profile.hammer(count, t_on, subset=subset)
+            for position, v in enumerate(subset):
+                image = result.images[position]
+                stack.advance_counter(int(per_victim[v]))
+                images[v] = stack.apply_read_faults(
+                    self.logical_of_physical(victims[v]), image,
+                    int(read_indices[v]))
+            i = run_end
         return images

@@ -14,7 +14,38 @@ import numpy as np
 
 from repro.bender.program import ReadRequest, TestProgram
 from repro.dram.device import HBM2Stack
+from repro.dram.timing import TimingParameters
 from repro.faults import FaultPlan, active_plan, wrap_device
+
+
+def pre_execution_gate(program: TestProgram,
+                       timings: TimingParameters) -> None:
+    """Statically verify ``program`` when ``HBMSIM_LINT`` asks for it.
+
+    Shared by the scalar :class:`Interpreter` and the batched
+    :class:`~repro.bender.compile.PlanExecutor`, so both engines apply
+    the identical ``HBMSIM_LINT`` contract before the first command.
+    """
+    # Lazy imports: the gate is off by default and the lint layer
+    # must not weigh on (or cycle with) the interpreter hot path.
+    from repro.lint.config import LintMode, lint_mode
+
+    mode = lint_mode()
+    if mode is LintMode.OFF:
+        return
+    from repro.lint.protocol import verify_program
+
+    report = verify_program(program, timings=timings)
+    if report.ok:
+        return
+    if mode is LintMode.STRICT:
+        from repro.errors import LintError
+
+        raise LintError(program.name, report.findings)
+    import sys
+
+    for finding in report.findings:
+        print(f"HBMSIM_LINT: {finding.render()}", file=sys.stderr)
 
 
 @dataclass
@@ -74,26 +105,7 @@ class Interpreter:
 
     def _pre_execution_gate(self, program: TestProgram) -> None:
         """Statically verify ``program`` when ``HBMSIM_LINT`` asks for it."""
-        # Lazy imports: the gate is off by default and the lint layer
-        # must not weigh on (or cycle with) the interpreter hot path.
-        from repro.lint.config import LintMode, lint_mode
-
-        mode = lint_mode()
-        if mode is LintMode.OFF:
-            return
-        from repro.lint.protocol import verify_program
-
-        report = verify_program(program, timings=self.device.timings)
-        if report.ok:
-            return
-        if mode is LintMode.STRICT:
-            from repro.errors import LintError
-
-            raise LintError(program.name, report.findings)
-        import sys
-
-        for finding in report.findings:
-            print(f"HBMSIM_LINT: {finding.render()}", file=sys.stderr)
+        pre_execution_gate(program, self.device.timings)
 
     def run(self, program: TestProgram) -> ExecutionResult:
         """Replay ``program``, returning tagged reads and statistics."""

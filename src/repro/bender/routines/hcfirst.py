@@ -100,15 +100,23 @@ def search_hc_first_rows(session: BenderSession,
     each victim — the ramp and bisection visit the same per-row probe
     sequence, evaluated one batched :meth:`RowBatchProfile.hammer` per
     level instead of one command sequence per probe.  Falls back to the
-    scalar loop when the session cannot batch (fault plan installed,
-    TRR enabled, or ``HBMSIM_BATCH=0``).
+    scalar loop when the session cannot batch (``HBMSIM_BATCH=0`` or an
+    unsupported device subclass) and under device-fault plans: the probe
+    *sequence* is data-dependent (each bisection step issues commands
+    only if the previous probe flipped), so the command counter cannot
+    be laid out statically the way :meth:`BenderSession.hammer_rows`
+    does — the scalar path is the only one that ticks the injector in
+    the right order.  TRR-enabled devices batch fine.
     """
+    from repro.faults.injector import FaultyStack
+
     victims = list(victims)
     if start < 1:
         raise ValueError("start must be at least 1")
     if not victims:
         return []
-    if not session.batching_active():
+    if (not session.batching_active()
+            or isinstance(session.device, FaultyStack)):
         return [search_hc_first(session, victim, pattern, t_on, start,
                                 max_hammers, tolerance)
                 for victim in victims]

@@ -105,7 +105,11 @@ def run_attack_exact(session: BenderSession,
     Issues a REF every tREFI (obeying manufacturer timings) and returns
     the number of bitflips in the victim after ``config.total_windows``
     windows.  This is the ground-truth path: the TRR engine sees every
-    activation in order.
+    activation in order.  The program is loop-structured — one tREFI
+    window as the loop body — so the session's compiled executor lowers
+    it to an epoch segment instead of dispatching ``total_windows *
+    (d + 2 + 1)`` commands through Python (``HBMSIM_BATCH=0`` still
+    unrolls it scalar, bit-identically).
     """
     device = session.device
     geometry = device.geometry
@@ -123,15 +127,15 @@ def run_attack_exact(session: BenderSession,
                    + 2 * config.aggressor_acts) * timings.t_rc \
         + timings.t_rfc
     pad = max(0.0, timings.t_refi - window_time)
-    for __ in range(config.total_windows):
+    with program.loop(config.total_windows) as window:
         for dummy in dummies:
-            program.hammer(dummy, config.dummy_acts_each)
-        program.hammer(aggressors[0], config.aggressor_acts)
-        program.hammer(aggressors[1], config.aggressor_acts)
-        program.refresh(victim_physical.channel,
-                        victim_physical.pseudo_channel)
+            window.hammer(dummy, config.dummy_acts_each)
+        window.hammer(aggressors[0], config.aggressor_acts)
+        window.hammer(aggressors[1], config.aggressor_acts)
+        window.refresh(victim_physical.channel,
+                       victim_physical.pseudo_channel)
         if pad:
-            program.wait(pad)
+            window.wait(pad)
     session.run(program)
     observed = session.read_physical_row(victim_physical)
     expected = pattern.victim_row(geometry.row_bytes)
@@ -328,14 +332,20 @@ def run_attack(session: BenderSession,
                pattern: DataPattern = CHECKERED0) -> int:
     """Execute the bypass attack on the fastest bit-identical path.
 
-    Uses the epoch-level replay when the session may batch
-    (:meth:`~repro.bender.host.BenderSession.batching_active`), falling
-    back to the command-accurate :func:`run_attack_exact` under
-    ``HBMSIM_BATCH=0``, fault plans, or wrapped devices.  Both paths
-    return the same bitflip count; only the exact path mutates the
-    device, so callers comparing engines must use fresh sessions.
+    Uses the victim-only epoch-level replay when the session may batch
+    and no fault plan wraps the device (the replay is a measurement
+    surface — it cannot tick the fault layer's command counter).  Under
+    a fault plan or ``HBMSIM_BATCH=0`` it runs the command-accurate
+    :func:`run_attack_exact`; its loop-structured program compiles to
+    epoch segments on the batched executor, so even chaos-mode runs skip
+    per-command dispatch on fault-free windows.  All paths return the
+    same bitflip count; only the exact path mutates the device, so
+    callers comparing engines must use fresh sessions.
     """
-    if session.batching_active():
+    from repro.faults.injector import FaultyStack
+
+    if session.batching_active() \
+            and not isinstance(session.device, FaultyStack):
         return run_attack_epochs(session, victim_physical, config, pattern)
     return run_attack_exact(session, victim_physical, config, pattern)
 

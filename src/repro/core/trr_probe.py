@@ -89,19 +89,18 @@ class TrrProbe:
     def issue_refs(self, count: int) -> None:
         """Issue ``count`` REF commands, tracking the host-side counter.
 
-        Uses the device's batched :meth:`~repro.dram.device.HBM2Stack.
-        refresh_burst` (bit-identical to the sequential program, REF by
-        REF) when the session may batch; the ``HBMSIM_BATCH=0`` escape
-        hatch restores the scalar program path.
+        Built as one REF loop so the compiled executor lowers it to a
+        single epoch segment (the batched equivalent of the old
+        ``refresh_burst`` shortcut) while still ticking the fault
+        injector's command counter when a plan is active; the
+        ``HBMSIM_BATCH=0`` escape hatch restores the scalar interpreter.
         """
-        if self.session.batching_active():
-            self.session.device.refresh_burst(self.channel,
-                                              self.pseudo_channel, count)
-        else:
-            program = TestProgram("refs")
-            for __ in range(count):
-                program.refresh(self.channel, self.pseudo_channel)
-            self.session.run(program)
+        if count <= 0:
+            return
+        program = TestProgram("refs")
+        with program.loop(count) as body:
+            body.refresh(self.channel, self.pseudo_channel)
+        self.session.run(program)
         self.refs_issued += count
 
     def _activate_once(self, physical_row: int, count: int = 1) -> None:

@@ -89,12 +89,18 @@ class _RefPacer:
         device = self.session.device
         if device.now_ns < self.next_ref_ns:
             return
-        if batch_enabled():
+        from repro.faults.injector import FaultyStack
+
+        if batch_enabled() and not isinstance(device, FaultyStack):
             # Pre-simulate the catch-up loop arithmetically (each REF
             # advances the clock by exactly tRFC), then issue the whole
             # burst at once.  refresh_burst — both the stack's and the
             # DefendedDevice wrapper's — is bit-identical to the
-            # sequential REFs, so the report hash cannot move.
+            # sequential REFs, so the report hash cannot move.  A
+            # FaultyStack takes the sequential loop: refresh_burst
+            # would delegate through ``__getattr__`` past the fault
+            # draws, while per-REF calls tick the injector's counter
+            # exactly like the scalar engine.
             count = 0
             now_sim = device.now_ns
             next_sim = self.next_ref_ns

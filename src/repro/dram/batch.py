@@ -31,13 +31,16 @@ TRR sampler (the one piece of device state whose future behaviour
 depends on the activation history) so that later REF commands see the
 same sampler state as after the scalar command sequence.
 
-**When not to use it**: the engine models the fault-free, refresh-free
-measurement window.  Callers must fall back to the scalar command path
-when a fault plan is installed (:func:`repro.faults.active_plan`) or
-when the device is wrapped (``FaultyStack``) — the session-level
-wrappers in :class:`repro.bender.host.BenderSession` do this
-automatically, and ``HBMSIM_BATCH=0`` forces the scalar path everywhere
-(the escape hatch).
+**Fault plans batch too**: fault draws are pure functions of ``(seed,
+tag, command counter)`` and the measurement window's command layout is
+static, so a ``FaultyStack``-wrapped plain stack is supported — the
+session layer classifies each victim's window with the plan's
+vectorized samplers (:meth:`repro.faults.plan.FaultPlan.drop_mask` and
+friends), measures the untouched windows through this engine, and
+replays only the fault-hit windows per-command.  ``HBMSIM_BATCH=0``
+still forces the scalar path everywhere (the escape hatch), and the
+scalar interpreter remains the oracle in the differential property
+tests.
 
 The module also defines the **epoch plan** lowering used by the TRR-aware
 executors: a hammer schedule between two REF commands, represented as
@@ -51,12 +54,13 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.dram.device import ROW_IO_NS, HBM2Stack, classify_victim_pattern
 from repro.dram.geometry import RowAddress
+from repro.dram.timing import TimingParameters
 
 #: Window-init radius of the paper's methodology (Table 1: the pattern
 #: extends to distance 8 from the victim).  Mirrors
@@ -65,27 +69,55 @@ from repro.dram.geometry import RowAddress
 PATTERN_RADIUS = 8
 
 _ENV_FLAG = "HBMSIM_BATCH"
+_DISABLE_VALUES = frozenset({"0", "false", "no", "off"})
+_ENABLE_VALUES = frozenset({"1", "true", "yes", "on", ""})
+#: Unrecognized ``HBMSIM_BATCH`` values already warned about (warn once
+#: per distinct value, not once per call — the flag is read on every
+#: batching decision).
+_WARNED_VALUES: set = set()
 
 
 def batch_enabled() -> bool:
     """Whether batched execution is enabled (``HBMSIM_BATCH`` escape
-    hatch; any of ``0/false/no/off`` disables, default enabled)."""
+    hatch; ``0/false/no/off`` disables, ``1/true/yes/on`` enables,
+    default enabled).  Any other value warns once and keeps batching
+    enabled — a typo like ``HBMSIM_BATCH=00`` must not silently select
+    an engine the user did not ask for.
+    """
     value = os.environ.get(_ENV_FLAG)
     if value is None:
         return True
-    return value.strip().lower() not in ("0", "false", "no", "off")
+    normalized = value.strip().lower()
+    if normalized in _DISABLE_VALUES:
+        return False
+    if normalized not in _ENABLE_VALUES and value not in _WARNED_VALUES:
+        _WARNED_VALUES.add(value)
+        import warnings
+
+        warnings.warn(
+            f"unrecognized {_ENV_FLAG}={value!r}; expected one of "
+            "0/false/no/off or 1/true/yes/on — batching stays enabled",
+            RuntimeWarning, stacklevel=2)
+    return True
 
 
-def engine_supported(device) -> bool:
+def engine_supported(device: object) -> bool:
     """Whether ``device`` can be measured through the batch engine.
 
-    Requires a plain :class:`HBM2Stack` (no fault wrapper or subclass —
-    overridden command semantics would diverge from the engine's
-    closed-form replay).  TRR-enabled stacks are supported: the profile
+    Requires a plain :class:`HBM2Stack` (subclasses could override
+    command semantics, diverging from the engine's closed-form replay),
+    either bare or behind a :class:`~repro.faults.injector.FaultyStack`
+    — the wrapper only perturbs the *command stream*, which the session
+    layer replays around the engine; the physics underneath are exactly
+    the plain stack's.  TRR-enabled stacks are supported: the profile
     mirrors each measurement's activation stream into the TRR sampler
     (see :meth:`RowBatchProfile._mirror_trr`), so later REF commands
     select the same victims as after the scalar command sequence.
     """
+    from repro.faults.injector import FaultyStack
+
+    if isinstance(device, FaultyStack):
+        device = device.wrapped
     return type(device) is HBM2Stack
 
 
@@ -119,11 +151,18 @@ class RowBatchProfile:
     """
 
     def __init__(self, device: HBM2Stack, victims: Sequence[RowAddress],
-                 pattern, radius: int = PATTERN_RADIUS) -> None:
+                 pattern: Any, radius: int = PATTERN_RADIUS) -> None:
         if not engine_supported(device):
             raise ValueError(
-                "batch engine requires a plain HBM2Stack (no fault "
-                "wrapper); use the scalar command path instead")
+                "batch engine requires a plain HBM2Stack (or one behind "
+                "a FaultyStack); use the scalar command path instead")
+        from repro.faults.injector import FaultyStack
+
+        if isinstance(device, FaultyStack):
+            # The engine replays the *physics*; command-stream faults
+            # are the session layer's concern (it only routes fault-free
+            # windows here).
+            device = device.wrapped
         self.device = device
         self.victims = [address.validate(device.geometry)
                         for address in victims]
@@ -219,7 +258,8 @@ class RowBatchProfile:
         return (per_write * (1 + self.upper_writes[indices])
                 + commands * counts * timings.act_to_act(effective_t_on))
 
-    def hammer(self, counts, t_on: Optional[float] = None,
+    def hammer(self, counts: Union[int, np.ndarray],
+               t_on: Optional[float] = None,
                subset: Optional[np.ndarray] = None) -> BatchHammerResult:
         """Evaluate a double-sided hammer of ``counts`` per aggressor.
 
@@ -368,18 +408,18 @@ class EpochPlan:
         """ACTs issued per epoch (the tREFI activation-budget user)."""
         return int(self.counts.sum())
 
-    def as_trr_epoch(self):
+    def as_trr_epoch(self) -> Dict[int, List[Tuple[int, int]]]:
         """The ``bank -> ordered (row, count)`` mapping ``run_epochs``
         consumes (entry order within each bank is preserved)."""
-        epoch: dict = {}
+        epoch: Dict[int, List[Tuple[int, int]]] = {}
         for bank, row, count in zip(self.banks.tolist(),
                                     self.rows.tolist(),
                                     self.counts.tolist()):
             epoch.setdefault(bank, []).append((row, count))
         return epoch
 
-    def entry_durations(self, timings, t_on: Optional[float] = None
-                        ) -> List[float]:
+    def entry_durations(self, timings: TimingParameters,
+                        t_on: Optional[float] = None) -> List[float]:
         """Wall-clock time of each fused hammer, in entry order.
 
         Scalar replay adds ``count * act_to_act(t_on)`` to the device

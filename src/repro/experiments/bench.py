@@ -7,7 +7,7 @@ PR instead of living in commit messages.  The file is a single JSON
 document::
 
     {
-      "schema": 3,
+      "schema": 4,
       "runs": [
         {
           "timestamp": "2026-08-06T12:00:00+00:00",
@@ -15,12 +15,13 @@ document::
           "jobs": 1,
           "cache": "cold",          # "cold" | "warm" | "disabled"
           "batch": true,            # batched analytic engine active?
+          "faults": false,          # fault plan active during the run?
           "repeats": 3,             # timing samples behind each entry
           "peak_rss_mb": 412.3,     # process peak RSS at record time
           "experiments": {
             "fig05": {"seconds": 1.03,
-                      "phases": {"calibrate": 0.7, "execute": 0.3,
-                                 "report": 0.03}}
+                      "phases": {"calibrate": 0.7, "compile": 0.01,
+                                 "execute": 0.3, "report": 0.03}}
           },
           "total_seconds": 1.03,
           "wall_seconds": 1.1       # whole-sweep wall clock (if known)
@@ -41,12 +42,18 @@ last run with matching parameters is the current state of the tree.
 Schema 3 adds ``repeats`` (how many timing samples each per-experiment
 entry is the median of; see :func:`median_entries`) and
 ``peak_rss_mb`` (the recording process's peak resident set, from
-``resource.getrusage``, which the perf gate polices).  Schema 1 entries
-(``experiments`` mapping id -> plain seconds, no ``batch``/
-``wall_seconds``) and schema 2 entries (no ``repeats``/``peak_rss_mb``)
-remain valid history; readers should accept all three shapes (see
-:func:`experiment_seconds` and :func:`repro.experiments.perf_gate.
-find_run`, which treat the new keys as optional).
+``resource.getrusage``, which the perf gate polices).  Schema 4 adds
+the ``faults`` run flag — ``true`` when a fault plan was active while
+timing, so chaos-mode speedup measurements never pollute fault-free
+baselines (the perf gate matches on it) — and the ``compile`` phase:
+time the program compiler (:mod:`repro.bender.compile`) spent lowering
+test programs to epoch segments, recorded alongside ``calibrate`` /
+``execute`` / ``report``.  Schema 1 entries (``experiments`` mapping
+id -> plain seconds, no ``batch``/``wall_seconds``) and schema 2/3
+entries remain valid history; readers should accept all shapes (see
+:func:`experiment_seconds`, :func:`phase_seconds`, and
+:func:`repro.experiments.perf_gate.find_run`, which treat the new
+keys as optional).
 """
 
 from __future__ import annotations
@@ -66,7 +73,7 @@ from repro.chips import cache as calibration_cache
 DEFAULT_BENCH_PATH = "BENCH_experiments.json"
 
 _ENV_PATH = "HBMSIM_BENCH_PATH"
-_SCHEMA = 3
+_SCHEMA = 4
 
 #: How long a concurrent writer waits for the lock before giving up.
 _LOCK_TIMEOUT_S = 10.0
@@ -163,6 +170,21 @@ def experiment_seconds(entry) -> float:
     return float(entry)
 
 
+def phase_seconds(entry, phase: str) -> Optional[float]:
+    """Seconds one entry spent in ``phase``, or ``None`` if unrecorded.
+
+    Schema-1 entries (plain floats) carry no phase breakdown; schema
+    >= 2 entries may simply lack the phase (e.g. ``compile`` before
+    schema 4).  Gates must treat ``None`` as "cannot judge", not 0.0.
+    """
+    if not isinstance(entry, dict):
+        return None
+    phases = entry.get("phases")
+    if not isinstance(phases, dict) or phase not in phases:
+        return None
+    return float(phases[phase])
+
+
 def _as_entries(timings_or_records) -> Dict[str, dict]:
     """Normalize inputs to ``{id: {"seconds": ..., "phases": {...}}}``.
 
@@ -248,7 +270,8 @@ def record_run(timings: Union[Dict[str, float], Iterable],
                path: Optional[str] = None,
                batch: Optional[bool] = None,
                wall_seconds: Optional[float] = None,
-               repeats: int = 1) -> Path:
+               repeats: int = 1,
+               faults: Optional[bool] = None) -> Path:
     """Append one run record; returns the path written.
 
     ``timings`` maps experiment id -> wall seconds (or a schema-2 entry
@@ -263,22 +286,28 @@ def record_run(timings: Union[Dict[str, float], Iterable],
     ``wall_seconds`` is the sweep's wall clock when the caller measured
     one.  ``repeats`` records how many timing samples each entry is the
     median of (pre-combine them with :func:`median_entries`).
-    Concurrent writers are serialized through a lock file so no record
-    is ever lost.
+    ``faults`` defaults to whether a fault plan is live right now —
+    chaos-mode timings are tagged so the perf gate never compares them
+    against fault-free history.  Concurrent writers are serialized
+    through a lock file so no record is ever lost.
     """
     entries = _as_entries(timings)
     target = bench_path(path)
     with _exclusive_lock(target):
         return _append_run(target, entries, scale, jobs, cache, batch,
-                           wall_seconds, repeats)
+                           wall_seconds, repeats, faults)
 
 
 def _append_run(target: Path, entries: Dict[str, dict], scale: float,
                 jobs: int, cache: Optional[str], batch: Optional[bool],
-                wall_seconds: Optional[float], repeats: int = 1) -> Path:
+                wall_seconds: Optional[float], repeats: int = 1,
+                faults: Optional[bool] = None) -> Path:
     if batch is None:
         from repro.dram.batch import batch_enabled
         batch = batch_enabled()
+    if faults is None:
+        from repro.faults import active_plan
+        faults = active_plan() is not None
     payload = _load(target)
     payload["schema"] = _SCHEMA
     run = {
@@ -288,6 +317,7 @@ def _append_run(target: Path, entries: Dict[str, dict], scale: float,
         "jobs": jobs,
         "cache": cache if cache is not None else cache_state(),
         "batch": bool(batch),
+        "faults": bool(faults),
         "repeats": max(1, int(repeats)),
         "experiments": {
             experiment_id: {

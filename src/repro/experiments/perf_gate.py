@@ -10,9 +10,14 @@ time exceeds ``factor`` times the baseline.
 Both files are read through
 :func:`repro.experiments.bench.experiment_seconds`, so schema-1 history
 (plain float entries) keeps working as a baseline.  Runs are matched on
-(experiment, scale, jobs, cache) — the warm/jobs=1 default isolates the
-compute path from calibration and pool variance, which is what a 2x
-threshold can police without flaking on shared CI hardware.
+(experiment, scale, jobs, cache, faults) — the warm/jobs=1/faults=off
+default isolates the compute path from calibration, pool variance and
+chaos plans, which is what a 2x threshold can police without flaking
+on shared CI hardware.  ``--faults on`` gates chaos-mode (fault-plan)
+runs instead — the teeth behind the fault-path batching: its
+``--min-batch-speedup`` collapses if fault windows ever fall back to
+per-command dispatch wholesale.  ``--phase compile`` (any recorded
+phase name) gates that phase's seconds rather than the entry total.
 
 Two further checks, both against the measured file only:
 
@@ -36,18 +41,26 @@ import json
 import sys
 from typing import Optional, Tuple
 
-from repro.experiments.bench import experiment_seconds
+from repro.experiments.bench import experiment_seconds, phase_seconds
 
 
 def find_run(payload: dict, experiment_id: str, scale: float,
              jobs: int, cache: Optional[str],
-             batch: Optional[bool] = None) -> Tuple[Optional[float],
-                                                    Optional[dict]]:
+             batch: Optional[bool] = None,
+             faults: Optional[bool] = False,
+             phase: Optional[str] = None) -> Tuple[Optional[float],
+                                                   Optional[dict]]:
     """Newest (seconds, run) matching the criteria, or ``(None, None)``.
 
     ``batch=True/False`` restricts to runs recorded with that engine
     (schema-1 history carries no ``batch`` key and only matches the
-    default ``None`` = any).
+    default ``None`` = any).  ``faults`` defaults to ``False`` —
+    chaos-mode (schema 4 ``faults: true``) runs never match unless
+    explicitly requested, so fault-enabled speedup measurements cannot
+    pollute fault-free baselines; pre-schema-4 history carries no key
+    and matches ``False``.  ``phase`` reads one phase's seconds
+    (e.g. ``"compile"``) instead of the entry total; runs whose entry
+    lacks the phase are skipped.
     """
     for run in reversed(payload.get("runs", [])):
         if run.get("scale") != scale or run.get("jobs") != jobs:
@@ -56,9 +69,17 @@ def find_run(payload: dict, experiment_id: str, scale: float,
             continue
         if batch is not None and run.get("batch") != batch:
             continue
+        if faults is not None and bool(run.get("faults", False)) != faults:
+            continue
         entry = run.get("experiments", {}).get(experiment_id)
-        if entry is not None:
-            return experiment_seconds(entry), run
+        if entry is None:
+            continue
+        if phase is not None:
+            seconds = phase_seconds(entry, phase)
+            if seconds is None:
+                continue
+            return seconds, run
+        return experiment_seconds(entry), run
     return None, None
 
 
@@ -94,6 +115,18 @@ def main(argv=None) -> int:
                              "'any' the newest run regardless (the "
                              "only choice that matches schema-1 "
                              "history, which has no batch flag)")
+    parser.add_argument("--faults", choices=["any", "on", "off"],
+                        default="off",
+                        help="fault-plan state to match: 'off' (the "
+                             "default) ignores chaos-mode runs so they "
+                             "never pollute fault-free baselines, 'on' "
+                             "compares fault-enabled runs only (the "
+                             "chaos speedup gate), 'any' disables the "
+                             "filter")
+    parser.add_argument("--phase", default=None, metavar="NAME",
+                        help="gate one recorded phase's seconds (e.g. "
+                             "'compile') instead of the entry total; "
+                             "runs lacking the phase are skipped")
     parser.add_argument("--factor", type=float, default=2.0,
                         help="fail when measured > factor * baseline")
     parser.add_argument("--max-rss-mb", type=float, default=6144.0,
@@ -111,6 +144,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     cache = args.cache or None
     batch = {"any": None, "on": True, "off": False}[args.batch]
+    faults = {"any": None, "on": True, "off": False}[args.faults]
 
     baseline_payload = _load(args.baseline, "baseline")
     measured_payload = _load(args.measured, "measured run")
@@ -118,12 +152,15 @@ def main(argv=None) -> int:
         return 2
 
     baseline, baseline_run = find_run(baseline_payload, args.experiment,
-                                      args.scale, args.jobs, cache, batch)
+                                      args.scale, args.jobs, cache, batch,
+                                      faults, args.phase)
     measured, measured_run = find_run(measured_payload, args.experiment,
-                                      args.scale, args.jobs, cache, batch)
+                                      args.scale, args.jobs, cache, batch,
+                                      faults, args.phase)
     criteria = (f"{args.experiment} @ scale {args.scale}, "
                 f"jobs={args.jobs}, cache={cache or 'any'}, "
-                f"batch={args.batch}")
+                f"batch={args.batch}, faults={args.faults}"
+                + (f", phase={args.phase}" if args.phase else ""))
     if baseline is None:
         print(f"perf-gate: no baseline run matches {criteria} in "
               f"{args.baseline!r}", file=sys.stderr)
@@ -152,9 +189,11 @@ def main(argv=None) -> int:
 
     if args.min_batch_speedup is not None:
         batched, __ = find_run(measured_payload, args.experiment,
-                               args.scale, args.jobs, cache, True)
+                               args.scale, args.jobs, cache, True,
+                               faults)
         scalar, __ = find_run(measured_payload, args.experiment,
-                              args.scale, args.jobs, cache, False)
+                              args.scale, args.jobs, cache, False,
+                              faults)
         if batched is None or scalar is None:
             print(f"perf-gate: --min-batch-speedup needs both a "
                   f"batch=on and a batch=off measured run for "

@@ -31,7 +31,7 @@ import hashlib
 import os
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,22 +40,25 @@ from repro.dram.device import HBM2Stack, _xor_bits
 from repro.dram.geometry import RowAddress
 from repro.dram.seeding import generator_for, uniform_for
 from repro.errors import PlatformHangError
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import (DROPPABLE, GHOSTABLE, TAG_DROP, TAG_GHOST,
+                               TAG_HANG, TAG_JITTER, TAG_RDFLIP, TAG_STALL,
+                               TAG_STUCK, FaultPlan)
 
 #: Exit code used when a worker-level crash fault kills the process.
 CRASH_EXIT_CODE = 97
 
-# Fault-kind tags folded into the seed chain (arbitrary, fixed).
-_TAG_STALL = 0x51A11
-_TAG_HANG = 0x4A46
-_TAG_DROP = 0xD309
-_TAG_GHOST = 0x6057
-_TAG_JITTER = 0x71EE
-_TAG_RDFLIP = 0x2DF1
-_TAG_STUCK = 0x57C4
+# The tags/kind sets live in :mod:`repro.faults.plan` (shared with the
+# vectorized samplers); the historical module-private names stay valid.
+_TAG_STALL = TAG_STALL
+_TAG_HANG = TAG_HANG
+_TAG_DROP = TAG_DROP
+_TAG_GHOST = TAG_GHOST
+_TAG_JITTER = TAG_JITTER
+_TAG_RDFLIP = TAG_RDFLIP
+_TAG_STUCK = TAG_STUCK
 
-_DROPPABLE = {"ACT", "PRE", "WR", "REF", "WAIT"}
-_GHOSTABLE = {"PRE", "REF"}
+_DROPPABLE = DROPPABLE
+_GHOSTABLE = GHOSTABLE
 
 
 @dataclass(frozen=True)
@@ -94,7 +97,7 @@ class FaultyStack:
         self._stuck_cache: Dict[Tuple[int, int, int, int],
                                 Optional[Tuple[np.ndarray, np.ndarray]]] = {}
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self.wrapped, name)
 
     # -- fault schedule inspection ---------------------------------------
@@ -183,7 +186,7 @@ class FaultyStack:
             return self.hammer(address, command.count, command.t_on)
         raise ValueError(f"unhandled command kind {kind}")
 
-    def run(self, commands) -> List[Optional[np.ndarray]]:
+    def run(self, commands: Iterable[Command]) -> List[Optional[np.ndarray]]:
         """Execute a command sequence through the fault layer."""
         return [self.execute(command) for command in commands]
 
@@ -239,6 +242,31 @@ class FaultyStack:
     def read_row(self, address: RowAddress) -> np.ndarray:
         index, _ = self._platform("RD")
         data = self.wrapped.read_row(address)
+        return self.apply_read_faults(address, data, index)
+
+    # -- batch-executor hooks ----------------------------------------------
+
+    def advance_counter(self, count: int) -> int:
+        """Skip ``count`` command slots whose fault draws are known misses.
+
+        The batched executors classify future command counters with the
+        plan's vectorized samplers; a span where *no* draw hits is
+        executed on the fast engine and its counters consumed here in
+        one step, keeping the schedule aligned with the command stream
+        a scalar replay would see.  Returns the new counter value.
+        """
+        self._counter += count
+        return self._counter
+
+    def apply_read_faults(self, address: RowAddress, data: np.ndarray,
+                          index: int) -> np.ndarray:
+        """Data-path faults (stuck cells, then RD bit errors) for the
+        read at command counter ``index``, logging events in order.
+
+        ``read_row`` uses this after every wrapped read; the batched
+        executors call it directly on engine-computed row images at the
+        read's statically known counter.
+        """
         data = self._apply_stuck_cells(address, data, index)
         return self._apply_read_flips(data, index)
 
@@ -250,9 +278,7 @@ class FaultyStack:
         if not plan.read_flip_rate \
                 or self._draw(_TAG_RDFLIP, index) >= plan.read_flip_rate:
             return data
-        rng = generator_for(plan.seed, _TAG_RDFLIP, index, 1)
-        positions = np.unique(rng.integers(
-            data.size * 8, size=plan.read_flip_bits))
+        positions = plan.read_flip_positions(index, data.size * 8)
         data = data.copy()
         _xor_bits(data, positions)
         self._log(index, "rd-flip", "RD",

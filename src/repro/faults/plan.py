@@ -41,11 +41,30 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
 
+import numpy as np
+
+from repro.dram.seeding import (generator_for, uniform_array_for,
+                                uniform_array_mixed, uniform_for)
 from repro.errors import FaultPlanError
 
 _ENV_PLAN = "HBMSIM_FAULTS"
+
+# Fault-kind tags folded into the seed chain (arbitrary, fixed).  They
+# live here — not in the injector — so both the scalar ``FaultyStack``
+# and the vectorized samplers below key the *same* splitmix64 chains.
+TAG_STALL = 0x51A11
+TAG_HANG = 0x4A46
+TAG_DROP = 0xD309
+TAG_GHOST = 0x6057
+TAG_JITTER = 0x71EE
+TAG_RDFLIP = 0x2DF1
+TAG_STUCK = 0x57C4
+
+#: Command kinds a drop fault can lose / a ghost fault can duplicate.
+DROPPABLE: FrozenSet[str] = frozenset({"ACT", "PRE", "WR", "REF", "WAIT"})
+GHOSTABLE: FrozenSet[str] = frozenset({"PRE", "REF"})
 
 
 @dataclass(frozen=True)
@@ -127,6 +146,107 @@ class FaultPlan:
     def worker_faults_enabled(self) -> bool:
         """Whether any worker-level fault is configured."""
         return bool(self.crash_once or self.stall_experiments)
+
+    # -- vectorized samplers ----------------------------------------------
+    #
+    # Every scalar fault decision the injector makes is a pure function
+    # of ``(seed, tag, command counter)``; the samplers below evaluate
+    # the same splitmix64 chains over whole command-counter arrays, so a
+    # batched executor can classify thousands of future command slots in
+    # one pass — bit-identical to replaying them one by one.
+
+    def _rate_mask(self, tag: int, rate: float,
+                   indices: np.ndarray) -> np.ndarray:
+        """``uniform_for(seed, tag, i) < rate`` for each counter ``i``.
+
+        A zero rate returns an all-False mask without touching the seed
+        chain, matching the scalar short-circuit (``if plan.rate and
+        ...``) which never draws for disabled faults.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if not rate:
+            return np.zeros(indices.shape, dtype=bool)
+        draws = uniform_array_for((self.seed, tag), indices)
+        return draws < rate
+
+    def stall_mask(self, indices: np.ndarray) -> np.ndarray:
+        """Which command counters stall the platform."""
+        return self._rate_mask(TAG_STALL, self.stall_rate, indices)
+
+    def hang_mask(self, indices: np.ndarray) -> np.ndarray:
+        """Which command counters hang the platform."""
+        return self._rate_mask(TAG_HANG, self.hang_rate, indices)
+
+    def drop_mask(self, indices: np.ndarray) -> np.ndarray:
+        """Which counters lose their command.
+
+        Callers restrict ``indices`` to commands whose kind is in
+        :data:`DROPPABLE`; the mask itself is kind-agnostic, exactly
+        like the scalar draw.
+        """
+        return self._rate_mask(TAG_DROP, self.drop_rate, indices)
+
+    def ghost_mask(self, indices: np.ndarray) -> np.ndarray:
+        """Which counters duplicate their command (:data:`GHOSTABLE`
+        kinds only; drop takes precedence at equal counters)."""
+        return self._rate_mask(TAG_GHOST, self.ghost_rate, indices)
+
+    def draw_jitter_array(
+            self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(hit mask, jitter ns)`` for ACT/HAMMER counters.
+
+        Magnitudes are only meaningful where the mask is True; they are
+        computed with the identical ``uniform_for(seed, tag, i, 1)``
+        draw the scalar :meth:`FaultyStack._jitter_ns` uses.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if not self.act_jitter_rate or not self.act_jitter_ns:
+            return (np.zeros(indices.shape, dtype=bool),
+                    np.zeros(indices.shape, dtype=np.float64))
+        hits = self._rate_mask(TAG_JITTER, self.act_jitter_rate, indices)
+        magnitudes = np.zeros(indices.shape, dtype=np.float64)
+        if hits.any():
+            fractions = uniform_array_for((self.seed, TAG_JITTER),
+                                          indices[hits], (1,))
+            magnitudes[hits] = self.act_jitter_ns * fractions
+        return hits, magnitudes
+
+    def draw_bitflips_array(self, indices: np.ndarray) -> np.ndarray:
+        """Which RD counters suffer interface bit errors.
+
+        Flip *positions* stay per-command Philox draws — fetch them with
+        :meth:`read_flip_positions` for the (rare) hit counters.
+        """
+        return self._rate_mask(TAG_RDFLIP, self.read_flip_rate, indices)
+
+    def read_flip_positions(self, index: int,
+                            data_bits: int) -> np.ndarray:
+        """Bit positions flipped by the RD fault at counter ``index``."""
+        rng = generator_for(self.seed, TAG_RDFLIP, index, 1)
+        return np.unique(rng.integers(data_bits,
+                                      size=self.read_flip_bits))
+
+    def stuck_row_mask(self, channels: np.ndarray, pcs: np.ndarray,
+                       banks: np.ndarray,
+                       rows: np.ndarray) -> np.ndarray:
+        """Which ``(channel, pc, bank, row)`` tuples have stuck cells."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if not self.stuck_row_rate:
+            return np.zeros(rows.shape, dtype=bool)
+        draws = uniform_array_mixed(self.seed, TAG_STUCK,
+                                    np.asarray(channels, dtype=np.int64),
+                                    np.asarray(pcs, dtype=np.int64),
+                                    np.asarray(banks, dtype=np.int64),
+                                    rows)
+        return draws < self.stuck_row_rate
+
+    def sampler_hits(self, index: int, tag: int, rate: float) -> bool:
+        """Scalar probe: does the fault keyed by ``tag`` fire at
+        counter ``index``?  (Shared by tests asserting scalar/vector
+        agreement.)"""
+        if not rate:
+            return False
+        return uniform_for(self.seed, tag, index) < rate
 
     # -- (de)serialization -------------------------------------------------
 

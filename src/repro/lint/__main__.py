@@ -45,9 +45,11 @@ def _lint_sbp(path: Path) -> VerificationReport:
 
 def _routine_reports() -> List[VerificationReport]:
     from repro.lint.corpus import (capture_attack_programs,
+                                   capture_compiled_programs,
                                    capture_routine_programs)
 
-    programs = capture_routine_programs() + capture_attack_programs()
+    programs = capture_routine_programs() + capture_attack_programs() \
+        + capture_compiled_programs()
     return [verify_program(program) for program in programs]
 
 

@@ -112,3 +112,39 @@ def capture_attack_programs() -> List[TestProgram]:
             half_double.hammer(far, 8)
         half_double.refresh(victim.channel, victim.pseudo_channel)
     return [bypass, half_double]
+
+
+def capture_compiled_programs() -> List[TestProgram]:
+    """Loop-structured programs the epoch-plan compiler lowers.
+
+    ``capture_attack_programs`` unrolls its windows into flat command
+    streams, which the compiler leaves scalar.  These programs keep the
+    windows as ``Loop`` nodes — the exact shape
+    :func:`repro.bender.compile.compile_program` turns into
+    ``EpochSegment`` s — so the verifier blesses the compiled hot path,
+    not just the scalar residue.  Both are executed through a live
+    session, i.e. through the compiled executor when batching is on.
+    """
+    from repro.core.trr_bypass import AttackConfig
+
+    session = CapturingSession(HBM2Stack())
+    victim = RowAddress(0, 0, 0, 5000)
+    timings = AttackConfig(dummy_rows=4, aggressor_acts=24).timings
+    agg_lo, agg_hi = session.aggressors_of(victim)
+
+    window_time = 2 * 24 * timings.t_rc + timings.t_rfc
+    pad = max(0.0, timings.t_refi - window_time)
+    epoch = TestProgram("epoch_loop_corpus")
+    with epoch.loop(64) as body:
+        body.hammer(agg_lo, 24)
+        body.hammer(agg_hi, 24)
+        body.refresh(victim.channel, victim.pseudo_channel)
+        if pad:
+            body.wait(pad)
+    session.run(epoch)
+
+    refs = TestProgram("ref_burst_corpus")
+    with refs.loop(68) as body:
+        body.refresh(victim.channel, victim.pseudo_channel)
+    session.run(refs)
+    return session.captured

@@ -220,17 +220,35 @@ class TestFallbackGates:
         for __ in range(17):
             assert mine.on_refresh() == theirs.on_refresh()
 
-    def test_faulty_stack_rejected(self, chip1):
+    def test_faulty_stack_supported(self, chip1):
+        """A FaultyStack over a plain stack batches (PR 6): the engine
+        unwraps it and the session classifies fault windows itself."""
         wrapped = FaultyStack(chip1.make_device(), FaultPlan(seed=7))
-        assert not engine_supported(wrapped)
+        assert engine_supported(wrapped)
+        profile = RowBatchProfile(wrapped, [RowAddress(0, 0, 0, 100)],
+                                  CHECKERED0)
+        assert profile.device is wrapped.wrapped
 
-    def test_fault_plan_disables_session_batching(self, chip1):
+    def test_faulty_subclass_still_rejected(self, chip1):
+        """Unwrapping exposes the underlying device to the same
+        subclass gate as before."""
+        class Oddball(type(chip1.make_device())):
+            pass
+
+        device = chip1.make_device()
+        odd = Oddball(geometry=device.geometry, timings=device.timings)
+        assert not engine_supported(FaultyStack(odd, FaultPlan(seed=7)))
+
+    def test_fault_plan_keeps_session_batching(self, chip1):
         session = BenderSession(chip1.make_device(),
                                 mapping=chip1.row_mapping())
         assert session.batching_active()
-        install_plan(FaultPlan(seed=7))
+        install_plan(FaultPlan(seed=7, drop_rate=0.01))
         try:
-            assert not session.batching_active()
+            faulted = BenderSession(chip1.make_device(),
+                                    mapping=chip1.row_mapping())
+            assert isinstance(faulted.device, FaultyStack)
+            assert faulted.batching_active()
         finally:
             clear_plan()
         assert session.batching_active()
@@ -244,3 +262,17 @@ class TestFallbackGates:
             assert not session.batching_active()
         monkeypatch.setenv("HBMSIM_BATCH", "1")
         assert batch_enabled()
+
+    def test_env_unrecognized_warns_and_enables(self, chip1, monkeypatch):
+        import warnings as warnings_module
+
+        from repro.dram import batch as batch_module
+
+        monkeypatch.setenv("HBMSIM_BATCH", "bogus-value")
+        monkeypatch.setattr(batch_module, "_WARNED_VALUES", set())
+        with pytest.warns(RuntimeWarning, match="HBMSIM_BATCH"):
+            assert batch_enabled()
+        # Warned once per distinct value, not per call.
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert batch_enabled()

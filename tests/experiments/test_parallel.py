@@ -58,13 +58,14 @@ class TestBenchHarness:
         bench.record_run({"fig05": 0.40, "fig07": 0.30}, scale=0.25,
                          jobs=2, cache="warm", path=str(path))
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 3
+        assert payload["schema"] == 4
         assert len(payload["runs"]) == 2
         first, second = payload["runs"]
         assert first["cache"] == "cold"
         assert bench.experiment_seconds(
             first["experiments"]["fig05"]) == 1.25
         assert isinstance(first["batch"], bool)
+        assert first["faults"] is False
         assert first["repeats"] == 1
         assert first["peak_rss_mb"] > 0
         assert second["jobs"] == 2

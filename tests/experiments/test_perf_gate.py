@@ -174,3 +174,76 @@ class TestBatchSpeedupGate:
         assert main(["--baseline", str(baseline),
                      "--measured", str(measured), "--batch", "on",
                      "--min-batch-speedup", "3.0"]) == 2
+
+
+class TestFaultsFilter:
+    def test_fault_runs_never_match_by_default(self):
+        """Schema 4: chaos-mode runs are invisible to the default gate
+        so they cannot shadow a fault-free baseline."""
+        payload = {"runs": [run_entry(0.3),
+                            run_entry(9.9, faults=True)]}
+        seconds, __ = find_run(payload, "fig05", 0.25, 1, "warm")
+        assert seconds == 0.3
+        seconds, __ = find_run(payload, "fig05", 0.25, 1, "warm",
+                               faults=True)
+        assert seconds == 9.9
+        seconds, __ = find_run(payload, "fig05", 0.25, 1, "warm",
+                               faults=None)
+        assert seconds == 9.9  # 'any': newest regardless
+
+    def test_pre_schema4_runs_match_faults_off(self):
+        payload = {"runs": [run_entry(0.7)]}  # no "faults" key
+        seconds, __ = find_run(payload, "fig05", 0.25, 1, "warm",
+                               faults=False)
+        assert seconds == 0.7
+        assert find_run(payload, "fig05", 0.25, 1, "warm",
+                        faults=True) == (None, None)
+
+    def test_faults_on_speedup_gate(self, tmp_path):
+        """The chaos speedup CI invocation: both engine runs are
+        fault-tagged and only they feed the ratio."""
+        baseline = tmp_path / "baseline.json"
+        measured = tmp_path / "measured.json"
+        write_bench(baseline, [run_entry(0.10, batch=True, faults=True)])
+        write_bench(measured, [run_entry(0.10, batch=True, faults=True),
+                               run_entry(0.80, batch=False, faults=True),
+                               run_entry(0.11, batch=False)])
+        args = ["--baseline", str(baseline), "--measured", str(measured),
+                "--batch", "on", "--faults", "on",
+                "--min-batch-speedup", "5.0"]
+        assert main(args) == 0  # 0.80 / 0.10 = 8x, fault runs only
+        # Without the faults filter the fault-free 0.11s scalar run is
+        # newest and the apparent speedup collapses below 5x.
+        assert main(["--baseline", str(baseline),
+                     "--measured", str(measured), "--batch", "on",
+                     "--faults", "any",
+                     "--min-batch-speedup", "5.0"]) == 1
+
+
+class TestPhaseGate:
+    def test_phase_seconds_gate(self, tmp_path):
+        """--phase compile gates the compiler's recorded seconds."""
+        baseline = tmp_path / "baseline.json"
+        measured = tmp_path / "measured.json"
+
+        def entry(total, compile_s):
+            run = run_entry(total)
+            run["experiments"]["fig05"]["phases"] = {
+                "compile": compile_s, "execute": total - compile_s}
+            return run
+
+        write_bench(baseline, [entry(1.0, 0.02)])
+        write_bench(measured, [entry(1.0, 0.03)])
+        args = ["--baseline", str(baseline), "--measured", str(measured),
+                "--phase", "compile"]
+        assert main(args) == 0          # 0.03 <= 2 * 0.02
+        assert main(args + ["--factor", "1.2"]) == 1
+
+    def test_runs_without_phase_are_skipped(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        measured = tmp_path / "measured.json"
+        write_bench(baseline, [run_entry(1.0)])
+        write_bench(measured, [run_entry(1.0)])
+        assert main(["--baseline", str(baseline),
+                     "--measured", str(measured),
+                     "--phase", "compile"]) == 2

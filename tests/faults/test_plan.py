@@ -87,3 +87,82 @@ class TestActivation:
     def test_install_rejects_non_plan(self):
         with pytest.raises(FaultPlanError):
             install_plan({"seed": 1})
+
+
+class TestVectorizedSamplers:
+    """The array samplers must reproduce the scalar draws bit-for-bit:
+    the compiled executor classifies thousands of future command slots
+    with them and any divergence silently changes the fault schedule."""
+
+    PLAN = FaultPlan(seed=1234, drop_rate=0.05, ghost_rate=0.03,
+                     act_jitter_rate=0.1, act_jitter_ns=6.0,
+                     read_flip_rate=0.2, read_flip_bits=2,
+                     stuck_row_rate=0.15, stall_rate=0.04,
+                     hang_rate=0.02)
+
+    def test_rate_masks_match_scalar_draws(self):
+        import numpy as np
+
+        from repro.faults.plan import (TAG_DROP, TAG_GHOST, TAG_HANG,
+                                       TAG_RDFLIP, TAG_STALL)
+
+        plan = self.PLAN
+        indices = np.arange(1, 4001, dtype=np.int64)
+        for mask_name, tag, rate in (
+                ("stall_mask", TAG_STALL, plan.stall_rate),
+                ("hang_mask", TAG_HANG, plan.hang_rate),
+                ("drop_mask", TAG_DROP, plan.drop_rate),
+                ("ghost_mask", TAG_GHOST, plan.ghost_rate),
+                ("draw_bitflips_array", TAG_RDFLIP, plan.read_flip_rate)):
+            mask = getattr(plan, mask_name)(indices)
+            scalar = [plan.sampler_hits(int(i), tag, rate)
+                      for i in indices]
+            assert mask.tolist() == scalar, mask_name
+
+    def test_zero_rate_masks_are_all_false(self):
+        import numpy as np
+
+        plan = FaultPlan(seed=9)
+        indices = np.arange(1, 101, dtype=np.int64)
+        assert not plan.stall_mask(indices).any()
+        assert not plan.drop_mask(indices).any()
+        hits, magnitudes = plan.draw_jitter_array(indices)
+        assert not hits.any() and not magnitudes.any()
+
+    def test_jitter_array_matches_scalar_jitter(self):
+        import numpy as np
+
+        from repro.dram.seeding import uniform_for
+        from repro.faults.plan import TAG_JITTER
+
+        plan = self.PLAN
+        indices = np.arange(1, 2001, dtype=np.int64)
+        hits, magnitudes = plan.draw_jitter_array(indices)
+        for position, index in enumerate(indices):
+            draw = uniform_for(plan.seed, TAG_JITTER, int(index))
+            expected_hit = draw < plan.act_jitter_rate
+            assert bool(hits[position]) == expected_hit
+            if expected_hit:
+                fraction = uniform_for(plan.seed, TAG_JITTER,
+                                       int(index), 1)
+                assert magnitudes[position] \
+                    == plan.act_jitter_ns * fraction
+            else:
+                assert magnitudes[position] == 0.0
+
+    def test_stuck_row_mask_matches_scalar_chain(self):
+        import numpy as np
+
+        from repro.dram.seeding import uniform_for
+        from repro.faults.plan import TAG_STUCK
+
+        plan = self.PLAN
+        channels = np.repeat(np.arange(4), 25)
+        pcs = np.tile(np.repeat(np.arange(2), 5), 10)
+        banks = np.tile(np.arange(5), 20)
+        rows = np.arange(100) * 37 % 1000
+        mask = plan.stuck_row_mask(channels, pcs, banks, rows)
+        for k in range(100):
+            draw = uniform_for(plan.seed, TAG_STUCK, int(channels[k]),
+                               int(pcs[k]), int(banks[k]), int(rows[k]))
+            assert bool(mask[k]) == (draw < plan.stuck_row_rate)

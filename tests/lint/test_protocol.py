@@ -181,16 +181,28 @@ def test_nested_loop_command_count():
 @pytest.fixture(scope="module")
 def routine_corpus():
     from repro.lint.corpus import (capture_attack_programs,
+                                   capture_compiled_programs,
                                    capture_routine_programs)
 
     return capture_routine_programs(hammer_count=2_000) \
-        + capture_attack_programs()
+        + capture_attack_programs() + capture_compiled_programs()
 
 
 def test_every_routine_program_verifies_clean(routine_corpus):
     assert routine_corpus
     for report in verify_programs(routine_corpus):
         assert report.ok, report.render()
+
+
+def test_corpus_epoch_loops_actually_lower(routine_corpus):
+    """The epoch-shaped corpus cases must compile to EpochSegments —
+    otherwise the verifier only ever blesses the scalar residue."""
+    from repro.bender.compile import EpochSegment, compile_program
+
+    by_name = {program.name: program for program in routine_corpus}
+    for name in ("epoch_loop_corpus", "ref_burst_corpus"):
+        segments = compile_program(by_name[name])
+        assert any(isinstance(s, EpochSegment) for s in segments), name
 
 
 # -- agreement with the interpreter -------------------------------------
