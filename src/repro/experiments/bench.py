@@ -113,6 +113,41 @@ def _load(path: Path) -> dict:
     return {"schema": _SCHEMA, "runs": []}
 
 
+def _break_stale_lock(lock: Path, observed_ino: int) -> bool:
+    """Atomically claim one observed-stale lock file for removal.
+
+    The naive break (``lock.unlink()``) has a TOCTOU hole: two waiters
+    can both judge the same lock stale, the first unlinks it and
+    *re-acquires*, and the second's unlink then deletes the first's
+    fresh lock — two appenders inside the critical section.  Claiming
+    by ``os.rename`` to a per-pid victim name closes it: of all the
+    waiters that observed the stale lock, at most one rename succeeds
+    (the rest see ``FileNotFoundError`` and go back to waiting), and a
+    rename that raced a *new* holder's fresh lock is detected by inode
+    mismatch and undone with ``os.link`` (atomic, refuses to clobber),
+    so the fresh holder keeps its lock.  Returns True when the stale
+    lock was genuinely removed and acquisition should be retried.
+    """
+    victim = lock.with_name(lock.name + f".stale.{os.getpid()}")
+    try:
+        os.rename(lock, victim)
+    except OSError:
+        return False  # lost the claim race (or the holder released)
+    try:
+        stolen_fresh = victim.stat().st_ino != observed_ino
+    except OSError:
+        stolen_fresh = False
+    if stolen_fresh:
+        with contextlib.suppress(OSError):
+            os.link(victim, lock)  # give the fresh lock back
+        with contextlib.suppress(OSError):
+            victim.unlink()
+        return False
+    with contextlib.suppress(OSError):
+        victim.unlink()
+    return True
+
+
 @contextlib.contextmanager
 def _exclusive_lock(target: Path):
     """O_EXCL lock-file guard around the read-modify-write append.
@@ -121,9 +156,11 @@ def _exclusive_lock(target: Path):
     used to race: both load the same ``runs`` list and the slower
     ``os.replace`` silently drops the faster one's record.  The lock
     serializes the whole append.  An abandoned lock (holder crashed)
-    is broken after :data:`_LOCK_STALE_S`; a healthy holder is waited
-    on up to :data:`_LOCK_TIMEOUT_S`, after which we proceed unlocked
-    (an append beats losing the record).
+    is broken after :data:`_LOCK_STALE_S` via the rename-claim in
+    :func:`_break_stale_lock` (never a bare unlink, which two breakers
+    could both run); a healthy holder is waited on up to
+    :data:`_LOCK_TIMEOUT_S`, after which we proceed unlocked (an
+    append beats losing the record).
     """
     lock = target.with_name(target.name + ".lock")
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -138,12 +175,11 @@ def _exclusive_lock(target: Path):
             break
         except FileExistsError:
             try:
-                age = time.time() - lock.stat().st_mtime
+                stat = lock.stat()
             except OSError:
                 continue  # holder just released; retry immediately
-            if age > _LOCK_STALE_S:
-                with contextlib.suppress(OSError):
-                    lock.unlink()
+            if time.time() - stat.st_mtime > _LOCK_STALE_S:
+                _break_stale_lock(lock, stat.st_ino)
                 continue
             if time.monotonic() >= deadline:
                 break

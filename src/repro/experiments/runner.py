@@ -33,6 +33,15 @@ a small dedicated one: one pipe-connected worker process per slot,
 respawned on crash or timeout.  Workers apply any active fault plan
 (:mod:`repro.faults`) — both the worker-level chaos knobs and, through
 the bender interpreter, the device-level ones.
+
+The pool itself is :class:`ResilientPool`: a persistent, thread-driven
+scheduler over the worker slots that accepts submissions one at a time
+(``submit`` returns a :class:`PoolJob` handle), supports **immediate
+cancellation** (``cancel(invocation_id)`` kills the worker running the
+invocation and frees its slot right away, instead of waiting for a
+timeout), and reports completions through thread-safe callbacks — the
+seam the asyncio service layer (:mod:`repro.service`) bridges onto.
+:func:`run_resilient` drives the same pool for the batch CLI path.
 """
 
 from __future__ import annotations
@@ -41,14 +50,17 @@ import json
 import multiprocessing
 import os
 import pickle
+import queue as queue_module
 import tempfile
+import threading
 import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from pathlib import Path
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Deque, Dict, List, Optional, Sequence,
+                    Tuple)
 
 from repro.dram.seeding import uniform_for
 from repro.errors import (ExperimentError, ExperimentTimeoutError,
@@ -57,6 +69,11 @@ from repro.experiments.base import ExperimentResult
 
 #: Default base delay (seconds) for the exponential retry backoff.
 DEFAULT_RETRY_DELAY = 0.25
+
+#: How often an idle worker checks whether its pool process is gone
+#: (workers cannot rely on pipe EOF: sibling forks inherit the parent
+#: ends, so a SIGKILL'd pool leaves the pipe open).
+_ORPHAN_POLL_S = 2.0
 
 #: Checkpoint schema version (bump on layout changes).
 _RUN_DIR_SCHEMA = 1
@@ -76,7 +93,7 @@ class RunRecord:
     experiment_id: str
     #: Position in the requested id list (stable across retries).
     index: int
-    #: "ok" | "retried" | "timeout" | "failed" | "cached"
+    #: "ok" | "retried" | "timeout" | "failed" | "cached" | "cancelled"
     status: str = "pending"
     #: Wall seconds of the successful attempt (sum of all attempts for
     #: failures); 0.0 for cached results.
@@ -122,26 +139,51 @@ def backoff_delay(experiment_id: str, attempt: int,
 # ----------------------------------------------------------------------
 
 def _worker_main(conn) -> None:
-    """Worker loop: receive (index, id, scale, attempt), reply outcome.
+    """Worker loop: receive (index, id, scale, attempt, plan_spec),
+    reply outcome.
+
+    ``plan_spec`` is the per-invocation fault-plan directive: ``None``
+    leaves the worker's installed plan untouched (the batch runner's
+    workers inherit any plan installed before the fork), the empty
+    string clears it, and a JSON string installs that plan for this and
+    subsequent invocations on the slot (the scheduler sends a spec with
+    *every* service task, so slots never leak a previous request's
+    chaos).
 
     Replies ``("ok", index, elapsed, result)`` or ``("error", index,
     elapsed, payload)`` where payload carries the exception identity as
     strings (the exception object itself may not pickle).  Exits on
-    ``None`` or a closed pipe.
+    ``None``, a closed pipe, or orphaning.
+
+    The orphan check matters because sibling workers forked later
+    inherit this worker's parent-side pipe end, so a SIGKILL'd pool
+    process does not reliably EOF the pipe; without the ppid poll an
+    idle worker would block in ``recv`` forever, leaking a process per
+    crashed service.
     """
     from repro import faults
     from repro.experiments import registry
 
+    parent_pid = os.getppid()
     while True:
         try:
+            while not conn.poll(_ORPHAN_POLL_S):
+                if os.getppid() != parent_pid:
+                    return  # pool process died without a shutdown
             task = conn.recv()
         except (EOFError, OSError):
             return
         if task is None:
             return
-        index, experiment_id, scale, attempt = task
+        index, experiment_id, scale, attempt, plan_spec = task
         start = time.perf_counter()
         try:
+            if plan_spec is not None:
+                if plan_spec:
+                    faults.install_plan(
+                        faults.FaultPlan.from_json(plan_spec))
+                else:
+                    faults.clear_plan()
             faults.apply_worker_faults(faults.active_plan(),
                                        experiment_id, attempt)
             result = registry.run_experiment(experiment_id, scale)
@@ -188,7 +230,7 @@ class _Worker:
                          if timeout is not None else None)
         # ``task.attempts`` was already incremented by the scheduler.
         self.conn.send((task.index, task.experiment_id, task.scale,
-                        task.attempts))
+                        task.attempts, task.plan_spec))
 
     def kill(self) -> None:
         try:
@@ -228,6 +270,19 @@ class _Task:
     #: Monotonic time before which the task must not be (re)assigned.
     not_before: float = 0.0
     elapsed: float = 0.0
+    #: Per-invocation resilience policy (pool jobs may differ).
+    timeout: Optional[float] = None
+    retries: int = 0
+    retry_delay: float = DEFAULT_RETRY_DELAY
+    #: Per-invocation fault-plan directive forwarded to the worker:
+    #: ``None`` = leave the worker's installed plan alone, ``""`` =
+    #: clear it, JSON = install that plan for the invocation.
+    plan_spec: Optional[str] = None
+    #: Set by :meth:`ResilientPool.cancel`; the scheduler kills the
+    #: running worker (or drops the pending task) on its next pass.
+    cancelled: bool = False
+    #: Completion handle (pool submissions only).
+    job: Optional["PoolJob"] = None
 
 
 # ----------------------------------------------------------------------
@@ -471,11 +526,381 @@ def _prewarm_calibration() -> None:
         pass
 
 
+# ----------------------------------------------------------------------
+# Persistent pool: a thread-driven scheduler over the worker slots
+# ----------------------------------------------------------------------
+
+class PoolJob:
+    """Handle to one invocation submitted to a :class:`ResilientPool`.
+
+    ``record`` is live: the scheduler mutates it as attempts run, and
+    the job is *done* once it reaches a terminal status.  Failures (and
+    cancellations) additionally carry the matching typed exception in
+    ``exception`` so callers can re-raise across the submission seam.
+    """
+
+    def __init__(self, invocation_id: int, record: RunRecord) -> None:
+        self.invocation_id = invocation_id
+        self.record = record
+        self.exception: Optional[ExperimentError] = None
+        self._task: Optional[_Task] = None
+        self._event = threading.Event()
+        self._on_done: List[Callable[["PoolJob"], None]] = []
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> RunRecord:
+        """Block until the invocation is terminal; returns its record."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"invocation {self.invocation_id} "
+                f"({self.record.experiment_id!r}) still running after "
+                f"{timeout:g}s")
+        return self.record
+
+
+class ResilientPool:
+    """Kill-capable worker pool accepting one invocation at a time.
+
+    The batch runner (:func:`run_resilient`) and the asyncio service
+    layer (:mod:`repro.service`) share this pool.  A background
+    scheduler thread owns the worker slots: it assigns pending tasks
+    (honouring retry backoff), recovers crashed workers, enforces
+    per-attempt deadlines, and **enacts cancellations immediately** —
+    ``cancel()`` on a running invocation kills its worker process and
+    respawns the slot on the scheduler's next pass rather than waiting
+    for a timeout.  Completion callbacks fire on the scheduler thread;
+    bridge them with ``loop.call_soon_threadsafe`` from asyncio.
+    """
+
+    def __init__(self, slots: int = 1, prewarm: bool = False) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        if prewarm and slots > 1:
+            _prewarm_calibration()
+        self._ctx = _fork_context()
+        self._lock = threading.Lock()
+        self._pending: Deque[_Task] = deque()
+        self._jobs: Dict[int, PoolJob] = {}
+        self._next_id = 0
+        self._closed = False
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_w, False)
+        self._workers = [_Worker(self._ctx) for _ in range(slots)]
+        self._thread = threading.Thread(target=self._loop,
+                                        name="hbmsim-pool", daemon=True)
+        self._thread.start()
+
+    @property
+    def slots(self) -> int:
+        return len(self._workers)
+
+    # -- public API -------------------------------------------------------
+
+    def submit(self, experiment_id: str, scale: float = 1.0, *,
+               timeout: Optional[float] = None, retries: int = 0,
+               retry_delay: float = DEFAULT_RETRY_DELAY,
+               plan_spec: Optional[str] = None,
+               record: Optional[RunRecord] = None,
+               on_done: Optional[Callable[[PoolJob], None]] = None
+               ) -> PoolJob:
+        """Enqueue one invocation; returns its :class:`PoolJob` handle.
+
+        ``record`` lets a caller supply the (index-bearing) record the
+        scheduler should fill in; by default a fresh one indexed by the
+        invocation id is created.  ``on_done`` fires on the scheduler
+        thread once the record is terminal.  ``plan_spec`` is the
+        per-invocation fault-plan directive (see :func:`_worker_main`).
+        """
+        from repro.experiments import registry
+        registry.validate_ids([experiment_id])
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        with self._lock:
+            if self._closed:
+                raise HbmSimError("pool is shut down")
+            invocation_id = self._next_id
+            self._next_id += 1
+            if record is None:
+                record = RunRecord(experiment_id, invocation_id)
+            job = PoolJob(invocation_id, record)
+            if on_done is not None:
+                job._on_done.append(on_done)
+            task = _Task(record.index, experiment_id, scale,
+                         timeout=timeout, retries=retries,
+                         retry_delay=retry_delay, plan_spec=plan_spec,
+                         job=job)
+            job._task = task
+            self._jobs[invocation_id] = job
+            self._pending.append(task)
+        self._wake()
+        return job
+
+    def cancel(self, invocation_id: int) -> bool:
+        """Cancel an invocation; returns False when unknown or done.
+
+        Pending invocations are dropped without ever occupying a slot.
+        Running ones have their worker process killed and the slot
+        respawned immediately (the cancellation analogue of a timeout
+        kill); the record terminates with status ``"cancelled"``.
+        """
+        finalized: List[PoolJob] = []
+        with self._lock:
+            job = self._jobs.get(invocation_id)
+            if job is None or job._task is None:
+                return False
+            task = job._task
+            task.cancelled = True
+            try:
+                self._pending.remove(task)
+            except ValueError:
+                pass  # running (or replying): the scheduler enacts it
+            else:
+                self._finalize_cancel_locked(task, finalized)
+        self._fire(finalized)
+        self._wake()
+        return True
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the scheduler and the workers; never hangs a waiter.
+
+        Unfinished invocations (pending or running) finalize with
+        status ``"cancelled"`` so no ``wait()`` or callback consumer
+        blocks on a dead pool.
+        """
+        finalized: List[PoolJob] = []
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            while self._pending:
+                task = self._pending.popleft()
+                task.cancelled = True
+                self._finalize_cancel_locked(task, finalized)
+            for worker in self._workers:
+                if worker.task is not None:
+                    worker.task.cancelled = True
+                    self._finalize_cancel_locked(worker.task, finalized)
+                    worker.task = None
+        self._fire(finalized)
+        self._wake()
+        self._thread.join(timeout=timeout)
+        for worker in self._workers:
+            worker.shutdown()
+        os.close(self._wake_r)
+        os.close(self._wake_w)
+
+    # -- scheduler internals (lock held where suffixed _locked) -----------
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"w")
+        except (BlockingIOError, OSError):
+            pass  # buffer full (wake already pending) or closed
+
+    def _fire(self, finalized: List[PoolJob]) -> None:
+        """Run completion callbacks outside the lock; never let one
+        kill the scheduler."""
+        for job in finalized:
+            for callback in job._on_done:
+                try:
+                    callback(job)
+                except Exception:  # noqa: BLE001 — callbacks are foreign
+                    traceback.print_exc()
+
+    def _complete_locked(self, job: PoolJob,
+                         finalized: List[PoolJob]) -> None:
+        self._jobs.pop(job.invocation_id, None)
+        job._task = None
+        job._event.set()
+        finalized.append(job)
+
+    def _finalize_cancel_locked(self, task: _Task,
+                                finalized: List[PoolJob]) -> None:
+        job = task.job
+        assert job is not None
+        record = job.record
+        record.status = "cancelled"
+        record.attempts = task.attempts
+        record.elapsed = task.elapsed
+        record.error = record.error or "cancelled before completion"
+        job.exception = ExperimentError(
+            task.experiment_id, max(1, task.attempts), "Cancelled",
+            "invocation cancelled before completion")
+        self._complete_locked(job, finalized)
+
+    def _finalize_success_locked(self, task: _Task, result: Any,
+                                 finalized: List[PoolJob]) -> None:
+        job = task.job
+        assert job is not None
+        record = job.record
+        record.status = "ok" if task.attempts == 1 else "retried"
+        record.result = result
+        record.elapsed = task.elapsed
+        record.attempts = task.attempts
+        record.error = None
+        self._complete_locked(job, finalized)
+
+    def _requeue_or_fail_locked(self, task: _Task, status: str,
+                                error: str, exception: ExperimentError,
+                                finalized: List[PoolJob]) -> None:
+        job = task.job
+        assert job is not None
+        record = job.record
+        record.attempts = task.attempts
+        record.elapsed = task.elapsed
+        record.error = error
+        if task.cancelled:
+            self._finalize_cancel_locked(task, finalized)
+        elif task.attempts <= task.retries:
+            task.not_before = time.monotonic() + backoff_delay(
+                task.experiment_id, task.attempts, task.retry_delay)
+            self._pending.append(task)
+        else:
+            record.status = status
+            job.exception = exception
+            self._complete_locked(job, finalized)
+
+    def _assign_locked(self, now: float) -> None:
+        for worker in self._workers:
+            if worker.task is not None or not self._pending:
+                continue
+            runnable = None
+            for _ in range(len(self._pending)):
+                task = self._pending.popleft()
+                if task.not_before <= now:
+                    runnable = task
+                    break
+                self._pending.append(task)
+            if runnable is None:
+                break
+            runnable.attempts += 1
+            worker.assign(runnable, runnable.timeout)
+
+    def _respawn_locked(self, worker: "_Worker") -> None:
+        worker.kill()
+        self._workers[self._workers.index(worker)] = _Worker(self._ctx)
+
+    def _enact_cancellations_locked(self, finalized: List[PoolJob]) -> None:
+        for worker in list(self._workers):
+            task = worker.task
+            if task is None or not task.cancelled:
+                continue
+            worker.task = None
+            worker.deadline = None
+            self._respawn_locked(worker)
+            self._finalize_cancel_locked(task, finalized)
+
+    def _handle_reply_locked(self, conn, finalized: List[PoolJob]) -> None:
+        worker = next((w for w in self._workers if w.conn is conn), None)
+        if worker is None or worker.task is None:
+            return
+        task = worker.task
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            # Worker died without replying: the pool's broken-process
+            # failure mode.  Respawn the slot and retry just this task;
+            # survivors are unaffected.
+            exitcode = worker.process.exitcode
+            self._respawn_locked(worker)
+            self._requeue_or_fail_locked(
+                task, "failed",
+                f"worker crashed (exit code {exitcode}) while "
+                f"running {task.experiment_id!r}",
+                WorkerCrashError(task.experiment_id, task.attempts,
+                                 exitcode),
+                finalized)
+            return
+        kind, _index, elapsed, payload = message
+        task.elapsed += elapsed
+        worker.task = None
+        worker.deadline = None
+        if task.cancelled:
+            # The reply raced the cancellation: honour the cancel.
+            self._finalize_cancel_locked(task, finalized)
+        elif kind == "ok":
+            self._finalize_success_locked(task, payload, finalized)
+        else:
+            self._requeue_or_fail_locked(
+                task, "failed", payload["traceback"],
+                ExperimentError(task.experiment_id, task.attempts,
+                                payload["type"], payload["message"],
+                                payload["traceback"]),
+                finalized)
+
+    def _enforce_deadlines_locked(self, finalized: List[PoolJob]) -> None:
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if worker.task is None or worker.deadline is None \
+                    or worker.deadline > now:
+                continue
+            task = worker.task
+            task.elapsed += task.timeout or 0.0
+            worker.task = None
+            self._respawn_locked(worker)
+            self._requeue_or_fail_locked(
+                task, "timeout",
+                f"timed out after {task.timeout:g}s (attempt "
+                f"{task.attempts})",
+                ExperimentTimeoutError(task.experiment_id, task.attempts,
+                                       task.timeout or 0.0),
+                finalized)
+
+    def _loop(self) -> None:
+        while True:
+            finalized: List[PoolJob] = []
+            with self._lock:
+                if self._closed:
+                    break
+                self._enact_cancellations_locked(finalized)
+                now = time.monotonic()
+                self._assign_locked(now)
+                busy = [w for w in self._workers if w.task is not None]
+                # Wait for the earliest of: a reply, a deadline, a
+                # pending task leaving backoff while a slot sits idle,
+                # or an external wake (submit / cancel / shutdown).
+                wait_for = None
+                deadlines = [w.deadline for w in busy
+                             if w.deadline is not None]
+                if deadlines:
+                    wait_for = max(0.0, min(deadlines) - now)
+                if self._pending and len(busy) < len(self._workers):
+                    next_ready = min(t.not_before for t in self._pending)
+                    until_ready = max(0.0, next_ready - now)
+                    wait_for = until_ready if wait_for is None \
+                        else min(wait_for, until_ready)
+                conns = [w.conn for w in busy] + [self._wake_r]
+            self._fire(finalized)
+            try:
+                ready = mp_connection.wait(conns, timeout=wait_for)
+            except OSError:  # a conn died mid-wait; next pass recovers
+                ready = []
+            if self._wake_r in ready:
+                try:
+                    os.read(self._wake_r, 4096)
+                except OSError:
+                    pass
+            finalized = []
+            with self._lock:
+                if self._closed:
+                    break
+                for conn in ready:
+                    if conn is self._wake_r:
+                        continue
+                    self._handle_reply_locked(conn, finalized)
+                self._enforce_deadlines_locked(finalized)
+                self._enact_cancellations_locked(finalized)
+            self._fire(finalized)
+
+
 def _run_pool(tasks: Deque[_Task], records: List[RunRecord], jobs: int,
               timeout: Optional[float], retries: int, keep_going: bool,
               retry_delay: float, checkpoint: Optional[_RunDir]) -> None:
     """Kill-capable worker-pool execution with crash recovery."""
-    ctx = _fork_context()
     # More workers than runnable cores only adds fork and context-switch
     # cost: the pool keeps its process-isolation semantics (crash
     # recovery, timeout kills) at any slot count, so cap fan-out at the
@@ -483,127 +908,24 @@ def _run_pool(tasks: Deque[_Task], records: List[RunRecord], jobs: int,
     slots = max(1, min(jobs, len(tasks), _available_cores()))
     if slots > 1:
         _prewarm_calibration()
-    workers = [_Worker(ctx) for _ in range(slots)]
-    pending: Deque[_Task] = deque(tasks)
-    outstanding = len(pending)
-
-    def requeue_or_fail(task: _Task, status: str, error: str,
-                        exception: ExperimentError) -> None:
-        nonlocal outstanding
-        record = records[task.index]
-        record.attempts = task.attempts
-        record.elapsed = task.elapsed
-        record.error = error
-        if task.attempts <= retries:
-            task.not_before = time.monotonic() + backoff_delay(
-                task.experiment_id, task.attempts, retry_delay)
-            pending.append(task)
-        else:
-            outstanding -= 1
-            _final_failure(record, status, error, keep_going, exception)
-
+    pool = ResilientPool(slots)
+    completions: "queue_module.Queue[PoolJob]" = queue_module.Queue()
     try:
-        while outstanding > 0:
-            now = time.monotonic()
-            # Assign runnable tasks (honouring backoff) to idle slots.
-            for worker in workers:
-                if worker.task is not None or not pending:
-                    continue
-                runnable = None
-                for _ in range(len(pending)):
-                    task = pending.popleft()
-                    if task.not_before <= now:
-                        runnable = task
-                        break
-                    pending.append(task)
-                if runnable is None:
-                    break
-                runnable.attempts += 1
-                worker.assign(runnable, timeout)
-
-            busy = [worker for worker in workers
-                    if worker.task is not None]
-            if not busy:
-                if pending:
-                    next_ready = min(task.not_before for task in pending)
-                    time.sleep(max(0.0, next_ready - time.monotonic())
-                               + 1.0e-3)
-                    continue
-                break  # no busy workers and nothing pending
-
-            # Wait for the earliest of: a reply, or a deadline expiring.
-            wait_for = None
-            deadlines = [worker.deadline for worker in busy
-                         if worker.deadline is not None]
-            if deadlines:
-                wait_for = max(0.0, min(deadlines) - time.monotonic())
-            # A pending task can only start once a slot frees up, and a
-            # reply wakes the wait anyway — so its not_before matters
-            # only when an *idle* slot is waiting out a retry backoff.
-            # (Waiting on it with every slot busy degenerated to
-            # timeout=0: the parent busy-spun through this loop and
-            # starved the workers of a core.)
-            if pending and len(busy) < len(workers):
-                next_ready = min(task.not_before for task in pending)
-                until_ready = max(0.0, next_ready - time.monotonic())
-                wait_for = until_ready if wait_for is None \
-                    else min(wait_for, until_ready)
-            ready = mp_connection.wait([worker.conn for worker in busy],
-                                       timeout=wait_for)
-
-            for conn in ready:
-                worker = next(w for w in busy if w.conn is conn)
-                if worker.task is None:
-                    continue
-                task = worker.task
-                try:
-                    message = conn.recv()
-                except (EOFError, OSError):
-                    # Worker died without replying: the pool's
-                    # broken-process failure mode.  Respawn the slot and
-                    # retry just this task; survivors are unaffected.
-                    exitcode = worker.process.exitcode
-                    worker.kill()
-                    workers[workers.index(worker)] = _Worker(ctx)
-                    requeue_or_fail(
-                        task, "failed",
-                        f"worker crashed (exit code {exitcode}) while "
-                        f"running {task.experiment_id!r}",
-                        WorkerCrashError(task.experiment_id,
-                                         task.attempts, exitcode))
-                    continue
-                kind, index, elapsed, payload = message
-                task.elapsed += elapsed
-                worker.task = None
-                worker.deadline = None
-                if kind == "ok":
-                    outstanding -= 1
-                    _record_success(records[index], payload, task.elapsed,
-                                    task.attempts, checkpoint)
-                else:
-                    requeue_or_fail(
-                        task, "failed", payload["traceback"],
-                        ExperimentError(task.experiment_id, task.attempts,
-                                        payload["type"],
-                                        payload["message"],
-                                        payload["traceback"]))
-
-            # Enforce deadlines: kill and respawn overrunning workers.
-            now = time.monotonic()
-            for position, worker in enumerate(workers):
-                if worker.task is None or worker.deadline is None \
-                        or worker.deadline > now:
-                    continue
-                task = worker.task
-                task.elapsed += timeout
-                worker.kill()
-                workers[position] = _Worker(ctx)
-                requeue_or_fail(
-                    task, "timeout",
-                    f"timed out after {timeout:g}s (attempt "
-                    f"{task.attempts})",
-                    ExperimentTimeoutError(task.experiment_id,
-                                           task.attempts, timeout))
+        submitted = 0
+        for task in tasks:
+            pool.submit(task.experiment_id, task.scale, timeout=timeout,
+                        retries=retries, retry_delay=retry_delay,
+                        record=records[task.index],
+                        on_done=completions.put)
+            submitted += 1
+        for _ in range(submitted):
+            job = completions.get()
+            record = job.record
+            if record.succeeded:
+                if checkpoint is not None:
+                    checkpoint.store(record.index, record.result)
+            elif not keep_going:
+                raise job.exception or ExperimentError(
+                    record.experiment_id, record.attempts)
     finally:
-        for worker in workers:
-            worker.shutdown()
+        pool.shutdown()

@@ -267,12 +267,84 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
-        known = {spec.name for spec in fields(cls)}
-        unknown = sorted(set(payload) - known)
+        """Parse and validate a plan payload.
+
+        Every rejection is a :class:`~repro.errors.FaultPlanError`
+        naming the offending key *path* (``stall_experiments.fig05``,
+        ``crash_once[2]``) and, for unknown fields, the full list of
+        valid keys — a chaos spec typo'd in ``HBMSIM_FAULTS`` or a
+        service request should explain itself, not stack-trace.
+        """
+        known = [spec.name for spec in fields(cls)]
+        unknown = sorted(set(payload) - set(known))
         if unknown:
+            plural = "s" if len(unknown) != 1 else ""
             raise FaultPlanError(
-                f"unknown fault plan fields: {', '.join(unknown)}")
-        return cls(**dict(payload))
+                f"unknown fault plan field{plural}: "
+                f"{', '.join(unknown)}; valid fields: "
+                f"{', '.join(known)}")
+        clean: Dict[str, Any] = {}
+        for name, value in payload.items():
+            if name == "crash_once":
+                clean[name] = cls._parse_crash_once(value)
+            elif name == "stall_experiments":
+                clean[name] = cls._parse_stall_experiments(value)
+            elif name in ("seed", "read_flip_bits",
+                          "stuck_bits_per_row"):
+                clean[name] = cls._parse_number(name, value,
+                                                integral=True)
+            else:
+                clean[name] = cls._parse_number(name, value)
+        return cls(**clean)
+
+    @staticmethod
+    def _parse_number(name: str, value: Any,
+                      integral: bool = False) -> Any:
+        kind = "an integer" if integral else "a number"
+        if isinstance(value, bool) \
+                or not isinstance(value, (int, float)) \
+                or (integral and not isinstance(value, int)):
+            raise FaultPlanError(
+                f"fault plan field {name}: must be {kind}, got "
+                f"{value!r}")
+        return value
+
+    @staticmethod
+    def _parse_crash_once(value: Any) -> Tuple[str, ...]:
+        if isinstance(value, str) \
+                or not isinstance(value, (list, tuple)):
+            raise FaultPlanError(
+                f"fault plan field crash_once: must be a list of "
+                f"experiment ids, got {value!r}")
+        for position, item in enumerate(value):
+            if not isinstance(item, str):
+                raise FaultPlanError(
+                    f"fault plan field crash_once[{position}]: must "
+                    f"be an experiment id string, got {item!r}")
+        return tuple(value)
+
+    @staticmethod
+    def _parse_stall_experiments(value: Any) -> Dict[str, float]:
+        if not isinstance(value, Mapping):
+            raise FaultPlanError(
+                f"fault plan field stall_experiments: must be an "
+                f"object of experiment id -> stall seconds, got "
+                f"{value!r}")
+        parsed: Dict[str, float] = {}
+        for key, seconds in value.items():
+            if not isinstance(key, str):
+                raise FaultPlanError(
+                    f"fault plan field stall_experiments: keys must "
+                    f"be experiment id strings, got {key!r}")
+            if isinstance(seconds, bool) \
+                    or not isinstance(seconds, (int, float)) \
+                    or seconds < 0:
+                raise FaultPlanError(
+                    f"fault plan field stall_experiments.{key}: must "
+                    f"be a non-negative number of seconds, got "
+                    f"{seconds!r}")
+            parsed[key] = float(seconds)
+        return parsed
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":
@@ -282,11 +354,10 @@ class FaultPlan:
             raise FaultPlanError(
                 f"HBMSIM_FAULTS is not valid JSON: {exc}") from None
         if not isinstance(payload, dict):
-            raise FaultPlanError("HBMSIM_FAULTS must be a JSON object")
-        try:
-            return cls.from_dict(payload)
-        except TypeError as exc:
-            raise FaultPlanError(f"bad fault plan: {exc}") from None
+            raise FaultPlanError(
+                f"HBMSIM_FAULTS must be a JSON object of fault plan "
+                f"fields, got {type(payload).__name__}")
+        return cls.from_dict(payload)
 
     def with_seed(self, seed: int) -> "FaultPlan":
         return replace(self, seed=seed)

@@ -1,0 +1,57 @@
+"""Experiment service layer: a resilient async job API.
+
+The paper's multi-hour FPGA campaigns finish because the harness around
+them survives board hangs and host crashes; :mod:`repro.experiments.runner`
+is that harness locally.  This package productionizes it into a
+long-lived service that absorbs experiment requests at traffic levels a
+single CLI sweep never sees, without duplicated work or cascading
+failure:
+
+- **Admission control** (:mod:`repro.service.admission`) — requests are
+  validated structurally, against the experiment registry, and — for
+  inline SoftBender programs — through the :mod:`repro.lint` strict
+  gate *before* a worker slot is ever occupied; rejections are
+  structured :class:`~repro.errors.AdmissionError`\\ s.
+- **Coalescing** (:mod:`repro.service.core`) — identical requests
+  (same content key: experiment, scale, calibration version, engine,
+  fault plan, shard) share one in-flight execution, and completed
+  results persist in the content-addressed cache generalized from
+  :mod:`repro.chips.cache`, so repeats are served without re-running.
+- **Backpressure** (:mod:`repro.service.queues`) — bounded per-tenant
+  queues drained by a weighted-fair scheduler; past the global
+  high-water mark requests are shed with a ``Retry-After``-style hint
+  (:class:`~repro.errors.OverloadError`).
+- **Graceful degradation** (:mod:`repro.service.breaker`) — a circuit
+  breaker per experiment family opens after repeated worker crashes,
+  fast-failing requests (:class:`~repro.errors.CircuitOpenError`)
+  until a half-open probe succeeds; partial progress streams to
+  clients as :class:`~repro.experiments.runner.RunRecord` events.
+- **Crash-safe resumption** (:mod:`repro.service.journal`) — an
+  append-only journal plus the runner's atomic result persistence let
+  a restarted service re-adopt in-flight jobs instead of re-running
+  completed work.
+
+Serve it with ``python -m repro.service`` (line-JSON protocol, see
+:mod:`repro.service.protocol`) or embed :class:`ExperimentService`
+directly in an asyncio application.
+"""
+
+from repro.service.admission import AdmissionGate
+from repro.service.breaker import BreakerBoard, CircuitBreaker
+from repro.service.core import ExperimentService, Job, ServiceConfig
+from repro.service.journal import ServiceJournal
+from repro.service.queues import QueuePolicy, TenantQueues
+from repro.service.requests import ExperimentRequest
+
+__all__ = [
+    "AdmissionGate",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "ExperimentRequest",
+    "ExperimentService",
+    "Job",
+    "QueuePolicy",
+    "ServiceConfig",
+    "ServiceJournal",
+    "TenantQueues",
+]

@@ -1,0 +1,150 @@
+"""Per-experiment-family circuit breakers: graceful degradation.
+
+A worker crash costs a fork + a wasted slot; a *family* of requests
+that reliably crashes its worker (a bad calibration artifact, a
+regression in one experiment's engine path) would otherwise burn every
+slot it touches while healthy families queue behind it.  The breaker
+quarantines the family instead:
+
+- **closed** — requests flow; consecutive terminal failures are
+  counted (a success resets the count).
+- **open** — after ``threshold`` consecutive failures the family
+  fast-fails at admission with
+  :class:`~repro.errors.CircuitOpenError` (carrying the remaining
+  cooldown as the retry hint) for ``cooldown`` seconds.
+- **half-open** — after the cooldown, exactly one probe request is
+  admitted; its success closes the circuit, its failure re-opens it
+  for another cooldown.
+
+Only *infrastructure-shaped* failures should trip a breaker; the
+service records worker crashes and timeouts as breaker failures and
+treats ordinary experiment exceptions as request-scoped.  Time is
+injected (monotonic by default) so tests drive the state machine
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import CircuitOpenError
+
+#: Consecutive failures that open a family's circuit.
+DEFAULT_THRESHOLD = 3
+#: Seconds an open circuit fast-fails before allowing a probe.
+DEFAULT_COOLDOWN = 30.0
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+def family_of(experiment_id: str) -> str:
+    """Experiment family: the id with its trailing digits stripped.
+
+    ``fig05``/``fig14`` -> ``fig``; ``table2`` -> ``table``;
+    ``ext-defenses`` -> ``ext-defenses`` (already digit-free).  One
+    crashing figure quarantines the figure family, not the tables.
+    """
+    stripped = experiment_id.rstrip("0123456789")
+    return stripped or experiment_id
+
+
+class CircuitBreaker:
+    """Breaker state machine for one family."""
+
+    def __init__(self, family: str, threshold: int = DEFAULT_THRESHOLD,
+                 cooldown: float = DEFAULT_COOLDOWN,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.family = family
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    def check(self) -> None:
+        """Gate one request; raises when the circuit rejects it.
+
+        In the open state with an elapsed cooldown the calling request
+        *becomes* the half-open probe: subsequent requests are rejected
+        until the probe resolves via :meth:`record`.
+        """
+        if self.state == CLOSED:
+            return
+        now = self._clock()
+        if self.state == OPEN:
+            remaining = self._opened_at + self.cooldown - now
+            if remaining > 0:
+                raise CircuitOpenError(self.family, self.failures,
+                                       retry_after=remaining)
+            self.state = HALF_OPEN
+            self._probe_inflight = True
+            return
+        # HALF_OPEN: one probe at a time.
+        if self._probe_inflight:
+            raise CircuitOpenError(self.family, self.failures,
+                                   retry_after=self.cooldown)
+        self._probe_inflight = True
+
+    def record(self, ok: bool) -> None:
+        """Record one terminal outcome for the family."""
+        if ok:
+            self.state = CLOSED
+            self.failures = 0
+            self._probe_inflight = False
+            return
+        self.failures += 1
+        self._probe_inflight = False
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            self.state = OPEN
+            self._opened_at = self._clock()
+
+    def release_probe(self) -> None:
+        """A probe that never ran (cancelled/shed) frees the slot."""
+        if self.state == HALF_OPEN:
+            self._probe_inflight = False
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"family": self.family, "state": self.state,
+                "failures": self.failures}
+
+
+class BreakerBoard:
+    """All families' breakers, keyed lazily."""
+
+    def __init__(self, threshold: int = DEFAULT_THRESHOLD,
+                 cooldown: float = DEFAULT_COOLDOWN,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, experiment_id: str) -> CircuitBreaker:
+        family = family_of(experiment_id)
+        breaker = self._breakers.get(family)
+        if breaker is None:
+            breaker = self._breakers[family] = CircuitBreaker(
+                family, self.threshold, self.cooldown, self._clock)
+        return breaker
+
+    def check(self, experiment_id: str) -> CircuitBreaker:
+        """Admission-time gate; returns the breaker for bookkeeping."""
+        breaker = self.breaker(experiment_id)
+        breaker.check()
+        return breaker
+
+    def record(self, experiment_id: str, ok: bool) -> None:
+        self.breaker(experiment_id).record(ok)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {family: breaker.snapshot()
+                for family, breaker in self._breakers.items()}

@@ -1,0 +1,547 @@
+"""The experiment service: resilient async job API over the pool.
+
+:class:`ExperimentService` is the asyncio front of the repository's
+execution machinery.  One service instance owns:
+
+- an :class:`~repro.service.admission.AdmissionGate` (typed rejection
+  before a worker is occupied),
+- a :class:`~repro.service.queues.TenantQueues` (bounded per-tenant
+  backpressure with weighted-fair dequeue and load shedding),
+- a :class:`~repro.service.breaker.BreakerBoard` (per-experiment-family
+  circuit breakers quarantining crash loops),
+- a :class:`~repro.experiments.runner.ResilientPool` (kill-capable
+  worker slots with timeouts, retries and crash respawn), and
+- optionally a :class:`~repro.service.journal.ServiceJournal` (durable
+  job log enabling SIGKILL-and-restart re-adoption).
+
+**Threading model.**  Every public method except the pool completion
+bridge runs on the service's asyncio loop; the pool's scheduler thread
+reports completions via ``loop.call_soon_threadsafe``, so all service
+state is loop-confined and lock-free.
+
+**Coalescing.**  Requests whose
+:meth:`~repro.service.requests.ExperimentRequest.coalescing_key` match
+an in-flight job attach to it as *followers*: one execution, N
+results, each follower's :class:`~repro.experiments.runner.RunRecord`
+marked ``cached``.  Completed results persist in the content-addressed
+result cache (:mod:`repro.chips.cache`), so later identical requests —
+including re-adopted ones after a service crash — complete without a
+worker at all.  Because the key covers every run input (calibration
+version, engine, fault plan, shard, scale), a coalesced or cached
+result is bit-identical to a fresh run by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.chips import cache as result_cache
+from repro.errors import (AdmissionError, ExperimentError,
+                          ExperimentTimeoutError, HbmSimError,
+                          OverloadError, WorkerCrashError)
+from repro.experiments.runner import (DEFAULT_RETRY_DELAY, PoolJob,
+                                      ResilientPool, RunRecord)
+from repro.service.admission import MAX_SCALE, AdmissionGate
+from repro.service.breaker import (DEFAULT_COOLDOWN, DEFAULT_THRESHOLD,
+                                   BreakerBoard)
+from repro.service.journal import ServiceJournal
+from repro.service.queues import QueuePolicy, TenantQueues
+from repro.service.requests import ExperimentRequest
+
+
+def report_sha(result) -> str:
+    """The repository's report hash: sha256 of the rendered text."""
+    return hashlib.sha256(result.text.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunable knobs of one :class:`ExperimentService` instance."""
+
+    #: Worker slots (pool processes).
+    slots: int = 2
+    #: Per-attempt execution timeout (seconds); ``None`` disables.
+    timeout: Optional[float] = None
+    #: Retries per invocation after the first attempt.
+    retries: int = 1
+    retry_delay: float = DEFAULT_RETRY_DELAY
+    #: Backpressure bounds (see :class:`~repro.service.queues.QueuePolicy`).
+    per_tenant_depth: int = 64
+    global_high_water: int = 256
+    weights: Mapping[str, float] = field(default_factory=dict)
+    #: Circuit-breaker policy (per experiment family).
+    breaker_threshold: int = DEFAULT_THRESHOLD
+    breaker_cooldown: float = DEFAULT_COOLDOWN
+    #: Journal directory; ``None`` runs without crash-safe resumption.
+    journal_dir: Optional[str] = None
+    #: Admission ceiling for request scales.
+    max_scale: float = MAX_SCALE
+    #: Nominal seconds one queued job occupies a slot — only used to
+    #: compute the ``Retry-After`` hint attached to shed requests.
+    nominal_job_seconds: float = 1.0
+    #: Serve and populate the content-addressed result cache.
+    use_result_cache: bool = True
+
+
+class Job:
+    """One admitted request's lifecycle inside the service.
+
+    ``record`` is the live :class:`RunRecord`; ``await job.wait()``
+    returns it once terminal.  The future resolves with the record in
+    *every* outcome (failures carry the typed exception in
+    ``job.exception``), so awaiting a job can never hang and never
+    raises — the acceptance contract of the service layer.
+    """
+
+    def __init__(self, job_id: str, request: ExperimentRequest,
+                 key: Optional[str],
+                 loop: asyncio.AbstractEventLoop) -> None:
+        self.job_id = job_id
+        self.request = request
+        #: Coalescing / result-cache key (None for verify-only jobs).
+        self.key = key
+        self.record = RunRecord(request.experiment_id or "program",
+                                _job_index(job_id))
+        self.exception: Optional[ExperimentError] = None
+        #: Pool invocation id once dispatched (enables cancel-running).
+        self.invocation_id: Optional[int] = None
+        #: Primary job id when this job coalesced onto another.
+        self.coalesced_with: Optional[str] = None
+        #: Times this job was dispatched to a worker (0 for cached).
+        self.executions = 0
+        self.future: "asyncio.Future[RunRecord]" = loop.create_future()
+
+    @property
+    def state(self) -> str:
+        """``queued`` | ``running`` | ``coalesced`` | terminal status."""
+        if self.future.done():
+            return self.record.status
+        if self.invocation_id is not None:
+            return "running"
+        if self.coalesced_with is not None:
+            return "coalesced"
+        return "queued"
+
+    async def wait(self) -> RunRecord:
+        """The terminal record (never raises; see ``exception``)."""
+        return await asyncio.shield(self.future)
+
+    def summary(self) -> Dict[str, Any]:
+        payload = {
+            "job": self.job_id,
+            "tenant": self.request.tenant,
+            "state": self.state,
+            "executions": self.executions,
+            "record": self.record.summary(),
+        }
+        if self.coalesced_with is not None:
+            payload["coalesced_with"] = self.coalesced_with
+        if self.record.result is not None:
+            payload["sha"] = report_sha(self.record.result)
+        return payload
+
+
+def _job_index(job_id: str) -> int:
+    _prefix, _, suffix = job_id.rpartition("-")
+    return int(suffix) if suffix.isdigit() else 0
+
+
+class ExperimentService:
+    """Asyncio experiment-job service over a :class:`ResilientPool`."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.gate = AdmissionGate(max_scale=self.config.max_scale)
+        self.queues = TenantQueues(QueuePolicy(
+            per_tenant_depth=self.config.per_tenant_depth,
+            global_high_water=self.config.global_high_water,
+            weights=dict(self.config.weights)))
+        self.breakers = BreakerBoard(self.config.breaker_threshold,
+                                     self.config.breaker_cooldown)
+        self.journal = (ServiceJournal(self.config.journal_dir)
+                        if self.config.journal_dir is not None else None)
+        self._jobs: Dict[str, Job] = {}
+        #: key -> primary job currently queued or running.
+        self._inflight: Dict[str, Job] = {}
+        #: key -> follower jobs coalesced onto the primary.
+        self._followers: Dict[str, List[Job]] = {}
+        self._running = 0
+        self._sequence = (self.journal.max_sequence()
+                          if self.journal is not None else 0)
+        self._pool: Optional[ResilientPool] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+        #: Streamed lifecycle events (the protocol layer drains these).
+        self.events: "Optional[asyncio.Queue[Dict[str, Any]]]" = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spin up the pool and re-adopt any journaled open jobs."""
+        if self._pool is not None:
+            raise HbmSimError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self.events = asyncio.Queue()
+        self._pool = ResilientPool(self.config.slots,
+                                   prewarm=self.config.slots > 1)
+        if self.journal is not None:
+            for entry in self.journal.open_jobs():
+                self._readopt(entry)
+            self._pump()
+
+    async def close(self) -> None:
+        """Stop the pool; every unresolved job terminates ``cancelled``."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            pool = self._pool
+            await asyncio.get_running_loop().run_in_executor(
+                None, pool.shutdown)
+            # Let the pool's threadsafe completion callbacks land.
+            await asyncio.sleep(0)
+        for job in list(self._jobs.values()):
+            if not job.future.done():
+                record = job.record
+                record.status = "cancelled"
+                record.error = record.error or "service closed"
+                job.exception = ExperimentError(
+                    record.experiment_id, max(1, record.attempts),
+                    "Cancelled", "service closed before completion")
+                self._resolve(job)
+        if self.journal is not None:
+            self.journal.close()
+
+    async def drain(self) -> List[Job]:
+        """Wait until every submitted job is terminal; returns them."""
+        while True:
+            pending = [job.future for job in self._jobs.values()
+                       if not job.future.done()]
+            if not pending:
+                return list(self._jobs.values())
+            await asyncio.wait(pending)
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, payload: Union[Mapping[str, Any], ExperimentRequest]
+               ) -> Job:
+        """Admit one request; returns its :class:`Job`.
+
+        Raises :class:`~repro.errors.AdmissionError` (invalid request),
+        :class:`~repro.errors.CircuitOpenError` (family quarantined) or
+        :class:`~repro.errors.OverloadError` (queues full) — all before
+        any worker is occupied.  Must run on the service's loop.
+        """
+        self._require_started()
+        request = self.gate.admit(payload)
+        job_id = self._next_job_id()
+        if request.verify_only:
+            job = Job(job_id, request, None, self._loop)
+            self._jobs[job_id] = job
+            record = job.record
+            record.status = "verified"
+            self._resolve(job, journal=False)
+            return job
+
+        key = request.coalescing_key()
+        breaker = self.breakers.check(request.experiment_id)
+        job = Job(job_id, request, key, self._loop)
+
+        primary = self._inflight.get(key)
+        if primary is not None:
+            # Coalesce: one execution, N results.
+            breaker.release_probe()
+            job.coalesced_with = primary.job_id
+            self._followers.setdefault(key, []).append(job)
+            self._jobs[job_id] = job
+            self._journal("admitted", job, coalesced_with=primary.job_id)
+            self._emit("coalesced", job, primary=primary.job_id)
+            return job
+
+        cached = self._cached_result(key)
+        if cached is not None:
+            breaker.release_probe()
+            self._jobs[job_id] = job
+            self._journal("admitted", job)
+            self._complete_cached(job, cached)
+            return job
+
+        try:
+            position = self.queues.push(request.tenant, job,
+                                        retry_after=self._retry_hint())
+        except OverloadError:
+            breaker.release_probe()
+            raise
+        self._inflight[key] = job
+        self._jobs[job_id] = job
+        self._journal("admitted", job)
+        self._emit("admitted", job, position=position)
+        self._pump()
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; returns False when unknown or already done.
+
+        Queued jobs release their queue slot synchronously; running
+        jobs have their worker killed by the pool (the record turns
+        ``cancelled`` when the kill lands).  Cancelling a coalescing
+        primary promotes its first follower to primary so the other
+        waiters still get their result.
+        """
+        job = self._jobs.get(job_id)
+        if job is None or job.future.done():
+            return False
+        record = job.record
+        if job.invocation_id is not None:
+            assert self._pool is not None
+            return self._pool.cancel(job.invocation_id)
+        if job.coalesced_with is not None:
+            followers = self._followers.get(job.key, [])
+            if job in followers:
+                followers.remove(job)
+        else:
+            self.queues.remove(job.request.tenant, job)
+            self._inflight.pop(job.key, None)
+            self.breakers.breaker(
+                job.request.experiment_id).release_probe()
+            self._promote_follower(job.key)
+        record.status = "cancelled"
+        record.error = "cancelled before execution"
+        job.exception = ExperimentError(
+            record.experiment_id, 1, "Cancelled",
+            "job cancelled before execution")
+        self._resolve(job)
+        return True
+
+    # -- inspection -------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """Service snapshot (queues, breakers, job counts)."""
+        states: Dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "running": self._running,
+            "slots": self._pool.slots if self._pool is not None else 0,
+            "queued": self.queues.depth(),
+            "tenants": self.queues.tenants(),
+            "breakers": self.breakers.snapshot(),
+            "jobs": states,
+        }
+
+    def job(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    # -- internals (loop-confined) ----------------------------------------
+
+    def _require_started(self) -> None:
+        if self._pool is None or self._loop is None:
+            raise HbmSimError("service not started (call start() first)")
+        if self._closed:
+            raise HbmSimError("service is closed")
+
+    def _next_job_id(self) -> str:
+        self._sequence += 1
+        return f"job-{self._sequence:06d}"
+
+    def _retry_hint(self) -> float:
+        """Retry-After seconds for shed requests: rough drain time."""
+        slots = self._pool.slots if self._pool is not None else 1
+        backlog = self.queues.depth() + self._running
+        return max(1.0,
+                   backlog * self.config.nominal_job_seconds / slots)
+
+    def _cached_result(self, key: str):
+        if not self.config.use_result_cache:
+            return None
+        return result_cache.load_experiment_result(key)
+
+    def _complete_cached(self, job: Job, result) -> None:
+        record = job.record
+        record.status = "cached"
+        record.result = result
+        record.attempts = 0
+        record.elapsed = 0.0
+        self._resolve(job)
+
+    def _pump(self) -> None:
+        """Dispatch queued jobs while worker slots are free."""
+        assert self._pool is not None
+        while not self._closed and self._running < self._pool.slots:
+            popped = self.queues.pop()
+            if popped is None:
+                return
+            _tenant, job = popped
+            self._dispatch(job)
+
+    def _dispatch(self, job: Job) -> None:
+        assert self._pool is not None and self._loop is not None
+        self._running += 1
+        job.executions += 1
+        self._journal("started", job)
+        self._emit("started", job)
+        loop = self._loop
+
+        def _bridge(pool_job: PoolJob, job_id: str = job.job_id) -> None:
+            loop.call_soon_threadsafe(self._job_done, job_id, pool_job)
+
+        pool_job = self._pool.submit(
+            job.request.experiment_id, job.request.scale,
+            timeout=self.config.timeout, retries=self.config.retries,
+            retry_delay=self.config.retry_delay,
+            plan_spec=job.request.plan_spec(), record=job.record,
+            on_done=_bridge)
+        job.invocation_id = pool_job.invocation_id
+
+    def _job_done(self, job_id: str, pool_job: PoolJob) -> None:
+        """Pool completion, bridged onto the loop."""
+        job = self._jobs.get(job_id)
+        if job is None or job.future.done():
+            return
+        self._running = max(0, self._running - 1)
+        record = job.record
+        job.exception = pool_job.exception
+        self._record_breaker_outcome(job)
+        if record.succeeded and record.result is not None \
+                and self.config.use_result_cache:
+            result_cache.store_experiment_result(job.key, record.result)
+        followers = self._followers.pop(job.key, [])
+        self._inflight.pop(job.key, None)
+        self._resolve(job)
+        for follower in followers:
+            frec = follower.record
+            if record.succeeded:
+                frec.status = "cached"
+                frec.result = record.result
+                frec.attempts = 0
+                frec.elapsed = 0.0
+            else:
+                frec.status = record.status
+                frec.error = record.error
+                frec.attempts = record.attempts
+                follower.exception = pool_job.exception
+            self._resolve(follower)
+        if not self._closed:
+            self._pump()
+
+    def _record_breaker_outcome(self, job: Job) -> None:
+        """Breaker bookkeeping: infrastructure failures trip it,
+        ordinary experiment exceptions are request-scoped."""
+        if self._closed:
+            return
+        record = job.record
+        if record.status == "cancelled":
+            self.breakers.breaker(
+                job.request.experiment_id).release_probe()
+            return
+        infra_failure = isinstance(
+            job.exception, (WorkerCrashError, ExperimentTimeoutError))
+        self.breakers.record(job.request.experiment_id,
+                             not infra_failure)
+
+    def _promote_follower(self, key: str) -> None:
+        """A cancelled primary hands the work to its first follower."""
+        followers = self._followers.get(key)
+        if not followers:
+            self._followers.pop(key, None)
+            return
+        promoted = followers.pop(0)
+        promoted.coalesced_with = None
+        try:
+            self.queues.push(promoted.request.tenant, promoted,
+                             retry_after=self._retry_hint())
+        except OverloadError as exc:
+            # The tenant's queue filled since admission; the follower
+            # gets the typed overload verdict rather than silence.
+            record = promoted.record
+            record.status = "failed"
+            record.error = str(exc)
+            promoted.exception = ExperimentError(
+                record.experiment_id, 0, type(exc).__name__, str(exc))
+            self._resolve(promoted)
+            self._promote_follower(key)
+            return
+        self._inflight[key] = promoted
+        for follower in self._followers.get(key, []):
+            follower.coalesced_with = promoted.job_id
+        self._emit("admitted", promoted, promoted=True)
+        self._pump()
+
+    def _readopt(self, entry: Dict[str, Any]) -> None:
+        """Resume one journaled open job after a restart.
+
+        Jobs whose execution completed before the crash re-adopt
+        straight from the result cache — zero duplicate executions —
+        and genuinely in-flight jobs re-enter the queues.
+        """
+        job_id = entry["job"]
+        try:
+            request = self.gate.admit(entry["request"])
+        except AdmissionError as exc:
+            if self.journal is not None:
+                self.journal.append("failed", job_id, error=str(exc))
+            return
+        assert self._loop is not None
+        key = request.coalescing_key()
+        job = Job(job_id, request, key, self._loop)
+        self._jobs[job_id] = job
+        self._journal("readopted", job,
+                      prior_executions=entry["executions"])
+        self._emit("readopted", job)
+
+        cached = self._cached_result(key)
+        if cached is not None:
+            self._complete_cached(job, cached)
+            return
+        primary = self._inflight.get(key)
+        if primary is not None:
+            job.coalesced_with = primary.job_id
+            self._followers.setdefault(key, []).append(job)
+            return
+        try:
+            self.queues.push(request.tenant, job,
+                             retry_after=self._retry_hint())
+        except OverloadError as exc:
+            record = job.record
+            record.status = "failed"
+            record.error = str(exc)
+            job.exception = ExperimentError(
+                record.experiment_id, 0, type(exc).__name__, str(exc))
+            self._resolve(job)
+            return
+        self._inflight[key] = job
+
+    def _resolve(self, job: Job, journal: bool = True) -> None:
+        """Terminal bookkeeping: journal line, event, future result."""
+        record = job.record
+        if not job.future.done():
+            job.future.set_result(record)
+        if journal:
+            if record.succeeded or record.status == "verified":
+                event = "completed"
+            elif record.status == "cancelled":
+                event = "cancelled"
+            else:
+                event = "failed"
+            self._journal(event, job, summary=job.summary())
+        self._emit("done", job)
+
+    def _journal(self, event: str, job: Job, **payload: Any) -> None:
+        if self.journal is None:
+            return
+        if event == "admitted":
+            payload.setdefault("request", job.request.to_payload())
+            payload.setdefault("key", job.key)
+            payload.setdefault("tenant", job.request.tenant)
+        self.journal.append(event, job.job_id, **payload)
+
+    def _emit(self, kind: str, job: Job, **extra: Any) -> None:
+        if self.events is None:
+            return
+        payload: Dict[str, Any] = {"event": kind}
+        payload.update(job.summary())
+        payload.update(extra)
+        self.events.put_nowait(payload)

@@ -1,0 +1,138 @@
+"""Bounded per-tenant queues with weighted-fair dequeue.
+
+Backpressure lives here.  Each tenant owns one bounded FIFO; pushes
+beyond the tenant bound — or beyond the service-wide high-water mark —
+are *shed* with an :class:`~repro.errors.OverloadError` carrying a
+``Retry-After``-style hint instead of growing an unbounded backlog.
+
+Dequeue is weighted fair queuing over tenants: every tenant ``t``
+accumulates virtual service ``served[t] += 1 / weight[t]`` per
+dequeued job, and the scheduler always pops from the non-empty tenant
+with the least virtual service.  A tenant with weight 2 therefore
+drains twice as fast as a weight-1 tenant under contention, and an
+idle tenant re-entering the system is clamped to the current minimum
+so it cannot starve everyone by cashing in accumulated idleness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Mapping, Optional, Tuple
+
+from repro.errors import OverloadError
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Backpressure parameters of one service instance."""
+
+    #: Maximum queued (not yet running) jobs per tenant.
+    per_tenant_depth: int = 64
+    #: Total queued jobs across tenants beyond which *all* pushes shed.
+    global_high_water: int = 256
+    #: Tenant -> weight; unlisted tenants use ``default_weight``.
+    weights: Mapping[str, float] = field(default_factory=dict)
+    default_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.per_tenant_depth < 1:
+            raise ValueError("per_tenant_depth must be >= 1")
+        if self.global_high_water < 1:
+            raise ValueError("global_high_water must be >= 1")
+        if self.default_weight <= 0:
+            raise ValueError("default_weight must be positive")
+        for tenant, weight in self.weights.items():
+            if weight <= 0:
+                raise ValueError(
+                    f"weight for tenant {tenant!r} must be positive")
+
+    def weight(self, tenant: str) -> float:
+        return float(self.weights.get(tenant, self.default_weight))
+
+
+class TenantQueues:
+    """The service's admission queues (single-threaded: asyncio-owned)."""
+
+    def __init__(self, policy: QueuePolicy) -> None:
+        self.policy = policy
+        self._queues: "OrderedDict[str, Deque[Any]]" = OrderedDict()
+        self._served: Dict[str, float] = {}
+
+    # -- inspection -------------------------------------------------------
+
+    def depth(self, tenant: Optional[str] = None) -> int:
+        """Queued jobs for one tenant, or across every tenant."""
+        if tenant is not None:
+            queue = self._queues.get(tenant)
+            return len(queue) if queue is not None else 0
+        return sum(len(queue) for queue in self._queues.values())
+
+    def tenants(self) -> Dict[str, int]:
+        """Per-tenant queue depths (non-empty tenants only)."""
+        return {tenant: len(queue)
+                for tenant, queue in self._queues.items() if queue}
+
+    # -- backpressure -----------------------------------------------------
+
+    def push(self, tenant: str, item: Any,
+             retry_after: Optional[float] = None) -> int:
+        """Enqueue one job; returns the tenant-queue position (0-based).
+
+        Sheds with :class:`~repro.errors.OverloadError` when the global
+        high-water mark or the tenant bound is hit; ``retry_after`` is
+        forwarded into the rejection for the client hint.
+        """
+        total = self.depth()
+        if total >= self.policy.global_high_water:
+            raise OverloadError("global", total,
+                                self.policy.global_high_water,
+                                retry_after=retry_after)
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+            # A newcomer (or returning idler) starts at the current
+            # minimum virtual service: fairness from now on, no credit
+            # for the past.
+            active = [self._served[t] for t, q in self._queues.items()
+                      if q and t != tenant and t in self._served]
+            floor = min(active) if active else 0.0
+            self._served[tenant] = max(self._served.get(tenant, 0.0),
+                                       floor)
+        if len(queue) >= self.policy.per_tenant_depth:
+            raise OverloadError("tenant", len(queue),
+                                self.policy.per_tenant_depth,
+                                retry_after=retry_after, tenant=tenant)
+        queue.append(item)
+        return len(queue) - 1
+
+    def pop(self) -> Optional[Tuple[str, Any]]:
+        """Dequeue from the least-served non-empty tenant, or ``None``."""
+        best: Optional[str] = None
+        best_served = 0.0
+        for tenant, queue in self._queues.items():
+            if not queue:
+                continue
+            served = self._served.get(tenant, 0.0)
+            if best is None or served < best_served:
+                best, best_served = tenant, served
+        if best is None:
+            return None
+        item = self._queues[best].popleft()
+        self._served[best] = best_served + 1.0 / self.policy.weight(best)
+        if not self._queues[best]:
+            del self._queues[best]  # keep iteration proportional to load
+        return best, item
+
+    def remove(self, tenant: str, item: Any) -> bool:
+        """Drop one queued job (cancellation); True when found."""
+        queue = self._queues.get(tenant)
+        if queue is None:
+            return False
+        try:
+            queue.remove(item)
+        except ValueError:
+            return False
+        if not queue:
+            del self._queues[tenant]
+        return True

@@ -1,0 +1,109 @@
+"""Request model of the experiment service.
+
+An :class:`ExperimentRequest` names *what* to run (experiment id,
+scale, optional chip/channel shard), *under which chaos* (an optional
+per-request fault plan, installed in the worker for that invocation),
+*for whom* (the tenant, which selects the backpressure queue), and
+optionally carries an inline SoftBender program for the lint admission
+gate to verify.
+
+Two requests are *the same work* when their :meth:`coalescing key
+<ExperimentRequest.coalescing_key>` matches: the key is the
+content-addressed :func:`repro.chips.cache.experiment_key` over the
+experiment id, the scale, the execution engine, every chip's
+calibration fingerprint (hence ``CALIBRATION_VERSION``), the
+canonicalized fault plan, and the shard — any input that could change
+the report changes the key, so coalesced and cached results are
+guaranteed bit-identical to a fresh run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.chips import cache as result_cache
+from repro.faults.plan import FaultPlan
+
+#: Tenant used when a request does not name one.
+DEFAULT_TENANT = "default"
+
+#: Fields a request payload may carry (wire names).
+REQUEST_FIELDS = ("experiment_id", "scale", "tenant", "shard",
+                  "fault_plan", "program")
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """One experiment request as accepted by the service."""
+
+    experiment_id: str = ""
+    scale: float = 1.0
+    tenant: str = DEFAULT_TENANT
+    #: Opaque chip/channel shard label; requests for different shards
+    #: never coalesce (they are different slices of the sweep).
+    shard: Optional[str] = None
+    #: Per-request fault plan (:class:`~repro.faults.plan.FaultPlan`
+    #: fields); installed in the worker for this invocation only.
+    #: ``None`` runs under the service's ambient plan, if any.
+    fault_plan: Optional[Mapping[str, Any]] = None
+    #: Inline SoftBender ``.sbp`` source for the admission gate to
+    #: statically verify.  A request carrying *only* a program is a
+    #: verify-only request: it completes at admission, occupying no
+    #: worker.
+    program: Optional[str] = None
+    _canonical_plan: Optional[str] = field(default=None, repr=False,
+                                           compare=False)
+
+    def __post_init__(self) -> None:
+        # Canonicalize the plan once: field order and default values
+        # must not split the coalescing key.  Validation happened in
+        # the admission gate; a malformed plan here is a programming
+        # error and may raise FaultPlanError.
+        canonical = None
+        if self.fault_plan is not None:
+            canonical = FaultPlan.from_dict(self.fault_plan).to_json()
+        object.__setattr__(self, "_canonical_plan", canonical)
+
+    @property
+    def verify_only(self) -> bool:
+        """Whether this request only asks for static verification."""
+        return not self.experiment_id and self.program is not None
+
+    def plan_spec(self) -> str:
+        """Worker-side plan directive for this invocation.
+
+        The canonical plan JSON when the request carries one, else the
+        empty string ("clear any per-request plan; ambient
+        ``HBMSIM_FAULTS`` still applies").
+        """
+        return self._canonical_plan or ""
+
+    def coalescing_key(self) -> str:
+        """Content key identifying this request's result."""
+        extra: Dict[str, Any] = {
+            "shard": self.shard,
+            "fault_plan": self._canonical_plan,
+        }
+        if self.program is not None:
+            extra["program_sha"] = hashlib.sha256(
+                self.program.encode("utf-8")).hexdigest()
+        return result_cache.experiment_key(self.experiment_id, self.scale,
+                                           extra)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Wire rendering (the journal and the protocol share it)."""
+        payload: Dict[str, Any] = {
+            "experiment_id": self.experiment_id,
+            "scale": self.scale,
+            "tenant": self.tenant,
+        }
+        if self.shard is not None:
+            payload["shard"] = self.shard
+        if self.fault_plan is not None:
+            payload["fault_plan"] = json.loads(self.plan_spec())
+        if self.program is not None:
+            payload["program"] = self.program
+        return payload

@@ -58,3 +58,65 @@ def test_stale_lock_is_broken(tmp_path, monkeypatch):
     payload = json.loads(path.read_text())
     assert len(payload["runs"]) == 1
     assert not lock.exists()
+
+
+class TestStaleBreakToctou:
+    """Regression: breaking a stale lock must be single-winner.
+
+    The old break was ``lock.unlink()`` after a stat — two waiters
+    could both judge the lock stale, the first would unlink + reacquire,
+    and the second's unlink deleted the first's *fresh* lock, putting
+    two processes inside the critical section.  The rename-claim in
+    ``_break_stale_lock`` closes that hole.
+    """
+
+    def test_second_breaker_loses_the_claim(self, tmp_path):
+        lock = tmp_path / "b.json.lock"
+        lock.write_text("1234")
+        ino = lock.stat().st_ino
+        assert bench._break_stale_lock(lock, ino)
+        assert not lock.exists()
+        # Breaker B observed the same stale lock but A won the rename.
+        assert not bench._break_stale_lock(lock, ino)
+
+    def test_late_breaker_cannot_steal_a_fresh_lock(self, tmp_path):
+        """The exact TOCTOU: A breaks the stale lock and re-acquires;
+        B (still holding the stale observation) must not destroy A's
+        fresh lock."""
+        import os
+
+        lock = tmp_path / "b.json.lock"
+        lock.write_text("stale-holder")
+        stale_ino = lock.stat().st_ino
+        # A distinct inode for A's fresh lock, allocated while the
+        # stale one still exists (unlinked inodes get reused at once
+        # on some filesystems, which would fake out the check below).
+        fresh = tmp_path / "fresh-lock"
+        fresh.write_text("fresh-holder")
+        fresh_ino = fresh.stat().st_ino
+        assert fresh_ino != stale_ino
+
+        # Breaker A: claims the stale lock and re-acquires.
+        assert bench._break_stale_lock(lock, stale_ino)
+        os.rename(fresh, lock)  # A's new lock
+
+        # Breaker B fires with its outdated observation: it must back
+        # off and leave A's fresh lock in place.
+        assert not bench._break_stale_lock(lock, stale_ino)
+        assert lock.exists()
+        assert lock.stat().st_ino == fresh_ino
+        assert lock.read_text() == "fresh-holder"
+        # No victim debris left behind either.
+        assert list(tmp_path.glob("*.stale.*")) == []
+
+    def test_exclusive_lock_uses_the_claiming_break(self, tmp_path,
+                                                    monkeypatch):
+        target = tmp_path / "b.json"
+        lock = tmp_path / "b.json.lock"
+        lock.write_text("crashed-holder")
+        monkeypatch.setattr(bench, "_LOCK_STALE_S", 0.0)
+        with bench._exclusive_lock(target):
+            # The stale lock was claimed and replaced by ours.
+            assert lock.exists()
+            assert lock.read_text() != "crashed-holder"
+        assert not lock.exists()

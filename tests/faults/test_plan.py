@@ -166,3 +166,76 @@ class TestVectorizedSamplers:
             draw = uniform_for(plan.seed, TAG_STUCK, int(channels[k]),
                                int(pcs[k]), int(banks[k]), int(rows[k]))
             assert bool(mask[k]) == (draw < plan.stuck_row_rate)
+
+
+class TestParseDiagnostics:
+    """Satellite: parse failures must name the offending key path and
+    the valid keys — HBMSIM_FAULTS typos should explain themselves."""
+
+    def test_unknown_field_lists_valid_keys(self):
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan.from_dict({"drop_rat": 0.01})
+        message = str(excinfo.value)
+        assert "drop_rat" in message
+        assert "valid fields" in message
+        assert "drop_rate" in message and "crash_once" in message
+
+    def test_non_numeric_rate_names_the_field(self):
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan.from_dict({"drop_rate": "high"})
+        assert "drop_rate" in str(excinfo.value)
+        assert "'high'" in str(excinfo.value)
+
+    @pytest.mark.parametrize("value", [True, 1.5, "7"])
+    def test_integral_fields_reject_non_integers(self, value):
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan.from_dict({"seed": value})
+        assert "seed" in str(excinfo.value)
+
+    def test_bool_is_not_a_rate(self):
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan.from_dict({"stall_rate": True})
+        assert "stall_rate" in str(excinfo.value)
+
+    @pytest.mark.parametrize("value", ["fig05", {"fig05": 1}, 3])
+    def test_crash_once_must_be_a_list_of_ids(self, value):
+        # A plain string used to silently become a tuple of characters.
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan.from_dict({"crash_once": value})
+        assert "crash_once" in str(excinfo.value)
+
+    def test_crash_once_element_path_in_message(self):
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan.from_dict({"crash_once": ["fig05", 7]})
+        assert "crash_once[1]" in str(excinfo.value)
+
+    @pytest.mark.parametrize("value", [["x"], "fig05: 1", 3])
+    def test_stall_experiments_must_be_a_mapping(self, value):
+        # A list used to escape as a bare ValueError from dict().
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan.from_dict({"stall_experiments": value})
+        assert "stall_experiments" in str(excinfo.value)
+
+    def test_stall_experiments_value_path_in_message(self):
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan.from_dict(
+                {"stall_experiments": {"fig05": "long"}})
+        assert "stall_experiments.fig05" in str(excinfo.value)
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"stall_experiments": {"fig05": -1}})
+
+    def test_from_json_wraps_everything_as_fault_plan_error(self):
+        for text in ('{"stall_experiments": ["x"]}',
+                     '{"crash_once": "fig05"}',
+                     '{"seed": 1.5}', '"just a string"'):
+            with pytest.raises(FaultPlanError):
+                FaultPlan.from_json(text)
+
+    def test_valid_plan_still_parses(self):
+        plan = FaultPlan.from_dict({
+            "seed": 9, "drop_rate": 0.5,
+            "crash_once": ["fig05"],
+            "stall_experiments": {"fig07": 1.5}})
+        assert plan.seed == 9
+        assert plan.crash_once == ("fig05",)
+        assert plan.stall_experiments == {"fig07": 1.5}

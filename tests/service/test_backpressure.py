@@ -1,0 +1,215 @@
+"""Backpressure and graceful-degradation unit tests: bounded tenant
+queues with weighted-fair dequeue, load shedding, and the per-family
+circuit breaker state machine."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, OverloadError
+from repro.service.breaker import (CLOSED, HALF_OPEN, OPEN, BreakerBoard,
+                                   CircuitBreaker, family_of)
+from repro.service.queues import QueuePolicy, TenantQueues
+
+
+class TestQueuePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueuePolicy(per_tenant_depth=0)
+        with pytest.raises(ValueError):
+            QueuePolicy(global_high_water=0)
+        with pytest.raises(ValueError):
+            QueuePolicy(default_weight=0)
+        with pytest.raises(ValueError):
+            QueuePolicy(weights={"ci": -1.0})
+
+    def test_weight_lookup(self):
+        policy = QueuePolicy(weights={"ci": 2.0}, default_weight=0.5)
+        assert policy.weight("ci") == 2.0
+        assert policy.weight("adhoc") == 0.5
+
+
+class TestBounds:
+    def test_tenant_bound_sheds_with_hint(self):
+        queues = TenantQueues(QueuePolicy(per_tenant_depth=2))
+        queues.push("ci", "a")
+        queues.push("ci", "b")
+        with pytest.raises(OverloadError) as excinfo:
+            queues.push("ci", "c", retry_after=7.5)
+        error = excinfo.value
+        assert error.scope == "tenant"
+        assert error.tenant == "ci"
+        assert error.depth == 2 and error.limit == 2
+        assert error.retry_after == 7.5
+        # Another tenant is unaffected by ci's full queue.
+        queues.push("dev", "d")
+
+    def test_global_high_water_sheds_everyone(self):
+        queues = TenantQueues(QueuePolicy(per_tenant_depth=10,
+                                          global_high_water=3))
+        for i, tenant in enumerate(["a", "b", "c"]):
+            queues.push(tenant, i)
+        with pytest.raises(OverloadError) as excinfo:
+            queues.push("d", "x")
+        assert excinfo.value.scope == "global"
+
+    def test_depth_and_tenants_reporting(self):
+        queues = TenantQueues(QueuePolicy())
+        queues.push("a", 1)
+        queues.push("a", 2)
+        queues.push("b", 3)
+        assert queues.depth() == 3
+        assert queues.depth("a") == 2
+        assert queues.depth("nope") == 0
+        assert queues.tenants() == {"a": 2, "b": 1}
+
+    def test_remove_releases_the_slot(self):
+        queues = TenantQueues(QueuePolicy(per_tenant_depth=1))
+        queues.push("a", "job")
+        assert queues.remove("a", "job")
+        assert not queues.remove("a", "job")
+        queues.push("a", "job2")  # slot is free again
+
+
+class TestWeightedFairness:
+    def test_equal_weights_alternate(self):
+        queues = TenantQueues(QueuePolicy())
+        for i in range(3):
+            queues.push("a", f"a{i}")
+            queues.push("b", f"b{i}")
+        order = [queues.pop()[0] for _ in range(6)]
+        assert order.count("a") == 3 and order.count("b") == 3
+        # Never two in a row from the same tenant while both have work.
+        assert all(x != y for x, y in zip(order, order[1:]))
+
+    def test_weighted_tenant_drains_proportionally(self):
+        queues = TenantQueues(QueuePolicy(weights={"heavy": 2.0}))
+        for i in range(8):
+            queues.push("heavy", f"h{i}")
+            queues.push("light", f"l{i}")
+        first_six = [queues.pop()[0] for _ in range(6)]
+        assert first_six.count("heavy") == 4
+        assert first_six.count("light") == 2
+
+    def test_newcomer_cannot_cash_in_idleness(self):
+        queues = TenantQueues(QueuePolicy())
+        for i in range(4):
+            queues.push("old", f"o{i}")
+        assert queues.pop()[0] == "old"
+        assert queues.pop()[0] == "old"
+        # A tenant arriving now starts at the current minimum virtual
+        # service, not zero: it must not monopolize the scheduler.
+        for i in range(4):
+            queues.push("new", f"n{i}")
+        order = [queues.pop()[0] for _ in range(4)]
+        assert order.count("new") <= 3
+        assert "old" in order
+
+    def test_pop_empty_returns_none(self):
+        queues = TenantQueues(QueuePolicy())
+        assert queues.pop() is None
+
+
+class TestFamilyOf:
+    @pytest.mark.parametrize("experiment_id,family", [
+        ("fig05", "fig"), ("fig14", "fig"), ("table2", "table"),
+        ("ext-defenses", "ext-defenses"), ("123", "123"),
+    ])
+    def test_families(self, experiment_id, family):
+        assert family_of(experiment_id) == family
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("fig", threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("fig", cooldown=0)
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker("fig", threshold=3, clock=FakeClock())
+        for _ in range(2):
+            breaker.check()
+            breaker.record(ok=False)
+        assert breaker.state == CLOSED
+        breaker.record(ok=False)
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check()
+        assert excinfo.value.family == "fig"
+        assert excinfo.value.retry_after == pytest.approx(30.0)
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker("fig", threshold=2, clock=FakeClock())
+        breaker.record(ok=False)
+        breaker.record(ok=True)
+        breaker.record(ok=False)
+        assert breaker.state == CLOSED
+
+    def test_cooldown_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("fig", threshold=1, cooldown=10.0,
+                                 clock=clock)
+        breaker.record(ok=False)
+        assert breaker.state == OPEN
+        clock.now += 10.5
+        breaker.check()  # this caller becomes the probe
+        assert breaker.state == HALF_OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.check()  # second request while the probe runs
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("fig", threshold=1, cooldown=10.0,
+                                 clock=clock)
+        breaker.record(ok=False)
+        clock.now += 11.0
+        breaker.check()
+        breaker.record(ok=True)
+        assert breaker.state == CLOSED
+        breaker.check()  # flows freely again
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("fig", threshold=3, cooldown=10.0,
+                                 clock=clock)
+        for _ in range(3):
+            breaker.record(ok=False)
+        clock.now += 11.0
+        breaker.check()
+        breaker.record(ok=False)  # the probe dies too
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+
+    def test_released_probe_frees_the_half_open_slot(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("fig", threshold=1, cooldown=10.0,
+                                 clock=clock)
+        breaker.record(ok=False)
+        clock.now += 11.0
+        breaker.check()
+        breaker.release_probe()
+        breaker.check()  # a new probe may now enter
+
+
+class TestBreakerBoard:
+    def test_families_are_independent(self):
+        board = BreakerBoard(threshold=1, clock=FakeClock())
+        board.record("fig05", ok=False)
+        with pytest.raises(CircuitOpenError):
+            board.check("fig07")  # same family as fig05
+        board.check("table2")  # different family: unaffected
+
+    def test_snapshot(self):
+        board = BreakerBoard(threshold=1, clock=FakeClock())
+        board.record("fig05", ok=False)
+        snapshot = board.snapshot()
+        assert snapshot["fig"]["state"] == OPEN
+        assert snapshot["fig"]["failures"] == 1

@@ -1,0 +1,264 @@
+"""ExperimentService behavior tests: dispatch, cancellation, overload
+shedding, circuit breaking, crash-of-the-service-itself cleanliness.
+
+Every scenario runs on a fresh asyncio loop via ``run_async``; the
+chaos experiments come from the forked-worker-visible registry in
+``conftest.py``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import (CircuitOpenError, ExperimentError, HbmSimError,
+                          OverloadError, WorkerCrashError)
+from repro.service import ExperimentService, ServiceConfig
+
+from tests.service.conftest import needs_fork, run_async
+
+pytestmark = needs_fork
+
+
+async def _started(config: ServiceConfig) -> ExperimentService:
+    service = ExperimentService(config)
+    await service.start()
+    return service
+
+
+class TestLifecycle:
+    def test_submit_requires_start(self, chaos_registry, service_cache):
+        service = ExperimentService(ServiceConfig(slots=1))
+        with pytest.raises(HbmSimError):
+            service.submit({"experiment_id": "svc-ok"})
+
+    def test_ok_and_failed_jobs_resolve(self, chaos_registry,
+                                        service_cache):
+        async def scenario():
+            service = await _started(ServiceConfig(slots=1, retries=0))
+            try:
+                ok = service.submit({"experiment_id": "svc-ok"})
+                bad = service.submit({"experiment_id": "svc-bad"})
+                ok_record = await ok.wait()
+                bad_record = await bad.wait()
+                assert ok_record.status == "ok"
+                assert ok.exception is None
+                assert bad_record.status == "failed"
+                assert isinstance(bad.exception, ExperimentError)
+                assert "injected failure" in bad_record.error
+            finally:
+                await service.close()
+
+        run_async(scenario())
+
+    def test_verify_only_request_never_occupies_a_worker(
+            self, chaos_registry, service_cache):
+        async def scenario():
+            service = await _started(ServiceConfig(slots=1))
+            try:
+                job = service.submit(
+                    {"program": "ACT 0 0 0 100\nPRE 0 0 0"})
+                record = await job.wait()
+                assert record.status == "verified"
+                assert job.executions == 0
+            finally:
+                await service.close()
+
+        run_async(scenario())
+
+    def test_close_resolves_every_job(self, chaos_registry,
+                                      service_cache):
+        """No hung awaits: closing mid-flight cancels cleanly."""
+        async def scenario():
+            service = await _started(ServiceConfig(slots=1))
+            running = service.submit({"experiment_id": "svc-sleep"})
+            queued = service.submit({"experiment_id": "svc-ok"})
+            await asyncio.sleep(0.2)
+            await service.close()
+            for job in (running, queued):
+                record = await asyncio.wait_for(job.wait(), timeout=5.0)
+                assert record.status == "cancelled"
+                assert isinstance(job.exception, ExperimentError)
+
+        run_async(scenario())
+
+
+class TestCancellation:
+    def test_cancel_queued_job_releases_immediately(
+            self, chaos_registry, service_cache):
+        async def scenario():
+            service = await _started(ServiceConfig(slots=1))
+            try:
+                blocker = service.submit({"experiment_id": "svc-sleep"})
+                queued = service.submit({"experiment_id": "svc-ok"})
+                assert queued.state == "queued"
+                assert service.cancel(queued.job_id)
+                record = await asyncio.wait_for(queued.wait(),
+                                                timeout=1.0)
+                assert record.status == "cancelled"
+                assert queued.executions == 0
+                assert service.cancel(blocker.job_id)
+            finally:
+                await service.close()
+
+        run_async(scenario())
+
+    def test_cancel_running_job_frees_the_slot(self, chaos_registry,
+                                               service_cache):
+        async def scenario():
+            service = await _started(ServiceConfig(slots=1))
+            try:
+                hung = service.submit({"experiment_id": "svc-sleep"})
+                follow = service.submit({"experiment_id": "svc-ok"})
+                await asyncio.sleep(0.2)
+                assert hung.state == "running"
+                assert service.cancel(hung.job_id)
+                hung_record = await asyncio.wait_for(hung.wait(),
+                                                     timeout=10.0)
+                assert hung_record.status == "cancelled"
+                # The killed worker's slot is respawned and reused well
+                # before svc-sleep's 30s would have elapsed.
+                follow_record = await asyncio.wait_for(follow.wait(),
+                                                       timeout=15.0)
+                assert follow_record.status == "ok"
+            finally:
+                await service.close()
+
+        run_async(scenario())
+
+    def test_cancel_unknown_or_done_returns_false(self, chaos_registry,
+                                                  service_cache):
+        async def scenario():
+            service = await _started(ServiceConfig(slots=1))
+            try:
+                job = service.submit({"experiment_id": "svc-ok"})
+                await job.wait()
+                assert not service.cancel(job.job_id)
+                assert not service.cancel("job-999999")
+            finally:
+                await service.close()
+
+        run_async(scenario())
+
+
+class TestBackpressureIntegration:
+    def test_overload_sheds_with_retry_hint(self, chaos_registry,
+                                            service_cache):
+        async def scenario():
+            config = ServiceConfig(slots=1, per_tenant_depth=1,
+                                   nominal_job_seconds=2.0)
+            service = await _started(config)
+            try:
+                service.submit({"experiment_id": "svc-sleep"})
+                service.submit({"experiment_id": "svc-ok"})
+                with pytest.raises(OverloadError) as excinfo:
+                    service.submit({"experiment_id": "svc-ok2"})
+                assert excinfo.value.scope == "tenant"
+                assert excinfo.value.retry_after >= 1.0
+                # Another tenant still gets in.
+                service.submit({"experiment_id": "svc-ok2",
+                                "tenant": "other"})
+            finally:
+                await service.close()
+
+        run_async(scenario())
+
+
+class TestCircuitBreaker:
+    def test_worker_crashes_open_the_family_circuit(
+            self, chaos_registry, service_cache):
+        async def scenario():
+            config = ServiceConfig(slots=1, retries=0,
+                                   breaker_threshold=2,
+                                   breaker_cooldown=60.0,
+                                   use_result_cache=False)
+            service = await _started(config)
+            try:
+                for _ in range(2):
+                    job = service.submit(
+                        {"experiment_id": "svc-crash"})
+                    record = await job.wait()
+                    assert record.status == "failed"
+                    assert isinstance(job.exception, WorkerCrashError)
+                with pytest.raises(CircuitOpenError) as excinfo:
+                    service.submit({"experiment_id": "svc-crash"})
+                assert excinfo.value.retry_after > 0
+                # Other families are unaffected.
+                ok = service.submit({"experiment_id": "svc-ok"})
+                assert (await ok.wait()).status == "ok"
+            finally:
+                await service.close()
+
+        run_async(scenario())
+
+    def test_half_open_probe_recovers_the_family(self, chaos_registry,
+                                                 service_cache):
+        async def scenario():
+            config = ServiceConfig(slots=1, retries=0,
+                                   breaker_threshold=1,
+                                   breaker_cooldown=0.2,
+                                   use_result_cache=False)
+            service = await _started(config)
+            try:
+                first = service.submit(
+                    {"experiment_id": "svc-crash-once"})
+                assert (await first.wait()).status == "failed"
+                with pytest.raises(CircuitOpenError):
+                    service.submit({"experiment_id": "svc-crash-once"})
+                await asyncio.sleep(0.3)
+                # The cooldown elapsed: this request is the probe, and
+                # the marker file makes the retry-side succeed.
+                probe = service.submit(
+                    {"experiment_id": "svc-crash-once"})
+                assert (await probe.wait()).status == "ok"
+                again = service.submit(
+                    {"experiment_id": "svc-crash-once"})
+                assert (await again.wait()).status in ("ok", "cached")
+            finally:
+                await service.close()
+
+        run_async(scenario())
+
+    def test_ordinary_failures_do_not_trip_the_breaker(
+            self, chaos_registry, service_cache):
+        async def scenario():
+            config = ServiceConfig(slots=1, retries=0,
+                                   breaker_threshold=1,
+                                   use_result_cache=False)
+            service = await _started(config)
+            try:
+                for _ in range(3):
+                    job = service.submit({"experiment_id": "svc-bad"})
+                    assert (await job.wait()).status == "failed"
+                # svc-bad raises inside the experiment — request-scoped,
+                # not infrastructure — so the family stays closed.
+                assert service.status()["breakers"]["svc-bad"][
+                    "state"] == "closed"
+            finally:
+                await service.close()
+
+        run_async(scenario())
+
+
+class TestResultCacheIntegration:
+    def test_results_persist_across_service_instances(
+            self, chaos_registry, service_cache):
+        async def scenario():
+            first = await _started(ServiceConfig(slots=1))
+            try:
+                job = first.submit({"experiment_id": "svc-ok"})
+                assert (await job.wait()).status == "ok"
+            finally:
+                await first.close()
+            second = await _started(ServiceConfig(slots=1))
+            try:
+                repeat = second.submit({"experiment_id": "svc-ok"})
+                record = await repeat.wait()
+                assert record.status == "cached"
+                assert record.result.text == "ran svc-ok @ 1"
+            finally:
+                await second.close()
+
+        run_async(scenario())
+
+        from tests.service.conftest import executions
+        assert executions(chaos_registry / "executions") == 1
