@@ -34,6 +34,7 @@ from repro.chips.profiles import (_PATTERN_BER, _SIGMA_HC_COUPLING,
 from repro.dram.cell_model import (DEFAULT_MU_STRONG, DEFAULT_SIGMA_STRONG,
                                    DEFAULT_SIGMA_WEAK,
                                    order_stats_from_draws)
+from repro.dram.cells import cells_chunk_elems
 from repro.dram.seeding import (fold_seed_states, normals_from_states,
                                 seed_array_mixed, uniforms_from_seeds,
                                 uniforms_from_states)
@@ -447,9 +448,31 @@ def population_batch(chip: ChipProfile, channels, pseudo_channels, banks,
 
 #: Memo of pattern-independent combo bases (see :class:`_PopulationBase`)
 #: — a WCDP sweep builds one batch per data pattern over the same
-#: coordinates, and the base is the expensive half.  Bounded FIFO.
+#: coordinates, and the base is the expensive half.  Bounded FIFO, both
+#: by entry count and by total retained *elements* (a fixed multiple of
+#: the ``HBMSIM_CELLS_CHUNK`` working-set bound): chunk-streamed sweeps
+#: insert bank-sized bases that all fit, while an oversized direct batch
+#: passes through without pinning whole-device arrays in the memo.
 _COMBO_BASE_CACHE: "OrderedDict[tuple, _PopulationBase]" = OrderedDict()
 _COMBO_BASE_CACHE_LIMIT = 6
+#: Element budget as a multiple of the chunk bound: enough for every
+#: chunk of one WCDP round trip to stay warm across its four patterns.
+_COMBO_BASE_CACHE_CHUNKS = 8
+
+
+def _base_elems(base: _PopulationBase) -> int:
+    """Retained per-element array length of one cached base."""
+    return int(np.size(base.pos_ber))
+
+
+def _trim_base_cache() -> None:
+    """Evict oldest bases beyond the entry and element budgets."""
+    budget = _COMBO_BASE_CACHE_CHUNKS * cells_chunk_elems()
+    while len(_COMBO_BASE_CACHE) > _COMBO_BASE_CACHE_LIMIT or (
+            len(_COMBO_BASE_CACHE) > 1
+            and sum(_base_elems(base)
+                    for base in _COMBO_BASE_CACHE.values()) > budget):
+        _COMBO_BASE_CACHE.popitem(last=False)
 
 
 def population_combos(chip: ChipProfile, combo_channels, combo_pseudo_channels,
@@ -484,8 +507,7 @@ def population_combos(chip: ChipProfile, combo_channels, combo_pseudo_channels,
                                tiled_rows, scalar_faithful=False,
                                chains=chains)
         _COMBO_BASE_CACHE[key] = base
-        while len(_COMBO_BASE_CACHE) > _COMBO_BASE_CACHE_LIMIT:
-            _COMBO_BASE_CACHE.popitem(last=False)
+        _trim_base_cache()
     else:
         _COMBO_BASE_CACHE.move_to_end(key)
     arrays = _population_arrays(chip, channels, pseudo_channels, banks,

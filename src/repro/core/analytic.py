@@ -25,6 +25,8 @@ from repro.chips.vectorized import (PopulationBatch, PopulationGrid,
                                     population_grid)
 from repro.core import metrics
 from repro.core.patterns import ALL_PATTERNS
+from repro.dram.cells import (allocate_cells, cells_chunk_elems,
+                              chunk_combo_blocks)
 from repro.dram.geometry import RowAddress
 
 #: One (channel, pseudo_channel, bank) coordinate of a study sweep.
@@ -140,9 +142,24 @@ def wcdp_ber(chip: ChipProfile, channel: int, pseudo_channel: int,
 #: BER over the *same* combos x rows cross-product, one batch per
 #: pattern; caching the immutable batches halves the kernel work of a
 #: combined study.  Bounded FIFO — a handful of (combos, rows, pattern)
-#: keys covers every repeated lookup within one experiment.
+#: keys covers every repeated lookup within one experiment — and, like
+#: the base cache in :mod:`repro.chips.vectorized`, bounded in total
+#: retained *elements* by a multiple of the ``HBMSIM_CELLS_CHUNK``
+#: working-set target, so chunk-streamed sweeps never pin whole-device
+#: populations in the memo.
 _COMBO_CACHE: "OrderedDict[tuple, PopulationBatch]" = OrderedDict()
 _COMBO_CACHE_LIMIT = 12
+_COMBO_CACHE_CHUNKS = 16
+
+
+def _trim_combo_cache() -> None:
+    """Evict oldest batches beyond the entry and element budgets."""
+    budget = _COMBO_CACHE_CHUNKS * cells_chunk_elems()
+    while len(_COMBO_CACHE) > _COMBO_CACHE_LIMIT or (
+            len(_COMBO_CACHE) > 1
+            and sum(len(batch) for batch in _COMBO_CACHE.values())
+            > budget):
+        _COMBO_CACHE.popitem(last=False)
 
 
 def combo_population(chip: ChipProfile, combos: Sequence[Combo],
@@ -170,9 +187,39 @@ def combo_population(chip: ChipProfile, combos: Sequence[Combo],
         [bank for __, __, bank in combos],
         rows, pattern)
     _COMBO_CACHE[key] = batch
-    while len(_COMBO_CACHE) > _COMBO_CACHE_LIMIT:
-        _COMBO_CACHE.popitem(last=False)
+    _trim_combo_cache()
     return batch
+
+
+def _combo_chunks(n_combos: int, rows_size: int) -> List[Tuple[int, int]]:
+    """Whole-combo chunk ranges under the working-set bound."""
+    return chunk_combo_blocks(n_combos, max(1, rows_size),
+                              cells_chunk_elems())
+
+
+def combo_ber_matrix(chip: ChipProfile, combos: Sequence[Combo],
+                     rows: np.ndarray, pattern: str,
+                     effective_hammers: float) -> np.ndarray:
+    """Closed-form BER over ``combos`` x ``rows`` as a ``(C, R)`` matrix.
+
+    The single-pattern analogue of :func:`wcdp_ber_multi`'s probability
+    assembly (the Fig. 9 bank sweep's shape): chunk-streamed under the
+    ``HBMSIM_CELLS_CHUNK`` working-set bound, bit-identical to one
+    all-at-once :func:`combo_population` evaluation at any chunk size.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    shape = (len(combos), rows.size)
+    chunks = _combo_chunks(len(combos), rows.size)
+    if len(chunks) <= 1:
+        batch = combo_population(chip, combos, rows, pattern)
+        return batch.ber(effective_hammers).reshape(shape)
+    matrix = allocate_cells(shape, float)
+    for start, stop in chunks:
+        batch = combo_population(chip, list(combos[start:stop]), rows,
+                                 pattern)
+        matrix[start:stop] = batch.ber(effective_hammers).reshape(
+            stop - start, rows.size)
+    return matrix
 
 
 def wcdp_hc_first_multi(chip: ChipProfile, combos: Sequence[Combo],
@@ -184,16 +231,47 @@ def wcdp_hc_first_multi(chip: ChipProfile, combos: Sequence[Combo],
     Returns pattern name (plus ``"WCDP"``) -> ``(len(combos),
     len(rows))`` arrays; row ``c`` equals ``wcdp_hc_first(chip,
     *combos[c], rows, t_on)`` bit-for-bit.
+
+    Populations above the ``HBMSIM_CELLS_CHUNK`` working-set bound are
+    evaluated in whole-combo chunks — every kernel is elementwise with
+    per-combo seed-chain prefixes, so a chunk is the same bits as the
+    matching slice of an all-at-once batch (asserted in
+    ``tests/core/test_chunked_population.py``); only the assembled
+    output arrays (placed by :func:`repro.dram.cells.allocate_cells`,
+    optionally memory-mapped) span the full population.
     """
     rows = np.asarray(rows)
     amp = amplification(chip, t_on)
     shape = (len(combos), rows.size)
-    per_pattern = {}
-    for pattern in ALL_PATTERNS:
-        batch = combo_population(chip, combos, rows, pattern.name)
-        per_pattern[pattern.name] = batch.hc_first(amp).reshape(shape)
-    stacked = np.stack(list(per_pattern.values()))
-    per_pattern["WCDP"] = stacked.min(axis=0)
+    chunks = _combo_chunks(len(combos), rows.size)
+    if len(chunks) <= 1:
+        # One chunk: the historical all-at-once path, byte-for-byte.
+        per_pattern = {}
+        for pattern in ALL_PATTERNS:
+            batch = combo_population(chip, combos, rows, pattern.name)
+            per_pattern[pattern.name] = batch.hc_first(amp).reshape(shape)
+        stacked = np.stack(list(per_pattern.values()))
+        per_pattern["WCDP"] = stacked.min(axis=0)
+        return per_pattern
+    per_pattern = {pattern.name: allocate_cells(shape, float)
+                   for pattern in ALL_PATTERNS}
+    wcdp = allocate_cells(shape, float)
+    for start, stop in chunks:
+        chunk_combos = list(combos[start:stop])
+        running: Optional[np.ndarray] = None
+        for pattern in ALL_PATTERNS:
+            batch = combo_population(chip, chunk_combos, rows,
+                                     pattern.name)
+            hc = batch.hc_first(amp).reshape(stop - start, rows.size)
+            per_pattern[pattern.name][start:stop] = hc
+            if running is None:
+                running = hc
+            else:
+                # Pairwise minimum equals the stacked min reduction
+                # exactly (float min is associative and lossless).
+                running = np.minimum(running, hc)
+        wcdp[start:stop] = running
+    per_pattern["WCDP"] = wcdp
     return per_pattern
 
 
@@ -215,16 +293,47 @@ def wcdp_ber_multi(chip: ChipProfile, combos: Sequence[Combo],
     """
     rows = np.asarray(rows)
     shape = (len(combos), rows.size)
-    hc = wcdp_hc_first_multi(chip, combos, rows, t_on)
     eff = effective_hammers(chip, hammer_count, t_on)
     names = [pattern.name for pattern in ALL_PATTERNS]
-    probabilities = {}
-    seeds = {}
-    for name in names:
-        batch = combo_population(chip, combos, rows, name)
-        probabilities[name] = batch.ber(eff).reshape(shape)
-        seeds[name] = batch.profile_seeds.reshape(shape)
-    bers = {}
+    chunks = _combo_chunks(len(combos), rows.size)
+    if len(chunks) <= 1:
+        # One chunk: the historical all-at-once path, byte-for-byte.
+        hc = wcdp_hc_first_multi(chip, combos, rows, t_on)
+        probabilities = {}
+        seeds = {}
+        for name in names:
+            batch = combo_population(chip, combos, rows, name)
+            probabilities[name] = batch.ber(eff).reshape(shape)
+            seeds[name] = batch.profile_seeds.reshape(shape)
+        first_seeds = {name: seeds[name][:, 0] for name in names}
+        hc_matrix = np.stack([hc[name] for name in names])
+        wcdp_index = np.argmin(hc_matrix, axis=0)
+    else:
+        # Streamed: per chunk, evaluate HC_first (for the WCDP argmin)
+        # and the closed-form probabilities; only the assembled outputs
+        # span the full population.  The binomial sampling below still
+        # consumes ``rng`` combo-major / pattern-minor over the fully
+        # assembled arrays — the exact scalar draw order.
+        amp = amplification(chip, t_on)
+        probabilities = {name: allocate_cells(shape, float)
+                         for name in names}
+        first_seeds = {name: np.empty(len(combos), dtype=np.uint64)
+                       for name in names}
+        wcdp_index = np.empty(shape, dtype=np.int64)
+        for start, stop in chunks:
+            chunk_combos = list(combos[start:stop])
+            cshape = (stop - start, rows.size)
+            hc_chunk = []
+            for name in names:
+                batch = combo_population(chip, chunk_combos, rows, name)
+                hc_chunk.append(batch.hc_first(amp).reshape(cshape))
+                probabilities[name][start:stop] = \
+                    batch.ber(eff).reshape(cshape)
+                first_seeds[name][start:stop] = \
+                    batch.profile_seeds.reshape(cshape)[:, 0]
+            wcdp_index[start:stop] = np.argmin(np.stack(hc_chunk),
+                                               axis=0)
+    bers: Dict[str, np.ndarray] = {}
     if not sampled:
         bers.update(probabilities)
     else:
@@ -235,15 +344,18 @@ def wcdp_ber_multi(chip: ChipProfile, combos: Sequence[Combo],
                 # generator seeded from the grid's first profile seed.
                 generator = rng if rng is not None else \
                     np.random.default_rng(
-                        int(seeds[name][index, 0]) & 0x7FFFFFFF)
+                        int(first_seeds[name][index]) & 0x7FFFFFFF)
                 sampled_values[name][index] = generator.binomial(
                     8192, probabilities[name][index]) / 8192.0
         bers.update(sampled_values)
-    hc_matrix = np.stack([hc[name] for name in names])
-    ber_matrix = np.stack([bers[name] for name in names])
-    wcdp_index = np.argmin(hc_matrix, axis=0)
-    combo_index, row_index = np.indices(shape)
-    bers["WCDP"] = ber_matrix[wcdp_index, combo_index, row_index]
+    # Gather the WCDP pattern's BER per element without stacking the
+    # full (patterns, combos, rows) cube: selection by argmin index is
+    # the same values as the fancy-indexed stack, element for element.
+    wcdp = np.empty(shape)
+    for position, name in enumerate(names):
+        mask = wcdp_index == position
+        wcdp[mask] = bers[name][mask]
+    bers["WCDP"] = wcdp
     return bers
 
 

@@ -28,6 +28,27 @@ from repro.dram.batch import batch_enabled
 PATTERN_COLUMNS = tuple(p.name for p in ALL_PATTERNS) + ("WCDP",)
 
 
+def spatial_units(channels: int,
+                  pseudo_channels: Sequence[int]) -> List[Tuple[int, int]]:
+    """The (channel, pseudo channel) sweep units, in combo-major order.
+
+    The HC_first studies cross these units with their bank tuple to get
+    the combo list (channel-major, pseudo-channel-mid, bank-minor), so
+    a *contiguous range of units* is a contiguous block of combos — the
+    property the shard-parallel experiment path relies on to merge
+    per-shard arrays by plain concatenation.
+    """
+    return [(channel, pc) for channel in range(channels)
+            for pc in pseudo_channels]
+
+
+def unit_combos(units: Sequence[Tuple[int, int]],
+                banks: Sequence[int]) -> List[Tuple[int, int, int]]:
+    """Cross sweep units with the bank tuple (bank-minor combo order)."""
+    return [(channel, pc, bank) for channel, pc in units
+            for bank in banks]
+
+
 @dataclass(frozen=True)
 class DistributionSummary:
     """Summary statistics of a BER or HC_first distribution."""
@@ -133,37 +154,55 @@ class ChipHcFirstStudy:
         return max(minima) - min(minima)
 
 
+def hcfirst_flat(chip: ChipProfile, rows_per_bank: int,
+                 banks: Tuple[int, ...],
+                 pseudo_channels: Tuple[int, ...],
+                 unit_range: Optional[Tuple[int, int]] = None
+                 ) -> Dict[str, np.ndarray]:
+    """Per-pattern HC_first over a (channel, pseudo channel) unit range.
+
+    Returns pattern name (plus ``"WCDP"``) -> one flat combo-major
+    array of ``len(combos) * rows`` values, where the combos cross the
+    selected units (all of them when ``unit_range`` is ``None``) with
+    ``banks``.  The flat layout is the contract of the shard-parallel
+    experiment path: concatenating the flats of consecutive unit ranges
+    reproduces the whole-sweep flat bit-for-bit, on either engine.
+    """
+    rows = analytic.stratified_rows(chip.geometry.rows, rows_per_bank)
+    units = spatial_units(chip.geometry.channels, pseudo_channels)
+    if unit_range is not None:
+        start, stop = unit_range
+        if not 0 <= start < stop <= len(units):
+            raise ValueError(
+                f"unit range {unit_range} outside [0, {len(units)})")
+        units = units[start:stop]
+    combos = unit_combos(units, banks)
+    if batch_enabled():
+        hc = analytic.wcdp_hc_first_multi(chip, combos, rows)
+        return {name: np.asarray(hc[name]).reshape(-1)
+                for name in PATTERN_COLUMNS}
+    collected: Dict[str, List[np.ndarray]] = {
+        name: [] for name in PATTERN_COLUMNS}
+    for channel, pc, bank in combos:
+        hc = analytic.wcdp_hc_first(chip, channel, pc, bank, rows)
+        for name in PATTERN_COLUMNS:
+            collected[name].append(hc[name])
+    return {name: np.concatenate(values)
+            for name, values in collected.items()}
+
+
 def chip_hcfirst_study(chips: Sequence[ChipProfile],
                        rows_per_bank: int = 3072,
                        banks: Tuple[int, ...] = (0, 5, 11),
                        pseudo_channels: Tuple[int, ...] = (0, 1)
                        ) -> ChipHcFirstStudy:
     """Run the Fig. 5 study (Table 2: 3072 rows x 3 banks x 2 PCs x 8 ch)."""
-    use_batch = batch_enabled()
     summaries: Dict[str, Dict[str, DistributionSummary]] = {}
     for chip in chips:
-        rows = analytic.stratified_rows(chip.geometry.rows, rows_per_bank)
-        collected: Dict[str, List[np.ndarray]] = {
-            name: [] for name in PATTERN_COLUMNS}
-        if use_batch:
-            combos = [(channel, pc, bank)
-                      for channel in range(chip.geometry.channels)
-                      for pc in pseudo_channels
-                      for bank in banks]
-            hc = analytic.wcdp_hc_first_multi(chip, combos, rows)
-            for name in PATTERN_COLUMNS:
-                collected[name].extend(hc[name])
-        else:
-            for channel in range(chip.geometry.channels):
-                for pc in pseudo_channels:
-                    for bank in banks:
-                        hc = analytic.wcdp_hc_first(chip, channel, pc,
-                                                    bank, rows)
-                        for name in PATTERN_COLUMNS:
-                            collected[name].append(hc[name])
+        flat = hcfirst_flat(chip, rows_per_bank, banks, pseudo_channels)
         summaries[chip.label] = {
-            name: DistributionSummary.of(np.concatenate(values))
-            for name, values in collected.items()}
+            name: DistributionSummary.of(flat[name])
+            for name in PATTERN_COLUMNS}
     return ChipHcFirstStudy(summaries)
 
 
@@ -224,42 +263,54 @@ def channel_ber_study(chip: ChipProfile, rows_per_channel: int = 16384,
     return ChannelStudy(chip.label, "ber", summaries)
 
 
+def channel_summaries_from_flat(flat: Dict[str, np.ndarray],
+                                rows_size: int,
+                                banks: Tuple[int, ...],
+                                pseudo_channels: Tuple[int, ...],
+                                unit_range: Optional[Tuple[int, int]]
+                                = None, channels: int = 8
+                                ) -> Dict[str, Dict[
+                                    int, DistributionSummary]]:
+    """Per-channel distribution summaries from a combo-major flat.
+
+    Units are channel-major, so each channel's measurements occupy one
+    contiguous run of the flat; grouping by the unit list handles
+    partial unit ranges (shard slices that split a channel's pseudo
+    channels) with the same arithmetic as the full sweep — for the full
+    range this reproduces the historical per-channel slab reshape,
+    value for value.
+    """
+    units = spatial_units(channels, pseudo_channels)
+    if unit_range is not None:
+        units = units[unit_range[0]:unit_range[1]]
+    block = len(banks) * rows_size
+    summaries: Dict[str, Dict[int, DistributionSummary]] = {
+        name: {} for name in PATTERN_COLUMNS}
+    for name in PATTERN_COLUMNS:
+        values = flat[name]
+        cursor = 0
+        spans: Dict[int, List[np.ndarray]] = {}
+        for channel, __ in units:
+            spans.setdefault(channel, []).append(
+                values[cursor:cursor + block])
+            cursor += block
+        for channel, pieces in spans.items():
+            merged = pieces[0] if len(pieces) == 1 \
+                else np.concatenate(pieces)
+            summaries[name][channel] = DistributionSummary.of(merged)
+    return summaries
+
+
 def channel_hcfirst_study(chip: ChipProfile, rows_per_bank: int = 3072,
                           banks: Tuple[int, ...] = (0, 5, 11),
                           pseudo_channels: Tuple[int, ...] = (0, 1)
                           ) -> ChannelStudy:
     """Run the Fig. 7 study for one chip."""
     rows = analytic.stratified_rows(chip.geometry.rows, rows_per_bank)
-    summaries: Dict[str, Dict[int, DistributionSummary]] = {
-        name: {} for name in PATTERN_COLUMNS}
-    if batch_enabled():
-        per_channel = len(pseudo_channels) * len(banks)
-        combos = [(channel, pc, bank)
-                  for channel in range(chip.geometry.channels)
-                  for pc in pseudo_channels
-                  for bank in banks]
-        hc = analytic.wcdp_hc_first_multi(chip, combos, rows)
-        for name in PATTERN_COLUMNS:
-            # Combos are channel-major, so each channel's measurements
-            # are one contiguous (per_channel * rows) slab — the same
-            # values the scalar loop concatenates.
-            slabs = hc[name].reshape(chip.geometry.channels,
-                                     per_channel * rows.size)
-            for channel in range(chip.geometry.channels):
-                summaries[name][channel] = DistributionSummary.of(
-                    slabs[channel])
-        return ChannelStudy(chip.label, "hc_first", summaries)
-    for channel in range(chip.geometry.channels):
-        collected: Dict[str, List[np.ndarray]] = {
-            name: [] for name in PATTERN_COLUMNS}
-        for pc in pseudo_channels:
-            for bank in banks:
-                hc = analytic.wcdp_hc_first(chip, channel, pc, bank, rows)
-                for name in PATTERN_COLUMNS:
-                    collected[name].append(hc[name])
-        for name in PATTERN_COLUMNS:
-            summaries[name][channel] = DistributionSummary.of(
-                np.concatenate(collected[name]))
+    flat = hcfirst_flat(chip, rows_per_bank, banks, pseudo_channels)
+    summaries = channel_summaries_from_flat(
+        flat, rows.size, banks, pseudo_channels,
+        channels=chip.geometry.channels)
     return ChannelStudy(chip.label, "hc_first", summaries)
 
 
@@ -390,8 +441,10 @@ def bank_variation_study(chip: ChipProfile, rows_per_segment: int = 100,
     eff = analytic.effective_hammers(chip, hammer_count)
     combos = list(geometry.iter_banks())
     if batch_enabled():
-        batch = analytic.combo_population(chip, combos, rows, pattern)
-        probabilities = batch.ber(eff).reshape(len(combos), rows.size)
+        # Chunk-streamed: the 256-bank cross is the largest single
+        # population of the suite and must not materialize whole-device.
+        probabilities = analytic.combo_ber_matrix(chip, combos, rows,
+                                                  pattern, eff)
     else:
         probabilities = None
     for index, (channel, pc, bank) in enumerate(combos):

@@ -58,6 +58,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.dram.cells import allocate_cells, cells_chunk_elems
 from repro.dram.device import ROW_IO_NS, HBM2Stack, classify_victim_pattern
 from repro.dram.geometry import RowAddress
 from repro.dram.timing import TimingParameters
@@ -180,7 +181,10 @@ class RowBatchProfile:
         model = device.disturbance
         provider = device.profile_provider
 
-        self.thresholds = np.empty((n, geometry.row_bits), dtype=float)
+        # The threshold matrix is the batch's dominant allocation (one
+        # float per cell); place it under the spill policy so full-
+        # geometry batches can live in a memory-mapped working set.
+        self.thresholds = allocate_cells((n, geometry.row_bits), float)
         self.min_thresholds = np.empty(n, dtype=float)
         self.retention_floors = np.full(n, np.inf)
         self.init_units = np.zeros(n, dtype=float)
@@ -294,7 +298,20 @@ class RowBatchProfile:
         high = self.high_disturbs[indices]
         acc[high] += per_side[high]
 
-        committed = self.thresholds[indices] <= acc[:, None]
+        # Compare thresholds in row chunks sized to the cell working-set
+        # bound: the fancy-indexed gather ``self.thresholds[indices]``
+        # would materialize a float copy of the whole selection at once,
+        # which is exactly the per-batch peak the chunk policy caps.
+        # Elementwise comparison per chunk is bit-identical.
+        committed = np.empty((indices.size, self.thresholds.shape[1]),
+                             dtype=bool)
+        chunk_rows = max(1,
+                         cells_chunk_elems() // self.thresholds.shape[1])
+        for start in range(0, indices.size, chunk_rows):
+            stop = min(start + chunk_rows, indices.size)
+            committed[start:stop] = (
+                self.thresholds[indices[start:stop]]
+                <= acc[start:stop, None])
         # min-threshold fast path parity: acc below the row's weakest
         # cell yields an empty mask by construction (the bound is exact).
 

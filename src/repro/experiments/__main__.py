@@ -66,6 +66,11 @@ def main(argv=None) -> int:
     parser.add_argument("--resume", action="store_true",
                         help="with --run-dir: skip invocations whose "
                              "results were already checkpointed")
+    parser.add_argument("--shard", default=None, metavar="I/N",
+                        help="run only shard I of N (0-based) of each "
+                             "shardable experiment's sweep; partial "
+                             "results merge byte-identically when all "
+                             "N shards are concatenated")
     parser.add_argument("--bench", nargs="?", const=bench.DEFAULT_BENCH_PATH,
                         default=None, metavar="PATH",
                         help="append per-experiment wall times to PATH "
@@ -79,9 +84,22 @@ def main(argv=None) -> int:
                              "per-experiment median (the run entry "
                              "carries 'repeats'; default 3, use 1 to "
                              "skip re-runs)")
+    parser.add_argument("--bench-compare", nargs=2, default=None,
+                        metavar=("A", "B"),
+                        help="compare the last runs of two bench files "
+                             "(A = baseline, B = candidate) and print "
+                             "per-experiment speedup/regression; no "
+                             "experiments are run")
     parser.add_argument("--list", action="store_true",
                         help="list experiment ids and exit")
     args = parser.parse_args(argv)
+    if args.bench_compare is not None:
+        try:
+            print(bench.compare_runs(*args.bench_compare))
+        except HbmSimError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
     if args.list:
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
@@ -97,7 +115,7 @@ def main(argv=None) -> int:
             ids, scale, jobs=args.jobs, timeout=args.timeout,
             retries=args.retries, retry_delay=args.retry_delay,
             keep_going=args.keep_going, run_dir=args.run_dir,
-            resume=args.resume)
+            resume=args.resume, shard=args.shard)
     except UnknownExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -147,7 +165,8 @@ def main(argv=None) -> int:
                     __, extra = run_timed(
                         repeat_ids, scale, jobs=args.jobs,
                         timeout=args.timeout, retries=args.retries,
-                        retry_delay=args.retry_delay, keep_going=True)
+                        retry_delay=args.retry_delay, keep_going=True,
+                        shard=args.shard)
                 except HbmSimError as exc:
                     print(f"bench: repeat sweep failed ({exc}); "
                           f"recording {len(samples)} sample(s)",

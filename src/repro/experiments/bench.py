@@ -48,9 +48,14 @@ timing, so chaos-mode speedup measurements never pollute fault-free
 baselines (the perf gate matches on it) — and the ``compile`` phase:
 time the program compiler (:mod:`repro.bender.compile`) spent lowering
 test programs to epoch segments, recorded alongside ``calibrate`` /
-``execute`` / ``report``.  Schema 1 entries (``experiments`` mapping
-id -> plain seconds, no ``batch``/``wall_seconds``) and schema 2/3
-entries remain valid history; readers should accept all shapes (see
+``execute`` / ``report``.  Schema 5 adds ``geometry`` — the simulated
+device shape as ``"channels x pseudo-channels x banks x rows"`` (e.g.
+``"8x2x16x16384"``, the paper's Table 1 HBM2 geometry) — so scale-1.0
+full-geometry runs are distinguishable from reduced-geometry history at
+a glance and the perf gate can match on it.  Schema 1 entries
+(``experiments`` mapping id -> plain seconds, no
+``batch``/``wall_seconds``) and schema 2/3/4 entries remain valid
+history; readers should accept all shapes (see
 :func:`experiment_seconds`, :func:`phase_seconds`, and
 :func:`repro.experiments.perf_gate.find_run`, which treat the new
 keys as optional).
@@ -73,7 +78,7 @@ from repro.chips import cache as calibration_cache
 DEFAULT_BENCH_PATH = "BENCH_experiments.json"
 
 _ENV_PATH = "HBMSIM_BENCH_PATH"
-_SCHEMA = 4
+_SCHEMA = 5
 
 #: How long a concurrent writer waits for the lock before giving up.
 _LOCK_TIMEOUT_S = 10.0
@@ -255,6 +260,19 @@ def _as_entries(timings_or_records) -> Dict[str, dict]:
     return entries
 
 
+def geometry_label() -> str:
+    """The simulated device shape, ``"ch x pc x banks x rows"``.
+
+    ``"8x2x16x16384"`` is the paper's Table 1 HBM2 geometry; the bench
+    record carries it so full-geometry runs never silently compare
+    against reduced-geometry history.
+    """
+    from repro.dram.geometry import DEFAULT_GEOMETRY
+    geometry = DEFAULT_GEOMETRY
+    return (f"{geometry.channels}x{geometry.pseudo_channels}"
+            f"x{geometry.banks}x{geometry.rows}")
+
+
 def peak_rss_mb() -> Optional[float]:
     """This process's peak resident set size in MiB, if measurable.
 
@@ -298,6 +316,85 @@ def median_entries(samples: Iterable) -> Dict[str, dict]:
                    key=lambda entry: entry["seconds"])[
                        (len(collected) - 1) // 2]
         for experiment_id, collected in merged.items()}
+
+
+def _describe_run(run: dict) -> str:
+    """One-line parameter summary of a bench run record."""
+    parts = [f"scale {run.get('scale')}", f"jobs {run.get('jobs')}",
+             f"cache {run.get('cache')}"]
+    if "batch" in run:
+        parts.append(f"batch {'on' if run.get('batch') else 'off'}")
+    if run.get("geometry"):
+        parts.append(f"geometry {run['geometry']}")
+    if run.get("timestamp"):
+        parts.append(str(run["timestamp"]))
+    return ", ".join(parts)
+
+
+def compare_runs(path_a: Union[str, Path],
+                 path_b: Union[str, Path]) -> str:
+    """Per-experiment speedup/regression between two recorded runs.
+
+    Compares the *last* run of bench file ``path_a`` (the baseline)
+    against the last run of ``path_b`` (the candidate) and renders a
+    plain-text table: per-experiment seconds, the candidate's speedup
+    over the baseline (``A/B`` — above 1.0 is faster), and a regression
+    marker when the candidate is slower by more than 5%.  Raises
+    :class:`~repro.errors.HbmSimError` when either file holds no runs,
+    and flags mismatched run parameters (scale/jobs/cache/batch/
+    geometry) instead of silently comparing apples to oranges.
+    """
+    from repro.errors import HbmSimError
+
+    runs = {}
+    for label, path in (("A", path_a), ("B", path_b)):
+        loaded = _load(bench_path(str(path)))["runs"]
+        if not loaded:
+            raise HbmSimError(f"no bench runs recorded in {path}")
+        runs[label] = loaded[-1]
+    a, b = runs["A"], runs["B"]
+    lines = [f"A (baseline):  {path_a} — {_describe_run(a)}",
+             f"B (candidate): {path_b} — {_describe_run(b)}"]
+    mismatched = [key for key in ("scale", "jobs", "cache", "batch",
+                                  "geometry")
+                  if key in a and key in b and a[key] != b[key]]
+    if mismatched:
+        lines.append(
+            f"note: run parameters differ ({', '.join(mismatched)}) — "
+            "the comparison mixes configurations")
+    lines.append("")
+    header = (f"{'experiment':<16} {'A (s)':>10} {'B (s)':>10} "
+              f"{'speedup':>8}")
+    lines.extend([header, "-" * len(header)])
+    entries_a = a.get("experiments", {})
+    entries_b = b.get("experiments", {})
+    for experiment_id in sorted(set(entries_a) | set(entries_b)):
+        seconds_a = (experiment_seconds(entries_a[experiment_id])
+                     if experiment_id in entries_a else None)
+        seconds_b = (experiment_seconds(entries_b[experiment_id])
+                     if experiment_id in entries_b else None)
+        if seconds_a is None or seconds_b is None:
+            present = "A" if seconds_a is not None else "B"
+            lines.append(f"{experiment_id:<16} "
+                         f"{'only in ' + present:>30}")
+            continue
+        if seconds_b > 0:
+            ratio = seconds_a / seconds_b
+            marker = "  REGRESSION" if ratio < 1 / 1.05 else ""
+            speed = f"{ratio:7.2f}x{marker}"
+        else:
+            speed = "     n/a"
+        lines.append(f"{experiment_id:<16} {seconds_a:>10.3f} "
+                     f"{seconds_b:>10.3f} {speed}")
+    for key, label in (("total_seconds", "total"),
+                       ("wall_seconds", "wall")):
+        if key in a and key in b:
+            seconds_a, seconds_b = float(a[key]), float(b[key])
+            speed = (f"{seconds_a / seconds_b:7.2f}x"
+                     if seconds_b > 0 else "     n/a")
+            lines.append(f"{label:<16} {seconds_a:>10.3f} "
+                         f"{seconds_b:>10.3f} {speed}")
+    return "\n".join(lines)
 
 
 def record_run(timings: Union[Dict[str, float], Iterable],
@@ -354,6 +451,7 @@ def _append_run(target: Path, entries: Dict[str, dict], scale: float,
         "cache": cache if cache is not None else cache_state(),
         "batch": bool(batch),
         "faults": bool(faults),
+        "geometry": geometry_label(),
         "repeats": max(1, int(repeats)),
         "experiments": {
             experiment_id: {

@@ -6,14 +6,28 @@ Paper headlines (Observations 4-6, Takeaway 2):
 - per-chip minimum HC_first: 18087, 16611, 15500, 17164, 15500, 14531,
 - minimum HC_first differs by up to 3556 across chips,
 - mean HC_first of Chip 5 is 10.59% above Chip 2 for Rowstripe0.
+
+The sweep is shardable: :func:`run_shard` measures one contiguous range
+of (channel, pseudo channel) units and :func:`merge_shards` concatenates
+the per-shard flats back into the full population — byte-identical to
+:func:`run` because the flat layout is combo-major (see
+:func:`repro.core.spatial.hcfirst_flat`).
 """
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
 from repro.analysis.reporting import render_table
 from repro.chips.profiles import all_chips
-from repro.core.spatial import PATTERN_COLUMNS, chip_hcfirst_study
+from repro.core.spatial import (PATTERN_COLUMNS, ChipHcFirstStudy,
+                                DistributionSummary, hcfirst_flat)
+from repro.dram.geometry import DEFAULT_GEOMETRY
+from repro.errors import HbmSimError
 from repro.experiments.base import ExperimentResult, scaled
+from repro.experiments.sharding import ShardSpec
 
 #: Paper Table of per-chip minima (Obsv. 4/5).
 PAPER_MINIMA = {
@@ -21,12 +35,67 @@ PAPER_MINIMA = {
     "Chip 3": 17164, "Chip 4": 15500, "Chip 5": 14531,
 }
 
+#: Table 2 sweep coordinates (shared with Fig. 7).
+SWEEP_BANKS: Tuple[int, ...] = (0, 5, 11)
+SWEEP_PSEUDO_CHANNELS: Tuple[int, ...] = (0, 1)
 
-def run(scale: float = 1.0) -> ExperimentResult:
-    """Run the Fig. 5 study at the requested population scale."""
-    chips = all_chips()
-    study = chip_hcfirst_study(chips,
-                               rows_per_bank=scaled(3072, scale, 64))
+
+def shard_units() -> int:
+    """Number of independently computable (channel, PC) sweep units."""
+    return DEFAULT_GEOMETRY.channels * len(SWEEP_PSEUDO_CHANNELS)
+
+
+def chip_flats(scale: float,
+               unit_range: Optional[Tuple[int, int]] = None
+               ) -> Dict[str, Dict[str, np.ndarray]]:
+    """Chip label -> pattern -> flat HC_first over a unit range."""
+    rows_per_bank = scaled(3072, scale, 64)
+    flats: Dict[str, Dict[str, np.ndarray]] = {}
+    for chip in all_chips():
+        if unit_range is not None and unit_range[0] == unit_range[1]:
+            # A shard beyond the unit count: contributes nothing, and
+            # concatenates away in the merge.
+            flats[chip.label] = {name: np.empty(0)
+                                 for name in PATTERN_COLUMNS}
+        else:
+            flats[chip.label] = hcfirst_flat(
+                chip, rows_per_bank, SWEEP_BANKS, SWEEP_PSEUDO_CHANNELS,
+                unit_range)
+    return flats
+
+
+def merge_flats(partials: Sequence[ExperimentResult]
+                ) -> Dict[str, Dict[str, np.ndarray]]:
+    """Reassemble full flats from per-shard partial results.
+
+    Validates coverage (one partial per shard index of one fan-out) and
+    concatenates in shard order — the combo-major layout makes the
+    result bit-identical to an unsharded sweep.
+    """
+    if not partials:
+        raise HbmSimError("no shard results to merge")
+    parts = sorted(partials, key=lambda r: r.data["shard_index"])
+    count = parts[0].data["shard_count"]
+    indices = [part.data["shard_index"] for part in parts]
+    if any(part.data["shard_count"] != count for part in parts) \
+            or indices != list(range(count)):
+        raise HbmSimError(
+            f"shard results do not cover one {count}-way fan-out: got "
+            f"indices {indices}")
+    return {
+        label: {name: np.concatenate(
+            [part.data["flats"][label][name] for part in parts])
+            for name in PATTERN_COLUMNS}
+        for label in parts[0].data["flats"]}
+
+
+def _render(flats: Dict[str, Dict[str, np.ndarray]],
+            scale: float) -> ExperimentResult:
+    """Build the full Fig. 5 report from per-chip flat measurements."""
+    study = ChipHcFirstStudy({
+        label: {name: DistributionSummary.of(flat[name])
+                for name in PATTERN_COLUMNS}
+        for label, flat in flats.items()})
     rows = []
     data = {}
     for label, by_pattern in study.summaries.items():
@@ -63,3 +132,30 @@ def run(scale: float = 1.0) -> ExperimentResult:
              "chip5_over_chip2_rowstripe0": 1.1059}
     return ExperimentResult("fig05", "HC_first across chips", text, data,
                             paper)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Run the Fig. 5 study at the requested population scale."""
+    return _render(chip_flats(scale), scale)
+
+
+def run_shard(scale: float, shard: ShardSpec) -> ExperimentResult:
+    """Measure one shard's unit range; the result is a partial carrying
+    the flat arrays for :func:`merge_shards` (not a Fig. 5 report)."""
+    units = shard_units()
+    start, stop = shard.slice_of(units)
+    flats = chip_flats(scale, (start, stop))
+    measured = sum(flat["WCDP"].size for flat in flats.values())
+    text = (f"fig05 shard {shard.label}: units [{start}, {stop}) of "
+            f"{units}, {measured} row measurements across "
+            f"{len(flats)} chips")
+    data = {"shard_index": shard.index, "shard_count": shard.count,
+            "unit_range": (start, stop), "flats": flats}
+    return ExperimentResult("fig05", "HC_first across chips (shard)",
+                            text, data)
+
+
+def merge_shards(partials: Sequence[ExperimentResult],
+                 scale: float) -> ExperimentResult:
+    """Assemble the full Fig. 5 report from one complete fan-out."""
+    return _render(merge_flats(partials), scale)

@@ -6,26 +6,47 @@ Paper headlines (Observations 12-13):
   pair holds more small-HC_first rows (matching its higher BER in Fig. 6),
 - the distribution shifts with the data pattern; in Chip 1 CH0 the median
   HC_first is 103905 for Rowstripe0 vs 75990 for Rowstripe1 (1.37x).
+
+The sweep shares Fig. 5's shardable flat layout (the same Table 2
+population): :func:`run_shard` measures a contiguous (channel, pseudo
+channel) unit range and :func:`merge_shards` reassembles the full
+per-channel report byte-identically to :func:`run`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence
+
+import numpy as np
 
 from repro.analysis.reporting import render_table
 from repro.chips.profiles import all_chips
-from repro.core.spatial import channel_hcfirst_study
+from repro.core import analytic
+from repro.core.spatial import ChannelStudy, channel_summaries_from_flat
+from repro.experiments import fig05_hcfirst_chips as _sweep
 from repro.experiments.base import ExperimentResult, scaled
+from repro.experiments.sharding import ShardSpec
+
+#: Same sweep units as Fig. 5 (both run the Table 2 HC_first population).
+shard_units = _sweep.shard_units
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
-    """Run the Fig. 7 study at the requested population scale."""
+def _render(flats: Dict[str, Dict[str, np.ndarray]],
+            scale: float) -> ExperimentResult:
+    """Build the full Fig. 7 report from per-chip flat measurements."""
     chips = all_chips()
     rows_per_bank = scaled(3072, scale, 64)
     rows = []
     data: Dict[str, Dict] = {}
     for chip in chips:
-        study = channel_hcfirst_study(chip, rows_per_bank=rows_per_bank)
+        sample = analytic.stratified_rows(chip.geometry.rows,
+                                          rows_per_bank)
+        study = ChannelStudy(
+            chip.label, "hc_first",
+            channel_summaries_from_flat(
+                flats[chip.label], sample.size, _sweep.SWEEP_BANKS,
+                _sweep.SWEEP_PSEUDO_CHANNELS,
+                channels=chip.geometry.channels))
         per_channel = {}
         for channel in range(chip.geometry.channels):
             summary = study.summaries["WCDP"][channel]
@@ -67,3 +88,29 @@ def run(scale: float = 1.0) -> ExperimentResult:
     }
     return ExperimentResult("fig07", "HC_first across channels", text,
                             data, paper)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Run the Fig. 7 study at the requested population scale."""
+    return _render(_sweep.chip_flats(scale), scale)
+
+
+def run_shard(scale: float, shard: ShardSpec) -> ExperimentResult:
+    """Measure one shard's unit range (partial; see Fig. 5's analogue)."""
+    units = shard_units()
+    start, stop = shard.slice_of(units)
+    flats = _sweep.chip_flats(scale, (start, stop))
+    measured = sum(flat["WCDP"].size for flat in flats.values())
+    text = (f"fig07 shard {shard.label}: units [{start}, {stop}) of "
+            f"{units}, {measured} row measurements across "
+            f"{len(flats)} chips")
+    data = {"shard_index": shard.index, "shard_count": shard.count,
+            "unit_range": (start, stop), "flats": flats}
+    return ExperimentResult("fig07", "HC_first across channels (shard)",
+                            text, data)
+
+
+def merge_shards(partials: Sequence[ExperimentResult],
+                 scale: float) -> ExperimentResult:
+    """Assemble the full Fig. 7 report from one complete fan-out."""
+    return _render(_sweep.merge_flats(partials), scale)

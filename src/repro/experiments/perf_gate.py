@@ -31,6 +31,16 @@ teeth behind the batch engine's TRR support: if the epoch replay ever
 falls back to the scalar path, the speedup collapses and the gate
 trips.
 
+``--rss-factor`` compares the measured run's peak RSS against the
+*baseline* run's recorded peak RSS — a relative ceiling that tracks
+the checked-in history instead of a hand-set constant — and
+``--min-parallel-speedup`` requires the experiment's recorded seconds
+in the measured ``jobs=N`` run (``--parallel-jobs``, default 4) to
+beat the measured ``jobs=1`` run's by that factor — shard fan-out
+records the slowest shard's worker-side compute time, so the ratio
+measures sweep scaling rather than pool spawn overhead: the CI teeth
+behind shard fan-out at full geometry.
+
 Exit status: 0 pass, 1 regression, 2 missing/unreadable data.
 """
 
@@ -135,12 +145,35 @@ def main(argv=None) -> int:
                              "peak RSS exceeds this ceiling (schema-3 "
                              "'peak_rss_mb'; pre-schema-3 runs carry "
                              "none and pass; default 6144)")
+    parser.add_argument("--rss-factor", type=float, default=None,
+                        metavar="X",
+                        help="additionally fail when the measured "
+                             "run's peak RSS exceeds X times the "
+                             "matching baseline run's recorded peak "
+                             "RSS (skipped with a note when either "
+                             "run predates RSS recording)")
     parser.add_argument("--min-batch-speedup", type=float, default=None,
                         metavar="X",
                         help="additionally require the measured "
                              "batched run to be at least X times "
                              "faster than the measured scalar "
                              "(batch off) run of the same experiment")
+    parser.add_argument("--min-parallel-speedup", type=float,
+                        default=None, metavar="X",
+                        help="additionally require the experiment's "
+                             "recorded seconds in the measured "
+                             "jobs=--parallel-jobs run to be at least "
+                             "X times faster than in the measured "
+                             "jobs=1 run (shard fan-out records the "
+                             "slowest shard's compute time, so the "
+                             "ratio measures sweep scaling, not "
+                             "worker spawn overhead; wall-clock is "
+                             "printed as context)")
+    parser.add_argument("--parallel-jobs", type=int, default=4,
+                        metavar="N",
+                        help="jobs count of the parallel run that "
+                             "--min-parallel-speedup compares against "
+                             "jobs=1 (default 4)")
     args = parser.parse_args(argv)
     cache = args.cache or None
     batch = {"any": None, "on": True, "off": False}[args.batch]
@@ -187,6 +220,24 @@ def main(argv=None) -> int:
         if not rss_ok:
             status = 1
 
+    if args.rss_factor is not None:
+        baseline_rss = baseline_run.get("peak_rss_mb")
+        if rss is None or baseline_rss is None:
+            print("perf-gate: --rss-factor skipped (peak_rss_mb "
+                  "missing from "
+                  + ("both runs" if rss is None and baseline_rss is None
+                     else "the measured run" if rss is None
+                     else "the baseline run") + ")")
+        else:
+            rss_limit = args.rss_factor * float(baseline_rss)
+            factor_ok = float(rss) <= rss_limit
+            print(f"perf-gate [{'PASS' if factor_ok else 'FAIL'}] "
+                  f"peak RSS {float(rss):.1f} MiB vs baseline "
+                  f"{float(baseline_rss):.1f} MiB (limit "
+                  f"{args.rss_factor:g}x = {rss_limit:.1f} MiB)")
+            if not factor_ok:
+                status = 1
+
     if args.min_batch_speedup is not None:
         batched, __ = find_run(measured_payload, args.experiment,
                                args.scale, args.jobs, cache, True,
@@ -206,6 +257,32 @@ def main(argv=None) -> int:
               f"(scalar {scalar:.4f}s / batched {batched:.4f}s; "
               f"required >= {args.min_batch_speedup:g}x)")
         if not speedup_ok:
+            status = 1
+
+    if args.min_parallel_speedup is not None:
+        serial_s, serial_run = find_run(measured_payload,
+                                        args.experiment, args.scale, 1,
+                                        cache, batch, faults)
+        para_s, para_run = find_run(measured_payload, args.experiment,
+                                    args.scale, args.parallel_jobs,
+                                    cache, batch, faults)
+        if serial_s is None or para_s is None:
+            print(f"perf-gate: --min-parallel-speedup needs both a "
+                  f"jobs=1 and a jobs={args.parallel_jobs} measured "
+                  f"run for {criteria}", file=sys.stderr)
+            return 2
+        speedup = serial_s / para_s if para_s > 0 else float("inf")
+        parallel_ok = speedup >= args.min_parallel_speedup
+        walls = ""
+        if "wall_seconds" in serial_run and "wall_seconds" in para_run:
+            walls = (f"; wall {float(serial_run['wall_seconds']):.4f}s"
+                     f" -> {float(para_run['wall_seconds']):.4f}s")
+        print(f"perf-gate [{'PASS' if parallel_ok else 'FAIL'}] "
+              f"{args.experiment} parallel speedup {speedup:.2f}x "
+              f"(jobs=1 {serial_s:.4f}s / jobs={args.parallel_jobs} "
+              f"{para_s:.4f}s; required >= "
+              f"{args.min_parallel_speedup:g}x{walls})")
+        if not parallel_ok:
             status = 1
 
     return status

@@ -7,7 +7,7 @@ import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import perf
-from repro.errors import UnknownExperimentError
+from repro.errors import HbmSimError, UnknownExperimentError
 from repro.experiments import (fig03_temperature, fig04_ber_chips,
                                fig05_hcfirst_chips, fig06_ber_channels,
                                fig07_hcfirst_channels, fig08_ber_rows,
@@ -17,6 +17,7 @@ from repro.experiments import (fig03_temperature, fig04_ber_chips,
                                fig15_wordlevel, sec7_trr_reveng, tables)
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import RunRecord, run_resilient
+from repro.experiments.sharding import ShardSpec
 
 #: Experiment id -> runner, in paper order.
 EXPERIMENTS: Dict[str, Callable[[float], ExperimentResult]] = {
@@ -38,6 +39,22 @@ EXPERIMENTS: Dict[str, Callable[[float], ExperimentResult]] = {
     "fig14": fig14_trr_bypass.run,
     "fig15": fig15_wordlevel.run,
 }
+
+
+#: Experiments whose row sweep splits across (channel, pseudo channel)
+#: units: id -> module exposing ``shard_units`` / ``run_shard`` /
+#: ``merge_shards`` (see :mod:`repro.experiments.sharding`).  The pool
+#: runner fans these out across worker slots at ``jobs > 1``.
+SHARDABLE = {
+    "fig05": fig05_hcfirst_chips,
+    "fig07": fig07_hcfirst_channels,
+}
+
+
+def shard_units(experiment_id: str) -> Optional[int]:
+    """Sweep-unit count of a shardable experiment (None otherwise)."""
+    module = SHARDABLE.get(experiment_id)
+    return None if module is None else module.shard_units()
 
 
 #: Extension experiments executing the paper's Section 8 implications
@@ -77,18 +94,32 @@ def validate_ids(experiment_ids: Iterable[str]) -> None:
             raise _unknown(experiment_id)
 
 
-def run_experiment(experiment_id: str,
-                   scale: float = 1.0) -> ExperimentResult:
+def run_experiment(experiment_id: str, scale: float = 1.0,
+                   shard: Optional[str] = None) -> ExperimentResult:
     """Run one experiment (paper artifact or extension) by id.
 
     The result's :attr:`~repro.experiments.base.ExperimentResult.phases`
     breaks its wall time into ``calibrate`` (chip setup, credited by
     ``chips.profiles``), ``report`` (text rendering, credited by
     ``analysis.reporting``), and ``execute`` (the remainder).
+
+    ``shard`` may be an ``"i/n"`` string: the experiment then measures
+    only that slice of its sweep and returns a *partial* result for
+    :func:`merge_shard_results` (requires a :data:`SHARDABLE`
+    experiment).  Any other non-``None`` value is an opaque service
+    cache label and is ignored here (the full experiment runs).
     """
     runner = EXPERIMENTS.get(experiment_id) or EXTENSIONS.get(experiment_id)
     if runner is None:
         raise _unknown(experiment_id)
+    spec = ShardSpec.parse(shard)
+    if spec is not None:
+        module = SHARDABLE.get(experiment_id)
+        if module is None:
+            raise HbmSimError(
+                f"experiment {experiment_id!r} does not support shard "
+                f"execution (shardable: {sorted(SHARDABLE)})")
+        runner = lambda s: module.run_shard(s, spec)  # noqa: E731
     start = time.perf_counter()
     with perf.collect_phases() as phases:
         result = runner(scale)
@@ -96,6 +127,32 @@ def run_experiment(experiment_id: str,
     tracked = sum(phases.values())
     phases["execute"] = max(0.0, total - tracked)
     result.phases = dict(phases)
+    return result
+
+
+def merge_shard_results(experiment_id: str,
+                        partials: Sequence[ExperimentResult],
+                        scale: float) -> ExperimentResult:
+    """Merge one complete shard fan-out into the full experiment result.
+
+    The merged report is byte-identical to an unsharded
+    :func:`run_experiment` (asserted per experiment in
+    ``tests/experiments/test_sharding.py``); its phases are the per-key
+    sums over the partials plus this call's merge time as ``merge``.
+    """
+    module = SHARDABLE.get(experiment_id)
+    if module is None:
+        raise HbmSimError(
+            f"experiment {experiment_id!r} does not support shard "
+            f"execution (shardable: {sorted(SHARDABLE)})")
+    start = time.perf_counter()
+    result = module.merge_shards(partials, scale)
+    phases: Dict[str, float] = {}
+    for partial in partials:
+        for key, value in partial.phases.items():
+            phases[key] = phases.get(key, 0.0) + value
+    phases["merge"] = time.perf_counter() - start
+    result.phases = phases
     return result
 
 

@@ -139,8 +139,8 @@ def backoff_delay(experiment_id: str, attempt: int,
 # ----------------------------------------------------------------------
 
 def _worker_main(conn) -> None:
-    """Worker loop: receive (index, id, scale, attempt, plan_spec),
-    reply outcome.
+    """Worker loop: receive (index, id, scale, attempt, plan_spec,
+    shard), reply outcome.
 
     ``plan_spec`` is the per-invocation fault-plan directive: ``None``
     leaves the worker's installed plan untouched (the batch runner's
@@ -175,7 +175,7 @@ def _worker_main(conn) -> None:
             return
         if task is None:
             return
-        index, experiment_id, scale, attempt, plan_spec = task
+        index, experiment_id, scale, attempt, plan_spec, shard = task
         start = time.perf_counter()
         try:
             if plan_spec is not None:
@@ -186,7 +186,8 @@ def _worker_main(conn) -> None:
                     faults.clear_plan()
             faults.apply_worker_faults(faults.active_plan(),
                                        experiment_id, attempt)
-            result = registry.run_experiment(experiment_id, scale)
+            result = registry.run_experiment(experiment_id, scale,
+                                             shard=shard)
             conn.send(("ok", index, time.perf_counter() - start, result))
         except BaseException as exc:  # noqa: BLE001 — must cross the pipe
             payload = {
@@ -230,7 +231,7 @@ class _Worker:
                          if timeout is not None else None)
         # ``task.attempts`` was already incremented by the scheduler.
         self.conn.send((task.index, task.experiment_id, task.scale,
-                        task.attempts, task.plan_spec))
+                        task.attempts, task.plan_spec, task.shard))
 
     def kill(self) -> None:
         try:
@@ -278,6 +279,11 @@ class _Task:
     #: ``None`` = leave the worker's installed plan alone, ``""`` =
     #: clear it, JSON = install that plan for the invocation.
     plan_spec: Optional[str] = None
+    #: Shard directive forwarded to the worker: an ``"i/n"`` string
+    #: runs only that slice of a shardable experiment's sweep (the
+    #: result is a partial for the merge step); other values are opaque
+    #: service cache labels the registry ignores.
+    shard: Optional[str] = None
     #: Set by :meth:`ResilientPool.cancel`; the scheduler kills the
     #: running worker (or drops the pending task) on its next pass.
     cancelled: bool = False
@@ -390,7 +396,8 @@ def run_resilient(experiment_ids: Sequence[str], scale: float = 1.0,
                   retries: int = 0, keep_going: bool = False,
                   retry_delay: float = DEFAULT_RETRY_DELAY,
                   run_dir: Optional[os.PathLike] = None,
-                  resume: bool = False) -> List[RunRecord]:
+                  resume: bool = False,
+                  shard: Optional[str] = None) -> List[RunRecord]:
     """Run experiments under the resilience policy; one record per id.
 
     Records come back in request order regardless of completion order.
@@ -401,6 +408,13 @@ def run_resilient(experiment_ids: Sequence[str], scale: float = 1.0,
 
     ``timeout`` (seconds) applies per attempt and requires process
     isolation, so it forces the pool path even for ``jobs=1``.
+
+    ``shard`` (an ``"i/n"`` string) restricts every invocation to that
+    slice of its sweep — the per-record results are then *partials*
+    (see :mod:`repro.experiments.sharding`).  Without it, shardable
+    experiments are fanned out across the pool slots automatically at
+    ``jobs > 1`` and merged back transparently, so each record still
+    carries the full (byte-identical) result.
     """
     from repro.experiments import registry
 
@@ -426,7 +440,8 @@ def run_resilient(experiment_ids: Sequence[str], scale: float = 1.0,
                 record.status = "cached"
                 record.result = cached
                 continue
-        tasks.append(_Task(record.index, record.experiment_id, scale))
+        tasks.append(_Task(record.index, record.experiment_id, scale,
+                           shard=shard))
 
     try:
         if tasks:
@@ -481,7 +496,8 @@ def _run_inline(tasks: Deque[_Task], records: List[RunRecord],
                                            task.experiment_id,
                                            task.attempts)
                 result = registry.run_experiment(task.experiment_id,
-                                                 task.scale)
+                                                 task.scale,
+                                                 shard=task.shard)
             except Exception as exc:  # noqa: BLE001 — chaos boundary
                 task.elapsed += time.perf_counter() - start
                 record.elapsed = task.elapsed
@@ -602,6 +618,7 @@ class ResilientPool:
                timeout: Optional[float] = None, retries: int = 0,
                retry_delay: float = DEFAULT_RETRY_DELAY,
                plan_spec: Optional[str] = None,
+               shard: Optional[str] = None,
                record: Optional[RunRecord] = None,
                on_done: Optional[Callable[[PoolJob], None]] = None
                ) -> PoolJob:
@@ -611,7 +628,10 @@ class ResilientPool:
         scheduler should fill in; by default a fresh one indexed by the
         invocation id is created.  ``on_done`` fires on the scheduler
         thread once the record is terminal.  ``plan_spec`` is the
-        per-invocation fault-plan directive (see :func:`_worker_main`).
+        per-invocation fault-plan directive (see :func:`_worker_main`);
+        ``shard`` the per-invocation shard directive (``"i/n"`` runs
+        that sweep slice of a shardable experiment — validated here so a
+        malformed shard fails at submission, not in a worker).
         """
         from repro.experiments import registry
         registry.validate_ids([experiment_id])
@@ -619,6 +639,8 @@ class ResilientPool:
             raise ValueError("retries must be non-negative")
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive")
+        from repro.experiments.sharding import ShardSpec
+        ShardSpec.parse(shard)  # raises on a malformed "i/n" shard
         with self._lock:
             if self._closed:
                 raise HbmSimError("pool is shut down")
@@ -632,7 +654,7 @@ class ResilientPool:
             task = _Task(record.index, experiment_id, scale,
                          timeout=timeout, retries=retries,
                          retry_delay=retry_delay, plan_spec=plan_spec,
-                         job=job)
+                         shard=shard, job=job)
             job._task = task
             self._jobs[invocation_id] = job
             self._pending.append(task)
@@ -897,35 +919,136 @@ class ResilientPool:
             self._fire(finalized)
 
 
+class _ShardGroup:
+    """Aggregation state of one invocation fanned out across shards."""
+
+    def __init__(self, task: _Task, record: RunRecord,
+                 count: int) -> None:
+        self.task = task
+        self.record = record
+        self.count = count
+        self.partials: List[Optional[ExperimentResult]] = [None] * count
+        self.job_ids: List[int] = []
+        self.done = 0
+        self.elapsed = 0.0
+        self.attempts = 0
+        self.failed = False
+
+
+def _shard_fanout(experiment_id: str, jobs: int,
+                  plan_active: bool) -> int:
+    """Fan-out width for one invocation (1 = run unsharded).
+
+    Sharding is transparent for results (the merged report is byte-
+    identical) but not for chaos semantics — worker-fault injection
+    keys on (experiment id, attempt), and a fan-out would multiply the
+    injection points — so an active fault plan disables it.
+    """
+    if jobs <= 1 or plan_active:
+        return 1
+    from repro.experiments import registry
+    units = registry.shard_units(experiment_id)
+    if units is None:
+        return 1
+    return max(1, min(jobs, units))
+
+
 def _run_pool(tasks: Deque[_Task], records: List[RunRecord], jobs: int,
               timeout: Optional[float], retries: int, keep_going: bool,
               retry_delay: float, checkpoint: Optional[_RunDir]) -> None:
-    """Kill-capable worker-pool execution with crash recovery."""
+    """Kill-capable worker-pool execution with crash recovery.
+
+    Shardable experiments (see ``registry.SHARDABLE``) fan out across
+    the slots as independent shard jobs — each with the full retry/
+    timeout policy — and merge back into one record once every shard
+    succeeds, so ``-j N`` scales inside a single long experiment rather
+    than stopping at experiment granularity.
+    """
+    from repro import faults
+    from repro.experiments import registry
+
+    plan_active = faults.active_plan() is not None
+    fanouts = {
+        task.index: (_shard_fanout(task.experiment_id, jobs, plan_active)
+                     if task.shard is None else 1)
+        for task in tasks}
     # More workers than runnable cores only adds fork and context-switch
     # cost: the pool keeps its process-isolation semantics (crash
     # recovery, timeout kills) at any slot count, so cap fan-out at the
     # CPUs the scheduler will actually grant us.
-    slots = max(1, min(jobs, len(tasks), _available_cores()))
+    slots = max(1, min(jobs, sum(fanouts.values()), _available_cores()))
+    if slots <= 1:
+        # No parallelism available: sharding would only add merge cost.
+        fanouts = {index: 1 for index in fanouts}
     if slots > 1:
         _prewarm_calibration()
     pool = ResilientPool(slots)
     completions: "queue_module.Queue[PoolJob]" = queue_module.Queue()
+    #: shard-job invocation id -> (group, shard index).
+    groups: Dict[int, Tuple[_ShardGroup, int]] = {}
     try:
         submitted = 0
         for task in tasks:
-            pool.submit(task.experiment_id, task.scale, timeout=timeout,
-                        retries=retries, retry_delay=retry_delay,
-                        record=records[task.index],
-                        on_done=completions.put)
-            submitted += 1
+            count = fanouts[task.index]
+            if count <= 1:
+                pool.submit(task.experiment_id, task.scale,
+                            timeout=timeout, retries=retries,
+                            retry_delay=retry_delay, shard=task.shard,
+                            record=records[task.index],
+                            on_done=completions.put)
+                submitted += 1
+                continue
+            group = _ShardGroup(task, records[task.index], count)
+            for shard_index in range(count):
+                job = pool.submit(task.experiment_id, task.scale,
+                                  timeout=timeout, retries=retries,
+                                  retry_delay=retry_delay,
+                                  shard=f"{shard_index}/{count}",
+                                  on_done=completions.put)
+                groups[job.invocation_id] = (group, shard_index)
+                group.job_ids.append(job.invocation_id)
+            submitted += count
         for _ in range(submitted):
             job = completions.get()
-            record = job.record
-            if record.succeeded:
-                if checkpoint is not None:
-                    checkpoint.store(record.index, record.result)
-            elif not keep_going:
-                raise job.exception or ExperimentError(
-                    record.experiment_id, record.attempts)
+            entry = groups.get(job.invocation_id)
+            if entry is None:
+                record = job.record
+                if record.succeeded:
+                    if checkpoint is not None:
+                        checkpoint.store(record.index, record.result)
+                elif not keep_going:
+                    raise job.exception or ExperimentError(
+                        record.experiment_id, record.attempts)
+                continue
+            group, shard_index = entry
+            shard_record = job.record
+            # The invocation's wall time is its slowest shard; its
+            # attempt count the worst shard's (so "retried" surfaces).
+            group.elapsed = max(group.elapsed, shard_record.elapsed)
+            group.attempts = max(group.attempts, shard_record.attempts)
+            if group.failed:
+                continue  # sibling of an already-failed fan-out
+            if shard_record.succeeded:
+                group.partials[shard_index] = shard_record.result
+                group.done += 1
+                if group.done == group.count:
+                    merged = registry.merge_shard_results(
+                        group.task.experiment_id, group.partials,
+                        group.task.scale)
+                    _record_success(group.record, merged, group.elapsed,
+                                    max(1, group.attempts), checkpoint)
+            else:
+                group.failed = True
+                for invocation_id in group.job_ids:
+                    if invocation_id != job.invocation_id:
+                        pool.cancel(invocation_id)
+                record = group.record
+                record.status = shard_record.status
+                record.attempts = max(1, group.attempts)
+                record.elapsed = group.elapsed
+                record.error = shard_record.error
+                if not keep_going:
+                    raise job.exception or ExperimentError(
+                        record.experiment_id, record.attempts)
     finally:
         pool.shutdown()

@@ -1,0 +1,83 @@
+"""Shard specifications for splitting row sweeps across workers.
+
+The HC_first sweeps (fig05/fig07) cross a row population with the
+(channel, pseudo channel) units of the geometry in combo-major order, so
+a *contiguous range of units* is a contiguous block of the sweep's flat
+result arrays (see :func:`repro.core.spatial.spatial_units`).  A
+:class:`ShardSpec` names one such range — "shard ``i`` of ``n``" — and
+the experiment modules expose ``run_shard``/``merge_shards`` so the pool
+can fan one experiment out across worker processes and reassemble the
+full result bit-for-bit (merging is plain concatenation in shard order).
+
+Shard strings are ``"i/n"`` (e.g. ``"0/8"``).  The service layer's
+``shard`` request key predates this format and remains an *opaque
+cache-partition label* for any other value: :meth:`ShardSpec.parse`
+returns ``None`` for non-matching strings instead of raising, so labels
+like ``"ch0"`` keep their historical meaning.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+_SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous slice — shard ``index`` of ``count``."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(
+                f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"shard index {self.index} outside [0, {self.count})")
+
+    @property
+    def label(self) -> str:
+        """The canonical ``"i/n"`` string."""
+        return f"{self.index}/{self.count}"
+
+    @classmethod
+    def parse(cls, value: Optional[str]) -> Optional["ShardSpec"]:
+        """Parse an ``"i/n"`` shard string.
+
+        Returns ``None`` when ``value`` is ``None`` or does not look
+        like a shard string at all (an opaque service label); raises
+        :class:`ValueError` when it matches the format but names an
+        impossible shard (``i >= n`` or ``n == 0``) — a malformed
+        request must fail loudly, not silently run the full sweep.
+        """
+        if value is None:
+            return None
+        match = _SHARD_RE.match(value.strip())
+        if match is None:
+            return None
+        return cls(int(match.group(1)), int(match.group(2)))
+
+    def slice_of(self, n_units: int) -> Tuple[int, int]:
+        """This shard's ``(start, stop)`` range over ``n_units`` items.
+
+        The partition is contiguous and balanced: the first ``n_units %
+        count`` shards get one extra unit.  Shards beyond the unit count
+        get an empty range (``start == stop``) — they contribute empty
+        arrays and merge away.
+        """
+        if n_units < 0:
+            raise ValueError("n_units must be non-negative")
+        base, remainder = divmod(n_units, self.count)
+        start = self.index * base + min(self.index, remainder)
+        stop = start + base + (1 if self.index < remainder else 0)
+        return start, stop
+
+
+def shard_labels(count: int) -> List[str]:
+    """The ``"i/n"`` labels of a full ``count``-way fan-out, in order."""
+    return [ShardSpec(index, count).label for index in range(count)]

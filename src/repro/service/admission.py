@@ -83,6 +83,8 @@ class AdmissionGate:
         scale = self._scale(payload)
         tenant = self._tenant(payload)
         shard = self._optional_string(payload, "shard")
+        if shard is not None:
+            self._check_shard(shard, experiment_id)
         fault_plan = self._fault_plan(payload)
         if program is not None:
             self._check_program(program)
@@ -123,6 +125,29 @@ class AdmissionGate:
             field="experiment_id",
             suggestions=difflib.get_close_matches(
                 experiment_id, available, n=3, cutoff=0.5))
+
+    @staticmethod
+    def _check_shard(shard: str, experiment_id: str) -> None:
+        """Validate ``"i/n"`` shard strings; other values stay opaque.
+
+        A shard matching the ``"i/n"`` execution format must name a
+        possible slice (``0 <= i < n``) of a shardable experiment;
+        anything else remains the historical opaque cache-partition
+        label and admits unchanged.
+        """
+        from repro.experiments import registry
+        from repro.experiments.sharding import ShardSpec
+
+        try:
+            spec = ShardSpec.parse(shard)
+        except ValueError as exc:
+            raise AdmissionError(str(exc), field="shard")
+        if spec is not None and experiment_id \
+                and experiment_id not in registry.SHARDABLE:
+            raise AdmissionError(
+                f"experiment {experiment_id!r} does not support shard "
+                f"execution (shardable: {sorted(registry.SHARDABLE)})",
+                field="shard")
 
     def _scale(self, payload: Mapping[str, Any]) -> float:
         value = payload.get("scale", 1.0)

@@ -392,7 +392,8 @@ class ExperimentService:
             job.request.experiment_id, job.request.scale,
             timeout=self.config.timeout, retries=self.config.retries,
             retry_delay=self.config.retry_delay,
-            plan_spec=job.request.plan_spec(), record=job.record,
+            plan_spec=job.request.plan_spec(),
+            shard=job.request.shard, record=job.record,
             on_done=_bridge)
         job.invocation_id = pool_job.invocation_id
 

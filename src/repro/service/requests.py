@@ -42,8 +42,11 @@ class ExperimentRequest:
     experiment_id: str = ""
     scale: float = 1.0
     tenant: str = DEFAULT_TENANT
-    #: Opaque chip/channel shard label; requests for different shards
-    #: never coalesce (they are different slices of the sweep).
+    #: Shard key; requests for different shards never coalesce (they
+    #: are different slices of the sweep).  An ``"i/n"`` value (see
+    #: :mod:`repro.experiments.sharding`) additionally *executes* only
+    #: that slice of a shardable experiment's sweep; any other string
+    #: stays a purely opaque cache-partition label.
     shard: Optional[str] = None
     #: Per-request fault plan (:class:`~repro.faults.plan.FaultPlan`
     #: fields); installed in the worker for this invocation only.

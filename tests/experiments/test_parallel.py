@@ -58,10 +58,11 @@ class TestBenchHarness:
         bench.record_run({"fig05": 0.40, "fig07": 0.30}, scale=0.25,
                          jobs=2, cache="warm", path=str(path))
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 4
+        assert payload["schema"] == 5
         assert len(payload["runs"]) == 2
         first, second = payload["runs"]
         assert first["cache"] == "cold"
+        assert first["geometry"] == bench.geometry_label()
         assert bench.experiment_seconds(
             first["experiments"]["fig05"]) == 1.25
         assert isinstance(first["batch"], bool)
@@ -162,3 +163,48 @@ class TestCli:
         out = capsys.readouterr().out
         assert "=== table1" in out
         assert "Table 1" in out
+
+
+class TestBenchCompare:
+    def record(self, path, timings, **kwargs):
+        bench.record_run(timings, scale=0.25, cache="warm",
+                         path=str(path), **kwargs)
+
+    def test_reports_speedup_and_regression(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self.record(a, {"fig05": 10.0, "fig07": 4.0},
+                    wall_seconds=15.0)
+        self.record(b, {"fig05": 2.5, "fig07": 5.0, "fig14": 1.0},
+                    jobs=4, wall_seconds=6.0)
+        report = bench.compare_runs(str(a), str(b))
+        assert "fig05" in report and "4.00x" in report
+        assert "REGRESSION" in report        # fig07 slowed 0.8x
+        assert "only in B" in report         # fig14 absent from A
+        assert "wall" in report
+        assert "run parameters differ (jobs)" in report
+
+    def test_compares_last_runs(self, tmp_path):
+        a = tmp_path / "a.json"
+        self.record(a, {"fig05": 99.0})
+        self.record(a, {"fig05": 10.0})
+        report = bench.compare_runs(str(a), str(a))
+        assert "10.0000" not in report       # formatted at 10.000
+        assert "99.000" not in report        # older run ignored
+        assert "1.00x" in report
+
+    def test_empty_file_raises(self, tmp_path):
+        from repro.errors import HbmSimError
+
+        a = tmp_path / "a.json"
+        self.record(a, {"fig05": 1.0})
+        with pytest.raises(HbmSimError):
+            bench.compare_runs(str(a), str(tmp_path / "missing.json"))
+
+    def test_cli_entry(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self.record(a, {"fig05": 2.0})
+        self.record(b, {"fig05": 1.0})
+        assert main(["--bench-compare", str(a), str(b)]) == 0
+        assert "2.00x" in capsys.readouterr().out
+        assert main(["--bench-compare", str(a),
+                     str(tmp_path / "missing.json")]) == 2

@@ -247,3 +247,69 @@ class TestPhaseGate:
         assert main(["--baseline", str(baseline),
                      "--measured", str(measured),
                      "--phase", "compile"]) == 2
+
+
+class TestRssFactorGate:
+    def files(self, tmp_path, baseline_rss, measured_rss):
+        baseline = tmp_path / "baseline.json"
+        measured = tmp_path / "measured.json"
+        base_run = run_entry(0.3)
+        meas_run = run_entry(0.4)
+        if baseline_rss is not None:
+            base_run["peak_rss_mb"] = baseline_rss
+        if measured_rss is not None:
+            meas_run["peak_rss_mb"] = measured_rss
+        write_bench(baseline, [base_run])
+        write_bench(measured, [meas_run])
+        return ["--baseline", str(baseline), "--measured", str(measured)]
+
+    def test_within_factor_passes(self, tmp_path):
+        args = self.files(tmp_path, 500.0, 700.0)
+        assert main(args + ["--rss-factor", "1.5"]) == 0
+
+    def test_beyond_factor_fails(self, tmp_path):
+        args = self.files(tmp_path, 500.0, 800.0)
+        assert main(args + ["--rss-factor", "1.5"]) == 1
+
+    def test_missing_rss_skips_with_note(self, tmp_path, capsys):
+        args = self.files(tmp_path, None, 800.0)
+        assert main(args + ["--rss-factor", "1.5"]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_flat_ceiling_still_applies(self, tmp_path):
+        args = self.files(tmp_path, 500.0, 700.0)
+        assert main(args + ["--rss-factor", "2.0",
+                            "--max-rss-mb", "600"]) == 1
+
+
+class TestParallelSpeedupGate:
+    def files(self, tmp_path, serial_s, parallel_s, parallel_jobs=4):
+        baseline = tmp_path / "baseline.json"
+        measured = tmp_path / "measured.json"
+        write_bench(baseline, [run_entry(serial_s)])
+        write_bench(measured, [
+            run_entry(serial_s, wall_seconds=serial_s + 0.5),
+            run_entry(parallel_s, jobs=parallel_jobs,
+                      wall_seconds=parallel_s + 1.0)])
+        return ["--baseline", str(baseline), "--measured", str(measured)]
+
+    def test_sufficient_speedup_passes(self, tmp_path):
+        args = self.files(tmp_path, 4.0, 1.2)
+        assert main(args + ["--min-parallel-speedup", "2.0"]) == 0
+
+    def test_insufficient_speedup_fails(self, tmp_path):
+        args = self.files(tmp_path, 4.0, 2.5)
+        assert main(args + ["--min-parallel-speedup", "2.0"]) == 1
+
+    def test_uses_experiment_seconds_not_wall(self, tmp_path, capsys):
+        # jobs=4 entry seconds (the slowest shard's compute) are the
+        # gated metric; wall clock is printed as context only.
+        args = self.files(tmp_path, 4.0, 1.9)
+        assert main(args + ["--min-parallel-speedup", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel speedup 2.11x" in out
+        assert "wall" in out
+
+    def test_missing_parallel_run_errors(self, tmp_path):
+        args = self.files(tmp_path, 4.0, 1.0, parallel_jobs=2)
+        assert main(args + ["--min-parallel-speedup", "2.0"]) == 2

@@ -1,0 +1,178 @@
+"""Shard-parallel row sweeps: spec parsing, merge identity, fan-out.
+
+The full-geometry contract (ISSUE 8): a shardable experiment's sweep
+splits into contiguous (channel, pseudo channel) unit ranges whose
+merged result is byte-identical to the unsharded run — under the CLI
+``--shard i/n`` flag, the service ``shard`` field, and the pool's
+transparent ``-j N`` fan-out alike.
+"""
+
+from unittest import mock
+
+import pytest
+
+from repro.errors import AdmissionError, HbmSimError
+from repro.experiments import fig05_hcfirst_chips, registry, runner
+from repro.experiments.registry import run_timed
+from repro.experiments.sharding import ShardSpec, shard_labels
+from repro.service.admission import AdmissionGate
+
+SCALE = 0.02
+
+
+class TestShardSpec:
+    def test_parse_roundtrip(self):
+        spec = ShardSpec.parse("2/8")
+        assert spec == ShardSpec(2, 8)
+        assert spec.label == "2/8"
+
+    @pytest.mark.parametrize("value", [None, "ch0", "0/0x", "a/b",
+                                       "1-4", ""])
+    def test_non_matching_values_stay_opaque(self, value):
+        assert ShardSpec.parse(value) is None
+
+    @pytest.mark.parametrize("value", ["4/4", "5/2", "0/0"])
+    def test_malformed_matches_rejected(self, value):
+        with pytest.raises(ValueError):
+            ShardSpec.parse(value)
+
+    def test_labels_enumerate_a_fanout(self):
+        assert shard_labels(3) == ["0/3", "1/3", "2/3"]
+
+    @pytest.mark.parametrize("count,n_units", [(1, 16), (3, 16),
+                                               (4, 16), (16, 16),
+                                               (20, 16), (5, 7)])
+    def test_slices_partition_contiguously(self, count, n_units):
+        slices = [ShardSpec(i, count).slice_of(n_units)
+                  for i in range(count)]
+        assert slices[0][0] == 0
+        assert slices[-1][1] == n_units
+        for (_, stop), (start, _) in zip(slices, slices[1:]):
+            assert stop == start
+        sizes = [stop - start for start, stop in slices]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+
+
+class TestMergeIdentity:
+    @pytest.fixture(scope="class")
+    def full(self):
+        return {eid: registry.run_experiment(eid, SCALE)
+                for eid in ("fig05", "fig07")}
+
+    @pytest.mark.parametrize("count", [1, 3, 4, 16, 20])
+    @pytest.mark.parametrize("eid", ["fig05", "fig07"])
+    def test_merged_shards_match_full_run(self, full, eid, count):
+        partials = [registry.run_experiment(eid, SCALE, shard=label)
+                    for label in shard_labels(count)]
+        module = registry.SHARDABLE[eid]
+        merged = module.merge_shards(partials, SCALE)
+        assert merged.text == full[eid].text
+
+    def test_incomplete_fanout_rejected(self):
+        partials = [registry.run_experiment("fig05", SCALE, shard=label)
+                    for label in ("0/4", "2/4", "3/4")]
+        with pytest.raises(HbmSimError, match="fan-out"):
+            fig05_hcfirst_chips.merge_flats(partials)
+
+    def test_mixed_fanout_rejected(self):
+        partials = [registry.run_experiment("fig05", SCALE, shard="0/2"),
+                    registry.run_experiment("fig05", SCALE, shard="1/4")]
+        with pytest.raises(HbmSimError):
+            fig05_hcfirst_chips.merge_flats(partials)
+
+    def test_empty_shards_beyond_units_contribute_nothing(self):
+        # 20 > 16 units: the tail shards carry empty flats.
+        result = registry.run_experiment("fig05", SCALE, shard="19/20")
+        flats = result.data["flats"]
+        assert all(flats[label][name].size == 0
+                   for label in flats for name in flats[label])
+
+
+class TestRegistryShardApi:
+    def test_shard_units(self):
+        assert registry.shard_units("fig05") == 16
+        assert registry.shard_units("fig07") == 16
+        assert registry.shard_units("fig04") is None
+
+    def test_opaque_label_runs_full(self):
+        full = registry.run_experiment("fig05", SCALE)
+        labelled = registry.run_experiment("fig05", SCALE, shard="ch0")
+        assert labelled.text == full.text
+
+    def test_shard_on_non_shardable_rejected(self):
+        with pytest.raises(HbmSimError, match="shard"):
+            registry.run_experiment("fig04", SCALE, shard="0/2")
+
+    def test_merge_on_non_shardable_rejected(self):
+        with pytest.raises(HbmSimError):
+            registry.merge_shard_results("fig04", [], SCALE)
+
+
+class TestPoolFanout:
+    def test_fanout_requires_jobs_and_no_plan(self):
+        assert runner._shard_fanout("fig05", 1, False) == 1
+        assert runner._shard_fanout("fig05", 4, True) == 1
+        assert runner._shard_fanout("fig04", 4, False) == 1
+        assert runner._shard_fanout("fig05", 4, False) == 4
+        assert runner._shard_fanout("fig05", 64, False) == 16
+
+    def test_pooled_shard_run_matches_serial(self):
+        serial, __ = run_timed(["fig05", "fig07"], SCALE, jobs=1)
+        with mock.patch.object(runner, "_available_cores",
+                               return_value=4):
+            pooled, records = run_timed(["fig05", "fig07"], SCALE,
+                                        jobs=4)
+        assert [r.text for r in pooled] == [r.text for r in serial]
+        assert all(r.status == "ok" for r in records)
+        # The merged record carries the fan-out's merge phase.
+        assert "merge" in pooled[0].phases
+
+    def test_explicit_shard_task_is_not_refanned(self):
+        # A task already carrying --shard i/n runs as that single
+        # slice, even under -j N.
+        with mock.patch.object(runner, "_available_cores",
+                               return_value=4):
+            results, records = run_timed(["fig05"], SCALE, jobs=4,
+                                         shard="1/4")
+        assert records[0].status == "ok"
+        assert results[0].data["shard_index"] == 1
+        assert results[0].data["shard_count"] == 4
+
+    def test_submit_validates_shard_strings(self):
+        pool = runner.ResilientPool(slots=1)
+        try:
+            with pytest.raises(ValueError):
+                pool.submit("fig05", SCALE, shard="9/4")
+        finally:
+            pool.shutdown()
+
+
+class TestServiceShardAdmission:
+    def test_execution_shard_admits_for_shardable(self):
+        request = AdmissionGate().admit(
+            {"experiment_id": "fig05", "scale": SCALE, "shard": "0/8"})
+        assert request.shard == "0/8"
+
+    def test_opaque_label_still_admits(self):
+        request = AdmissionGate().admit(
+            {"experiment_id": "fig04", "scale": SCALE, "shard": "ch0"})
+        assert request.shard == "ch0"
+
+    def test_malformed_execution_shard_rejected(self):
+        with pytest.raises(AdmissionError) as excinfo:
+            AdmissionGate().admit(
+                {"experiment_id": "fig05", "shard": "5/2"})
+        assert excinfo.value.field == "shard"
+
+    def test_execution_shard_on_non_shardable_rejected(self):
+        with pytest.raises(AdmissionError) as excinfo:
+            AdmissionGate().admit(
+                {"experiment_id": "fig04", "shard": "0/8"})
+        assert excinfo.value.field == "shard"
+
+    def test_shard_requests_never_coalesce_across_slices(self):
+        keys = {AdmissionGate().admit(
+                    {"experiment_id": "fig05", "scale": SCALE,
+                     "shard": label}).coalescing_key()
+                for label in shard_labels(4)}
+        assert len(keys) == 4
