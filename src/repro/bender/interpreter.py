@@ -7,8 +7,9 @@ execution statistics (command count, simulated wall-clock time).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Tuple)
 
 import numpy as np
 
@@ -16,6 +17,9 @@ from repro.bender.program import ReadRequest, TestProgram
 from repro.dram.device import HBM2Stack
 from repro.dram.timing import TimingParameters
 from repro.faults import FaultPlan, active_plan, wrap_device
+
+if TYPE_CHECKING:
+    from repro.lint.findings import Finding
 
 
 def pre_execution_gate(program: TestProgram,
@@ -25,6 +29,10 @@ def pre_execution_gate(program: TestProgram,
     Shared by the scalar :class:`Interpreter` and the batched
     :class:`~repro.bender.compile.PlanExecutor`, so both engines apply
     the identical ``HBMSIM_LINT`` contract before the first command.
+    ``online`` degrades to ``warn``-style static verification here —
+    engines that dispatch per command (the scalar interpreter) check
+    the mode themselves and stream instead (:meth:`Interpreter.
+    run_checked`).
     """
     # Lazy imports: the gate is off by default and the lint layer
     # must not weigh on (or cycle with) the interpreter hot path.
@@ -42,10 +50,13 @@ def pre_execution_gate(program: TestProgram,
         from repro.errors import LintError
 
         raise LintError(program.name, report.findings)
-    import sys
-
     for finding in report.findings:
         print(f"HBMSIM_LINT: {finding.render()}", file=sys.stderr)
+
+
+def _print_finding(finding: "Finding") -> None:
+    """Default online-finding sink: the warn-mode stderr format."""
+    print(f"HBMSIM_LINT: {finding.render()}", file=sys.stderr)
 
 
 @dataclass
@@ -94,8 +105,12 @@ class Interpreter:
     statically verified against the device's timing parameters by
     :func:`repro.lint.protocol.verify_program`; strict mode raises
     :class:`~repro.errors.LintError` before the first command executes,
-    warn mode prints the findings to stderr and continues.  The default
-    (``off``) skips verification entirely.
+    warn mode prints the findings to stderr and continues.  With
+    ``HBMSIM_LINT=online`` the program is instead checked *while it
+    runs* (:meth:`run_checked`): every executed command streams through
+    a :class:`~repro.lint.stream.TimingChecker`, so fault-plan-mutated
+    command streams are judged as mutated.  The default (``off``) skips
+    verification entirely.
     """
 
     def __init__(self, device: HBM2Stack,
@@ -109,6 +124,11 @@ class Interpreter:
 
     def run(self, program: TestProgram) -> ExecutionResult:
         """Replay ``program``, returning tagged reads and statistics."""
+        from repro.lint.config import LintMode, lint_mode
+
+        if lint_mode() is LintMode.ONLINE:
+            result, __ = self.run_checked(program)
+            return result
         self._pre_execution_gate(program)
         started = self.device.now_ns
         reads: Dict[str, List[np.ndarray]] = {}
@@ -127,3 +147,87 @@ class Interpreter:
             finished_at_ns=self.device.now_ns,
             reads=reads,
         )
+
+    def run_checked(
+        self, program: TestProgram,
+        on_finding: Optional[Callable[["Finding"], None]] = None,
+    ) -> Tuple[ExecutionResult, List["Finding"]]:
+        """Replay ``program`` with the streaming checker riding along.
+
+        Every command is fed to a :class:`~repro.lint.stream.
+        TimingChecker` *as it executes* — including the effects of an
+        active fault plan: dropped commands never reach the checker,
+        ghosted PRE/REF are checked twice, and the checker's symbolic
+        clock is pinned to the device clock after every command so
+        injected jitter and stretched on-times cannot let the two
+        notions of time drift apart.  A command the device rejects with
+        :class:`~repro.errors.TimingError` is fed to the checker first
+        (it *was* issued) and the error re-raised, so the checker's
+        error-severity findings and the device's ``TimingError`` agree
+        command for command — the invariant the differential fuzzer
+        cross-checks.
+
+        ``on_finding`` is invoked for each finding as it is detected
+        (default: print to stderr in the ``HBMSIM_LINT`` warn format).
+        Returns the execution result and all findings, including the
+        end-of-stream rules.  Ignores ``HBMSIM_LINT`` — this *is* the
+        online mode; :meth:`run` dispatches here when the variable says
+        ``online``.
+        """
+        from repro.lint.stream import TimingChecker
+
+        checker = TimingChecker(program.name, self.device.timings)
+        sink = _print_finding if on_finding is None else on_finding
+        findings: List["Finding"] = []
+
+        def emit(new: List["Finding"]) -> None:
+            findings.extend(new)
+            for finding in new:
+                sink(finding)
+
+        # FaultyStack appends a FaultEvent per injected fault; a bare
+        # HBM2Stack has no .events and the stream is taken at face value.
+        events = getattr(self.device, "events", None)
+        events_seen = len(events) if events is not None else 0
+        base = self.device.now_ns
+        started = base
+        reads: Dict[str, List[np.ndarray]] = {}
+        executed = 0
+        for command in program.flatten():
+            try:
+                result = self.device.execute(command)
+            except Exception as exc:
+                from repro.errors import TimingError
+
+                if isinstance(exc, TimingError):
+                    # The device rejected the command *after* it was
+                    # issued: the checker judges it too, then the
+                    # stream ends exactly where execution ended.
+                    emit(checker.check(command))
+                    checker.sync_clock(self.device.now_ns - base)
+                    emit(checker.finish())
+                raise
+            executed += 1
+            repeats = 1
+            if events is not None:
+                for event in events[events_seen:]:
+                    if event.fault == "drop":
+                        repeats = 0
+                    elif event.fault == "ghost":
+                        repeats += 1
+                events_seen = len(events)
+            for __ in range(repeats):
+                emit(checker.check(command))
+            checker.sync_clock(self.device.now_ns - base)
+            if isinstance(command, ReadRequest):
+                if result is None:
+                    raise RuntimeError("tagged read returned no data")
+                reads.setdefault(command.tag, []).append(result)
+        emit(checker.finish())
+        return ExecutionResult(
+            program=program.name,
+            commands_executed=executed,
+            started_at_ns=started,
+            finished_at_ns=self.device.now_ns,
+            reads=reads,
+        ), findings

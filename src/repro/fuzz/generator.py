@@ -1,0 +1,160 @@
+"""Seeded random SoftBender program generator.
+
+Every case is a pure function of ``(seed, index)`` — the generator
+draws from a ``numpy`` ``Philox``-seeded generator keyed on both, so a
+failing case replays from its two integers alone (no corpus file
+needed).  Programs stay within the assembly language's expressive range
+(WR rows carry a uniform fill byte) so every generated case round-trips
+through :func:`~repro.bender.assembler.disassemble` /
+:func:`~repro.bender.assembler.assemble` for corpus persistence.
+
+The distribution is tuned to the rules under test: a small row pool per
+bank makes row-buffer conflicts (P001/P002 — device ``TimingError``)
+common, optional REF schedules switch programs between refresh-managed
+and refresh-free regimes (P004–P006), HAMMER counts cross the per-tREFI
+activation budget, and nested loops exercise the batch verifier's
+steady-state extrapolation and the compiler's epoch fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bender.program import Instruction, Loop, TestProgram, tagged_read
+from repro.dram import commands as cmd
+from repro.dram.geometry import RowAddress
+from repro.faults.plan import FaultPlan
+
+#: Row pool per bank — small on purpose: collisions make P001/P002 and
+#: TRR-relevant aggressor reuse common.
+ROWS: List[int] = [100, 101, 102, 200]
+
+#: Banks/channels the generator addresses (all within the default
+#: geometry at any scale).
+BANKS = 2
+
+#: Upper bound on generated top-level instructions.
+MAX_TOP_LEVEL = 12
+
+#: Upper bound on loop iteration counts (crosses both the steady-walk
+#: threshold and the compiler's minimum epoch repeat count).
+MAX_LOOP_COUNT = 300
+
+#: Upper bound on per-HAMMER activation counts.
+MAX_HAMMER = 64
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One differential-fuzzing input: program + execution context."""
+
+    seed: int
+    index: int
+    program: TestProgram
+    trr_enabled: bool
+    fault_plan: Optional[FaultPlan]
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def with_program(self, program: TestProgram) -> "FuzzCase":
+        """The same context over a (typically shrunk) program."""
+        return replace(self, program=program)
+
+
+def _rng_for(seed: int, index: int) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.Philox(key=np.uint64(seed), counter=np.uint64(index)))
+
+
+def _address(rng: np.random.Generator) -> RowAddress:
+    return RowAddress(0, 0, int(rng.integers(0, BANKS)),
+                      ROWS[int(rng.integers(0, len(ROWS)))])
+
+
+def _instruction(rng: np.random.Generator, row_bytes: int,
+                 tag_counter: List[int], depth: int) -> Instruction:
+    """Draw one instruction; loops nest at most two deep."""
+    choice = int(rng.integers(0, 9 if depth < 2 else 8))
+    address = _address(rng)
+    if choice == 0:
+        return cmd.act(address.channel, address.pseudo_channel,
+                       address.bank, address.row)
+    if choice == 1:
+        return cmd.pre(address.channel, address.pseudo_channel,
+                       address.bank)
+    if choice == 2:
+        tag_counter[0] += 1
+        return tagged_read(address, f"t{tag_counter[0]}")
+    if choice == 3:
+        fill = int(rng.integers(0, 256))
+        return cmd.wr(address.channel, address.pseudo_channel,
+                      address.bank, address.row,
+                      np.full(row_bytes, fill, dtype=np.uint8))
+    if choice == 4:
+        count = int(rng.integers(0, MAX_HAMMER))
+        t_on: Optional[float] = None
+        if rng.random() < 0.4:
+            # Half the declared on-times sit below tRAS (P003).
+            t_on = float(rng.integers(10, 80))
+        return cmd.hammer(address.channel, address.pseudo_channel,
+                          address.bank, address.row, count, t_on)
+    if choice == 5:
+        return cmd.wait(float(rng.integers(10, 2000)))
+    if choice == 6:
+        return cmd.ref(0, 0)
+    if choice == 7:
+        # ACT/PRE pair: the benign shape most real routines use.
+        return cmd.act(address.channel, address.pseudo_channel,
+                       address.bank, address.row)
+    body: List[Instruction] = [
+        _instruction(rng, row_bytes, tag_counter, depth + 1)
+        for __ in range(int(rng.integers(1, 5)))]
+    return Loop(int(rng.integers(1, MAX_LOOP_COUNT)), body)
+
+
+def generate_program(rng: np.random.Generator, name: str,
+                     row_bytes: int) -> TestProgram:
+    """One random loop-structured program."""
+    program = TestProgram(name)
+    tag_counter = [0]
+    for __ in range(int(rng.integers(2, MAX_TOP_LEVEL))):
+        program.append(_instruction(rng, row_bytes, tag_counter, 0))
+    return program
+
+
+def _fault_plan(rng: np.random.Generator, seed: int,
+                index: int) -> Optional[FaultPlan]:
+    """A modest, wall-clock-safe fault plan (or none, half the time).
+
+    Stalls and hangs are excluded on purpose: stalls sleep real time
+    (a fuzzing campaign must stay fast) and hangs abort mid-program by
+    design — neither exercises engine equivalence beyond what drops,
+    ghosts, jitter and read-path corruption already do.
+    """
+    if rng.random() < 0.5:
+        return None
+    return FaultPlan(
+        seed=seed * 1_000_003 + index,
+        drop_rate=float(rng.choice([0.0, 0.02, 0.1])),
+        ghost_rate=float(rng.choice([0.0, 0.05])),
+        act_jitter_rate=float(rng.choice([0.0, 0.2])),
+        act_jitter_ns=5.0,
+        read_flip_rate=float(rng.choice([0.0, 0.1])),
+        stuck_row_rate=float(rng.choice([0.0, 0.05])),
+    )
+
+
+def generate_case(seed: int, index: int,
+                  row_bytes: int = 1024) -> FuzzCase:
+    """The ``index``-th case of campaign ``seed`` (pure function)."""
+    rng = _rng_for(seed, index)
+    program = generate_program(rng, f"fuzz-{seed}-{index}", row_bytes)
+    trr_enabled = bool(rng.random() < 0.5)
+    plan = _fault_plan(rng, seed, index)
+    return FuzzCase(seed=seed, index=index, program=program,
+                    trr_enabled=trr_enabled, fault_plan=plan)

@@ -5,11 +5,14 @@ Usage::
     python -m repro.lint src/repro                # determinism linter
     python -m repro.lint program.sbp              # protocol verifier
     python -m repro.lint src/repro --routines     # + routine corpus
+    python -m repro.lint src/repro --format=sarif # SARIF 2.1.0 output
+    python -m repro.lint src/repro --fail-unused  # baseline rot gate
+    python -m repro.lint src/repro --prune        # drop rotted entries
     python -m repro.lint --rules                  # print the catalog
 
-Exit codes: 0 — clean (after baseline), 1 — findings, 2 — usage or
-input errors (missing paths, malformed baseline, unassemblable
-program).
+Exit codes: 0 — clean (after baseline), 1 — findings (or, with
+``--fail-unused``, unused baseline suppressions), 2 — usage or input
+errors (missing paths, malformed baseline, unassemblable program).
 """
 
 from __future__ import annotations
@@ -70,12 +73,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-baseline", action="store_true",
         help="ignore the baseline: report every finding")
     parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default=None,
+        dest="output_format",
+        help="output format (default: text)")
+    parser.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="emit findings as JSON")
+        help="emit findings as JSON (alias for --format=json)")
+    parser.add_argument(
+        "--fail-unused", action="store_true",
+        help="exit 1 when the baseline holds unused suppressions "
+             "(baseline rot gate for CI)")
+    parser.add_argument(
+        "--prune", action="store_true",
+        help="rewrite the baseline file dropping unused suppressions")
     parser.add_argument(
         "--rules", action="store_true",
         help="print the rule catalog and exit")
     args = parser.parse_args(argv)
+    if args.as_json and args.output_format not in (None, "json"):
+        parser.error("--json conflicts with --format="
+                     + args.output_format)
+    output_format = args.output_format \
+        or ("json" if args.as_json else "text")
 
     if args.rules:
         _print_rules()
@@ -128,7 +147,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               if (s.rule.startswith("D") and source_roots)
               or (s.rule.startswith("P") and reports)]
 
-    if args.as_json:
+    if args.prune and unused:
+        target = baseline.source
+        if target is None or not target.exists():
+            print("error: --prune needs an existing baseline file",
+                  file=sys.stderr)
+            return 2
+        from repro.lint.baseline import save_baseline
+
+        unused_set = set(unused)
+        baseline.suppressions = [s for s in baseline.suppressions
+                                 if s not in unused_set]
+        save_baseline(baseline, target)
+        print(f"pruned {len(unused_set)} unused suppression(s) from "
+              f"{target}", file=sys.stderr)
+        unused = []
+
+    if output_format == "json":
         print(json.dumps({
             "findings": [
                 {"rule": f.rule, "severity": f.severity,
@@ -140,6 +175,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 for s in unused],
             "programs_verified": len(reports),
         }, indent=2))
+    elif output_format == "sarif":
+        from repro.lint.sarif import to_sarif
+
+        print(json.dumps(to_sarif(surviving), indent=2))
     else:
         for finding in surviving:
             print(finding.render())
@@ -155,7 +194,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if reports:
             bits.append(f"{len(reports)} program(s) verified")
         print("repro.lint: " + ", ".join(bits))
-    return 1 if surviving else 0
+    if surviving:
+        return 1
+    if args.fail_unused and unused:
+        for suppression in unused:
+            print(f"error: unused baseline suppression "
+                  f"{suppression.rule} @ {suppression.location}",
+                  file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

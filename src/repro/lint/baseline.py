@@ -82,6 +82,23 @@ class Baseline:
         return [s for s in self.suppressions if s not in used_set]
 
 
+def save_baseline(baseline: Baseline, path: Path) -> None:
+    """Write a baseline back to disk (the ``--prune`` helper).
+
+    Emits the documented file shape (version + suppressions with rule,
+    location, reason) with stable ordering, so a pruned baseline diffs
+    minimally against the reviewed one.
+    """
+    payload = {
+        "version": 1,
+        "suppressions": [
+            {"rule": s.rule, "location": s.location, "reason": s.reason}
+            for s in baseline.suppressions],
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n",
+                    encoding="utf-8")
+
+
 def load_baseline(path: Optional[Path] = None) -> Baseline:
     """Load a baseline file (the packaged default when ``path=None``)."""
     baseline_path = path if path is not None else DEFAULT_BASELINE_PATH

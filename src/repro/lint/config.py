@@ -6,43 +6,77 @@ The interpreter can statically verify every program before executing it:
   finding (campaigns abort before burning hours on a malformed
   routine),
 - ``HBMSIM_LINT=warn`` — print findings to stderr and execute anyway,
-- ``HBMSIM_LINT=off`` (or unset) — no pre-execution verification; the
-  hot path is untouched and behaviour is bit-identical to builds
-  without the lint layer.
+- ``HBMSIM_LINT=online`` — check commands *as they execute*: the scalar
+  interpreter feeds every command it issues into the streaming
+  :class:`~repro.lint.stream.TimingChecker`, so fault-plan-mutated
+  streams (dropped/ghosted commands, injected jitter) are checked too,
+  not just the static program; findings print to stderr as they are
+  detected.  Engines that do not dispatch per command (the compiled
+  :class:`~repro.bender.compile.PlanExecutor`) fall back to the static
+  ``warn``-style verification for the same variable,
+- ``HBMSIM_LINT=off`` (or unset) — no verification; the hot path is
+  untouched and behaviour is bit-identical to builds without the lint
+  layer.
 
 This is the lint subsystem's config module: the single place the
 environment variable is read (itself baseline-suppressed for the
-determinism linter's D105 env-read rule).
+determinism linter's D105 env-read rule).  Unrecognized values warn
+once (:class:`RuntimeWarning`) and fall back to ``warn`` — a misspelled
+opt-in must surface findings rather than silently disable the gate,
+matching the strict-parse contract of ``HBMSIM_SCALE`` and
+``HBMSIM_BATCH``.
 """
 
 from __future__ import annotations
 
 import enum
 import os
+from typing import Set
 
 
 class LintMode(enum.Enum):
-    """Pre-execution verification mode of the interpreter."""
+    """Pre-execution / online verification mode of the interpreter."""
 
     OFF = "off"
     WARN = "warn"
     STRICT = "strict"
+    ONLINE = "online"
 
 
 _ENV_VAR = "HBMSIM_LINT"
+
+_OFF_VALUES = frozenset(("", "0", "off", "no", "none"))
+_WARN_VALUES = frozenset(("warn", "warning", "1"))
+
+#: Raw values already warned about (one warning per process per value).
+_WARNED_VALUES: Set[str] = set()
 
 
 def lint_mode() -> LintMode:
     """The gate mode selected by ``HBMSIM_LINT`` (default: off).
 
-    Unknown values fall back to ``warn`` — a misspelled opt-in should
-    surface findings rather than silently disable the gate.
+    Unknown values warn once and fall back to ``warn`` — a misspelled
+    opt-in should surface findings rather than silently disable the
+    gate.
     """
-    value = os.environ.get(_ENV_VAR, "").strip().lower()
-    if value in ("", "0", "off", "no", "none"):
+    raw = os.environ.get(_ENV_VAR)
+    if raw is None:
         return LintMode.OFF
-    if value in ("warn", "warning", "1"):
+    value = raw.strip().lower()
+    if value in _OFF_VALUES:
+        return LintMode.OFF
+    if value in _WARN_VALUES:
         return LintMode.WARN
     if value == "strict":
         return LintMode.STRICT
+    if value == "online":
+        return LintMode.ONLINE
+    if raw not in _WARNED_VALUES:
+        _WARNED_VALUES.add(raw)
+        import warnings
+
+        warnings.warn(
+            f"unrecognized {_ENV_VAR}={raw!r}; expected one of "
+            "off/warn/strict/online (or 0/1/no/none) — falling back to "
+            "warn", RuntimeWarning, stacklevel=2)
     return LintMode.WARN

@@ -6,18 +6,22 @@ on an :class:`~repro.dram.device.HBM2Stack`, in the spirit of DRAM
 Bender's offline program validation: malformed command sequences are
 caught before a multi-hour campaign starts.
 
-The walk mirrors the device's timing accounting exactly (ACT opens a
-bank, PRE stretches the open time to ``tRAS`` and adds ``tRP``, RD/WR to
-a closed bank perform an implicit ACT/PRE cycle, fused HAMMERs advance
-``count * act_to_act(t_on)``, REF takes ``tRFC``) and checks the rule
-catalog below.  ``Loop`` bodies are **not** unrolled beyond a few
-iterations: the walker detects the loop's steady state (constant
-per-iteration time/activation/refresh deltas and a stationary row-buffer
-signature) and extrapolates the remaining iterations arithmetically, so
-verifying a million-activation hammer program costs the same as
-verifying its body once.  The extrapolation counts commands identically
-to :meth:`TestProgram.static_command_count` — a property test holds the
-two to bit-equality.
+The rule implementation lives in the streaming per-command checker
+(:class:`repro.lint.stream.TimingChecker`), which mirrors the device's
+timing accounting exactly (ACT opens a bank, PRE stretches the open time
+to ``tRAS`` and adds ``tRP``, RD/WR to a closed bank perform an implicit
+ACT/PRE cycle, fused HAMMERs advance ``count * act_to_act(t_on)``, REF
+takes ``tRFC``).  This module is the *offline driver* over that core:
+``Loop`` bodies are **not** unrolled beyond a few iterations — the
+driver (:class:`repro.lint.stream.StreamingVerifier`) detects the loop's
+steady state (constant per-iteration time/activation/refresh deltas and
+a stationary row-buffer signature) and extrapolates the remaining
+iterations arithmetically, so verifying a million-activation hammer
+program costs the same as verifying its body once.  The extrapolation
+counts commands identically to :meth:`TestProgram.static_command_count`
+— a property test holds the two to bit-equality, and another holds this
+batch verifier bit-equal to feeding the same streaming checker
+incrementally.
 
 Rule catalog (severities in :mod:`repro.lint.findings`):
 
@@ -53,48 +57,19 @@ P004/P005/P006.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence
 
-from repro.bender.program import Instruction, Loop, TestProgram
-from repro.dram.commands import Command, CommandKind
+from repro.bender.program import TestProgram
 from repro.dram.timing import DEFAULT_TIMINGS, TimingParameters
-from repro.lint.findings import Finding, Rule, RuleCatalog
+from repro.lint.findings import Finding
+from repro.lint.stream import (FULL_WALK_LIMIT, MAX_STEADY_WALK,
+                               PROTOCOL_RULES, StreamingVerifier,
+                               TimingChecker, refreshed_pcs_of)
 
-#: Flat per-row readback/write IO time; must match the device engine.
-from repro.dram.device import ROW_IO_NS
-
-#: Maximum loop iterations walked while hunting for a steady state.
-MAX_STEADY_WALK = 4
-
-#: Loops at most this long are fully walked when no steady state is
-#: found; longer non-converging loops fall back to extrapolation from
-#: the last observed iteration (a documented approximation).
-FULL_WALK_LIMIT = 4096
-
-PROTOCOL_RULES = RuleCatalog()
-PROTOCOL_RULES.register(Rule(
-    "P001", "act-open-bank", "error",
-    "ACT/HAMMER to a bank with a row already open"))
-PROTOCOL_RULES.register(Rule(
-    "P002", "rw-conflict", "error",
-    "RD/WR to a bank with a different row open"))
-PROTOCOL_RULES.register(Rule(
-    "P003", "t-aggon", "warning",
-    "declared aggressor on-time below tRAS (min t_AggON)"))
-PROTOCOL_RULES.register(Rule(
-    "P004", "act-budget", "protocol",
-    "per-tREFI activation budget exceeded for one bank"))
-PROTOCOL_RULES.register(Rule(
-    "P005", "ref-postpone", "protocol",
-    "REF postponed beyond 9 x tREFI"))
-PROTOCOL_RULES.register(Rule(
-    "P006", "ref-window", "protocol",
-    "too few REFs to cover the program's refresh windows"))
-
-_BankKey = Tuple[int, int, int]
-_PcKey = Tuple[int, int]
+__all__ = ["PROTOCOL_RULES", "MAX_STEADY_WALK", "FULL_WALK_LIMIT",
+           "TimingChecker", "StreamingVerifier", "VerificationReport",
+           "verify_program", "verify_programs"]
 
 
 @dataclass
@@ -133,310 +108,29 @@ class VerificationReport:
         return "\n".join(lines)
 
 
-@dataclass
-class _BankState:
-    open_row: Optional[int] = None
-    open_since: float = 0.0
-    #: Activations since the pseudo channel's last REF.
-    acts_since_ref: int = 0
-    #: Whether P004 already fired for the current REF segment.
-    budget_reported: bool = False
-
-
-@dataclass
-class _PcState:
-    last_ref_ns: Optional[float] = None
-    refs: int = 0
-
-
-class _Walker:
-    """Symbolic execution state shared across the recursive walk."""
-
-    def __init__(self, program_name: str, timings: TimingParameters,
-                 refreshed_pcs: Set[_PcKey]) -> None:
-        self.name = program_name
-        self.timings = timings
-        #: Pseudo channels the program issues REFs to.  Refresh rules
-        #: (P004/P005/P006) apply only to them; the rest of the stack is
-        #: refresh-disabled for the test, the paper's Section 3.1 mode.
-        self.refreshed_pcs = refreshed_pcs
-        self.clock = 0.0
-        self.commands = 0
-        self.banks: Dict[_BankKey, _BankState] = {}
-        self.pcs: Dict[_PcKey, _PcState] = {}
-        self.findings: List[Finding] = []
-        self._seen: set = set()
-
-    # -- bookkeeping ----------------------------------------------------
-
-    def bank(self, key: _BankKey) -> _BankState:
-        return self.banks.setdefault(key, _BankState())
-
-    def pc(self, key: _PcKey) -> _PcState:
-        return self.pcs.setdefault(key, _PcState())
-
-    def report(self, rule_id: str, message: str, path: str) -> None:
-        """Record a finding once per (rule, instruction path)."""
-        if (rule_id, path) in self._seen:
-            return
-        self._seen.add((rule_id, path))
-        self.findings.append(PROTOCOL_RULES.finding(
-            rule_id, message, f"{self.name}@{path}",
-            command_index=self.commands))
-
-    def signature(self) -> Tuple:
-        """Discrete row-buffer state (steady-state detection)."""
-        return tuple(sorted((key, state.open_row)
-                            for key, state in self.banks.items()))
-
-    # -- command semantics (mirrors HBM2Stack) --------------------------
-
-    def _count_activation(self, key: _BankKey, count: int,
-                          path: str) -> None:
-        bank = self.bank(key)
-        bank.acts_since_ref += count
-        self._check_budget(key, bank, path)
-
-    def _check_budget(self, key: _BankKey, bank: _BankState,
-                      path: str) -> None:
-        if key[:2] not in self.refreshed_pcs or bank.budget_reported:
-            return
-        budget = self.timings.activation_budget
-        if bank.acts_since_ref > budget:
-            bank.budget_reported = True
-            self.report(
-                "P004",
-                f"bank {key} receives {bank.acts_since_ref} activations "
-                f"between REFs (budget {budget})", path)
-
-    def _declared_t_on(self, command: Command, path: str) -> None:
-        if command.t_on is not None and command.t_on < self.timings.t_ras:
-            self.report(
-                "P003",
-                f"declared on-time {command.t_on:g} ns below tRAS "
-                f"{self.timings.t_ras:g} ns; the platform stretches it",
-                path)
-
-    def step(self, command: Command, path: str) -> None:
-        """Advance the symbolic state over one command."""
-        self.commands += 1
-        kind = command.kind
-        timings = self.timings
-        if kind is CommandKind.NOP:
-            return
-        if kind is CommandKind.WAIT:
-            self.clock += command.duration
-            return
-        key = (command.channel, command.pseudo_channel, command.bank)
-        pc_key = (command.channel, command.pseudo_channel)
-        if kind is CommandKind.ACT:
-            self._declared_t_on(command, path)
-            bank = self.bank(key)
-            if bank.open_row is not None:
-                self.report(
-                    "P001",
-                    f"ACT row {command.row} with row {bank.open_row} "
-                    f"already open in bank {key}", path)
-            bank.open_row = command.row
-            bank.open_since = self.clock
-            self._count_activation(key, 1, path)
-            return
-        if kind is CommandKind.PRE:
-            bank = self.bank(key)
-            if bank.open_row is None:
-                return  # no-op PRE: legal, no time advance
-            t_on = self.clock - bank.open_since
-            if t_on < timings.t_ras:
-                self.clock = bank.open_since + timings.t_ras
-            bank.open_row = None
-            self.clock += timings.t_rp
-            return
-        if kind in (CommandKind.RD, CommandKind.WR):
-            bank = self.bank(key)
-            if bank.open_row is not None and bank.open_row != command.row:
-                self.report(
-                    "P002",
-                    f"{kind.value} row {command.row} with row "
-                    f"{bank.open_row} open in bank {key}", path)
-                self.clock += timings.t_rcd + ROW_IO_NS
-                return
-            opened_here = bank.open_row is None
-            if opened_here:
-                self._count_activation(key, 1, path)
-            self.clock += timings.t_rcd + ROW_IO_NS
-            if opened_here:
-                # Implicit PRE; the open time (tRCD + row IO) exceeds
-                # tRAS for every parameter set the paper uses.
-                self.clock += timings.t_rp
-            return
-        if kind is CommandKind.HAMMER:
-            if command.count == 0:
-                return  # the device returns before any check
-            self._declared_t_on(command, path)
-            bank = self.bank(key)
-            if bank.open_row is not None:
-                self.report(
-                    "P001",
-                    f"HAMMER row {command.row} with row {bank.open_row} "
-                    f"already open in bank {key}", path)
-                bank.open_row = None  # the device would have raised
-            t_on = timings.t_ras if command.t_on is None \
-                else max(command.t_on, timings.t_ras)
-            self._count_activation(key, command.count, path)
-            self.clock += command.count * timings.act_to_act(t_on)
-            return
-        if kind is CommandKind.REF:
-            pc = self.pc(pc_key)
-            limit = timings.t_refi + timings.max_ref_postpone
-            if pc.last_ref_ns is not None \
-                    and self.clock - pc.last_ref_ns > limit:
-                self.report(
-                    "P005",
-                    f"REF gap {(self.clock - pc.last_ref_ns) / 1.0e3:.2f}"
-                    f" us exceeds tREFI + 9*tREFI = {limit / 1.0e3:.2f}"
-                    f" us on pseudo channel {pc_key}", path)
-            pc.last_ref_ns = self.clock
-            pc.refs += 1
-            self.clock += timings.t_rfc
-            for key2, bank in self.banks.items():
-                if key2[:2] == pc_key:
-                    bank.acts_since_ref = 0
-                    bank.budget_reported = False
-            return
-        raise ValueError(f"unhandled command kind {kind}")
-
-    # -- deltas for loop extrapolation ----------------------------------
-
-    def snapshot(self) -> Tuple[float, int, Dict[_BankKey, int],
-                                Dict[_PcKey, int]]:
-        return (self.clock, self.commands,
-                {key: state.acts_since_ref
-                 for key, state in self.banks.items()},
-                {key: state.refs for key, state in self.pcs.items()})
-
-    @staticmethod
-    def deltas(before: Tuple, after: Tuple) -> Tuple:
-        clock0, commands0, acts0, refs0 = before
-        clock1, commands1, acts1, refs1 = after
-        act_delta = {key: acts1[key] - acts0.get(key, 0)
-                     for key in acts1}
-        ref_delta = {key: refs1[key] - refs0.get(key, 0)
-                     for key in refs1}
-        return (clock1 - clock0, commands1 - commands0, act_delta,
-                ref_delta)
-
-    @staticmethod
-    def deltas_equal(left: Optional[Tuple], right: Tuple) -> bool:
-        """Delta equality, tolerant of float rounding in the clock."""
-        if left is None:
-            return False
-        return (math.isclose(left[0], right[0],
-                             rel_tol=1.0e-9, abs_tol=1.0e-6)
-                and left[1:] == right[1:])
-
-
-def _refreshed_pcs(instructions: Sequence[Instruction]) -> Set[_PcKey]:
-    """Pseudo channels receiving at least one (reachable) REF."""
-    pcs: Set[_PcKey] = set()
-    for instruction in instructions:
-        if isinstance(instruction, Loop):
-            if instruction.count > 0:
-                pcs |= _refreshed_pcs(instruction.body)
-        elif instruction.kind is CommandKind.REF:
-            pcs.add((instruction.channel, instruction.pseudo_channel))
-    return pcs
-
-
-def _static_count(instructions: Sequence[Instruction]) -> int:
-    total = 0
-    for instruction in instructions:
-        if isinstance(instruction, Loop):
-            total += instruction.count * _static_count(instruction.body)
-        else:
-            total += 1
-    return total
-
-
-def _walk(walker: _Walker, instructions: Sequence[Instruction],
-          prefix: str) -> None:
-    for index, instruction in enumerate(instructions):
-        path = f"{prefix}{index}"
-        if isinstance(instruction, Loop):
-            _walk_loop(walker, instruction, path)
-        else:
-            walker.step(instruction, path)
-
-
-def _walk_loop(walker: _Walker, loop: Loop, path: str) -> None:
-    if loop.count == 0:
-        return
-    walked = 0
-    previous_delta: Optional[Tuple] = None
-    steady_delta: Optional[Tuple] = None
-    while walked < min(loop.count, MAX_STEADY_WALK):
-        sig_before = walker.signature()
-        before = walker.snapshot()
-        _walk(walker, loop.body, f"{path}.")
-        walked += 1
-        delta = _Walker.deltas(before, walker.snapshot())
-        stationary = walker.signature() == sig_before
-        if stationary and _Walker.deltas_equal(previous_delta, delta):
-            steady_delta = delta
-            break
-        previous_delta = delta
-    remaining = loop.count - walked
-    if remaining == 0:
-        return
-    if steady_delta is None and loop.count <= FULL_WALK_LIMIT:
-        for __ in range(remaining):
-            _walk(walker, loop.body, f"{path}.")
-        return
-    # Steady state (or a non-converging loop beyond the full-walk
-    # limit): extrapolate the remaining iterations arithmetically.
-    chosen = steady_delta if steady_delta is not None else previous_delta
-    assert chosen is not None  # walked >= 1, so one delta was recorded
-    dt, __, act_delta, ref_delta = chosen
-    walker.clock += remaining * dt
-    walker.commands += remaining * _static_count(loop.body)
-    for key, per_iter in act_delta.items():
-        if per_iter == 0:
-            continue
-        bank = walker.bank(key)
-        bank.acts_since_ref += remaining * per_iter
-        walker._check_budget(key, bank, path)
-    for pc_key, per_iter in ref_delta.items():
-        if per_iter == 0:
-            continue
-        pc = walker.pc(pc_key)
-        pc.refs += remaining * per_iter
-        if pc.last_ref_ns is not None:
-            pc.last_ref_ns += remaining * dt
-
-
 def verify_program(program: TestProgram,
                    timings: TimingParameters = DEFAULT_TIMINGS
                    ) -> VerificationReport:
-    """Statically verify one test program against the timing rules."""
-    walker = _Walker(program.name, timings,
-                     refreshed_pcs=_refreshed_pcs(program.instructions))
-    _walk(walker, program.instructions, "")
-    # Refresh-window coverage: a refresh-managed program must issue at
-    # least one REF per elapsed tREFI on each refreshed pseudo channel,
-    # less the nine postponements the standard allows.
-    if walker.refreshed_pcs and walker.clock > 0:
-        required = int(walker.clock // timings.t_refi) - 9
-        for pc_key, pc in sorted(walker.pcs.items()):
-            if pc.refs > 0 and pc.refs < required:
-                walker.report(
-                    "P006",
-                    f"pseudo channel {pc_key} issued {pc.refs} REFs over "
-                    f"{walker.clock / 1.0e3:.2f} us; covering every "
-                    f"refresh window needs >= {required}", "end")
+    """Statically verify one test program against the timing rules.
+
+    A thin driver: feeds the program's instruction list through a
+    :class:`~repro.lint.stream.StreamingVerifier` (the streaming
+    checker plus loop extrapolation) and packages the outcome.  The
+    refreshed-pseudo-channel set is precomputed from the whole program,
+    so refresh rules apply from the first command exactly as before.
+    """
+    verifier = StreamingVerifier(
+        program.name, timings,
+        refreshed_pcs=refreshed_pcs_of(program.instructions))
+    for index, instruction in enumerate(program.instructions):
+        verifier.feed(instruction, str(index))
+    verifier.finish()
+    checker = verifier.checker
     return VerificationReport(
         program=program.name,
-        findings=walker.findings,
-        commands_checked=walker.commands,
-        elapsed_ns=walker.clock,
+        findings=list(checker.findings),
+        commands_checked=checker.commands,
+        elapsed_ns=checker.clock,
     )
 
 

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 rendering for lint findings.
+
+Static Analysis Results Interchange Format output lets CI surface the
+protocol verifier and determinism linter in code-scanning UIs without a
+bespoke adapter: ``python -m repro.lint src/repro --format=sarif``.
+
+Mapping choices:
+
+- every catalog rule (P001–P006, D1xx) becomes a ``rules`` entry of one
+  driver named ``repro.lint``,
+- severities map ``error`` → ``"error"``, ``protocol`` → ``"warning"``,
+  ``warning`` → ``"note"`` (SARIF has no fourth level; ``protocol``
+  findings block admission but do not raise on the device, which is
+  exactly SARIF's warning),
+- source locations (``path:line``) become physical locations with a
+  line number; program locations (``program@instruction.path``) have no
+  file on disk and are carried as a logical location.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.determinism import DETERMINISM_RULES
+from repro.lint.findings import Finding, Rule
+from repro.lint.protocol import PROTOCOL_RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Finding severity -> SARIF result level.
+SARIF_LEVELS: Dict[str, str] = {
+    "error": "error",
+    "protocol": "warning",
+    "warning": "note",
+}
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, Any]:
+    return {
+        "id": rule.rule_id,
+        "name": rule.slug,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {
+            "level": SARIF_LEVELS[rule.severity]},
+    }
+
+
+def _location(finding: Finding) -> Dict[str, Any]:
+    location = finding.location
+    head, sep, tail = location.rpartition(":")
+    if sep and tail.isdigit():
+        return {
+            "physicalLocation": {
+                "artifactLocation": {"uri": head},
+                "region": {"startLine": int(tail)},
+            }
+        }
+    return {
+        "logicalLocations": [{"fullyQualifiedName": location}],
+    }
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule,
+        "level": SARIF_LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [_location(finding)],
+    }
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """One SARIF 2.1.0 log document over ``findings``."""
+    rules: List[Dict[str, Any]] = []
+    for catalog in (PROTOCOL_RULES, DETERMINISM_RULES):
+        rules.extend(_rule_descriptor(rule)
+                     for rule in catalog.rules.values())
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.lint",
+                    "rules": rules,
+                },
+            },
+            "results": [_result(finding) for finding in findings],
+        }],
+    }

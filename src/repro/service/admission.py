@@ -201,22 +201,40 @@ class AdmissionGate:
 
     @staticmethod
     def _check_program(program: str) -> None:
-        """The lint strict gate: assemble + statically verify."""
+        """The lint strict gate: assemble + statically verify.
+
+        Streams the program through the incremental verifier
+        (:class:`~repro.lint.stream.StreamingVerifier`) and stops at the
+        first blocking (``error`` or ``protocol`` severity) finding —
+        the service never walks the remainder of a program it is going
+        to reject anyway.  Verdicts are those of the batch verifier:
+        both are the same streaming checker.
+        """
         if len(program.encode("utf-8")) > MAX_PROGRAM_BYTES:
             raise AdmissionError(
                 f"program exceeds {MAX_PROGRAM_BYTES} bytes",
                 field="program")
         from repro.bender.assembler import AssemblyError, assemble
-        from repro.lint import verify_program
+        from repro.lint import StreamingVerifier, refreshed_pcs_of
 
         try:
             parsed = assemble(program, name="request-program")
         except AssemblyError as exc:
             raise AdmissionError(f"does not assemble: {exc}",
                                  field="program") from exc
-        report = verify_program(parsed)
-        blocking = [finding for finding in report.findings
-                    if finding.severity in ("error", "protocol")]
+        verifier = StreamingVerifier(
+            parsed.name,
+            refreshed_pcs=refreshed_pcs_of(parsed.instructions))
+        blocking = []
+        for index, instruction in enumerate(parsed.instructions):
+            new = verifier.feed(instruction, str(index))
+            blocking = [finding for finding in new
+                        if finding.severity in ("error", "protocol")]
+            if blocking:
+                break
+        else:
+            blocking = [finding for finding in verifier.finish()
+                        if finding.severity in ("error", "protocol")]
         if blocking:
             raise AdmissionError(
                 f"failed static verification with {len(blocking)} "

@@ -1,0 +1,154 @@
+"""Suite for online protocol checking (``Interpreter.run_checked``).
+
+Contract under test: with the streaming checker riding the interpreter,
+error-severity findings and device ``TimingError``s agree command for
+command — including on fault-plan-mutated streams, where the checker
+judges the stream the device actually saw (drops removed, ghosts
+doubled, clock pinned to the device).  ``HBMSIM_LINT=online`` routes
+``run()`` through the checked path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bender.interpreter import Interpreter
+from repro.bender.program import TestProgram
+from repro.dram.device import HBM2Stack
+from repro.dram.geometry import RowAddress
+from repro.errors import TimingError
+from repro.faults.plan import FaultPlan
+
+ROW = RowAddress(0, 0, 0, 100)
+OTHER = RowAddress(0, 0, 0, 101)
+
+
+def conflict_program():
+    program = TestProgram("conflict")
+    program.activate(ROW)
+    program.activate(OTHER)  # P001 -> device TimingError
+    return program
+
+
+def clean_program():
+    program = TestProgram("clean")
+    program.activate(ROW)
+    program.precharge(ROW)
+    program.hammer(OTHER, 5)
+    program.refresh(0, 0)
+    return program
+
+
+class TestRunChecked:
+    def test_clean_program_yields_no_findings(self):
+        interpreter = Interpreter(HBM2Stack())
+        emitted = []
+        result, findings = interpreter.run_checked(
+            clean_program(), on_finding=emitted.append)
+        assert findings == [] and emitted == []
+        assert result.commands_executed == 4
+
+    def test_result_matches_plain_run(self):
+        program = clean_program()
+        program.read_row(ROW, tag="t")
+        checked, findings = Interpreter(HBM2Stack()).run_checked(
+            program, on_finding=lambda f: None)
+        plain = Interpreter(HBM2Stack()).run(program)
+        assert findings == []
+        assert checked.commands_executed == plain.commands_executed
+        assert checked.elapsed_ns == plain.elapsed_ns
+        assert checked.read("t").tobytes() == plain.read("t").tobytes()
+
+    def test_timing_error_is_predicted_then_reraised(self):
+        interpreter = Interpreter(HBM2Stack())
+        emitted = []
+        with pytest.raises(TimingError):
+            interpreter.run_checked(conflict_program(),
+                                    on_finding=emitted.append)
+        assert [f.rule for f in emitted if f.severity == "error"] \
+            == ["P001"]
+
+    def test_default_sink_prints_warn_format(self, capsys):
+        interpreter = Interpreter(HBM2Stack())
+        with pytest.raises(TimingError):
+            interpreter.run_checked(conflict_program())
+        err = capsys.readouterr().err
+        assert "HBMSIM_LINT:" in err and "P001" in err
+
+    def test_dropped_commands_never_reach_the_checker(self):
+        # drop_rate=1.0 loses every droppable command: both ACTs are
+        # dropped, the device never raises, and the checker - judging
+        # the mutated stream - reports nothing either.
+        plan = FaultPlan(seed=3, drop_rate=1.0)
+        interpreter = Interpreter(HBM2Stack(), fault_plan=plan)
+        result, findings = interpreter.run_checked(
+            conflict_program(), on_finding=lambda f: None)
+        assert findings == []
+        assert result.commands_executed == 2
+
+    def test_clock_pinned_to_device_under_jitter(self):
+        plan = FaultPlan(seed=5, act_jitter_rate=1.0, act_jitter_ns=7.0)
+        device = HBM2Stack()
+        interpreter = Interpreter(device, fault_plan=plan)
+        program = TestProgram("jitter")
+        program.activate(ROW)
+        program.precharge(ROW)
+        __, findings = interpreter.run_checked(program,
+                                               on_finding=lambda f: None)
+        assert findings == []
+
+    def test_ghosted_ref_checked_twice(self):
+        # ghost_rate=1.0 re-executes every PRE/REF; the checker must
+        # count both REFs or its refresh bookkeeping drifts from the
+        # device's.
+        from repro.lint.stream import TimingChecker
+
+        plan = FaultPlan(seed=11, ghost_rate=1.0)
+        interpreter = Interpreter(HBM2Stack(), fault_plan=plan)
+        program = TestProgram("ghost")
+        program.refresh(0, 0)
+        counted = []
+        original = TimingChecker.step
+
+        def counting_step(self, command, path):
+            counted.append(command.kind.value)
+            original(self, command, path)
+
+        TimingChecker.step = counting_step
+        try:
+            interpreter.run_checked(program, on_finding=lambda f: None)
+        finally:
+            TimingChecker.step = original
+        assert counted.count("REF") == 2
+
+
+class TestOnlineEnvMode:
+    def test_run_dispatches_to_checked_path(self, monkeypatch, capsys):
+        monkeypatch.setenv("HBMSIM_LINT", "online")
+        interpreter = Interpreter(HBM2Stack())
+        with pytest.raises(TimingError):
+            interpreter.run(conflict_program())
+        err = capsys.readouterr().err
+        assert "P001" in err
+
+    def test_clean_run_unchanged_under_online(self, monkeypatch):
+        program = clean_program()
+        program.read_row(ROW, tag="t")
+        monkeypatch.delenv("HBMSIM_LINT", raising=False)
+        plain = Interpreter(HBM2Stack()).run(program)
+        monkeypatch.setenv("HBMSIM_LINT", "online")
+        online = Interpreter(HBM2Stack()).run(program)
+        assert online.elapsed_ns == plain.elapsed_ns
+        assert online.read("t").tobytes() == plain.read("t").tobytes()
+
+    def test_executor_degrades_online_to_static_warn(self, monkeypatch,
+                                                     capsys):
+        # The compiled engine has no per-command dispatch; under
+        # `online` its pre-execution gate verifies statically and
+        # prints, like warn - but still executes.
+        from repro.bender.compile import PlanExecutor
+
+        monkeypatch.setenv("HBMSIM_LINT", "online")
+        executor = PlanExecutor(HBM2Stack())
+        with pytest.raises(TimingError):
+            executor.run(conflict_program())
+        assert "P001" in capsys.readouterr().err

@@ -1,0 +1,91 @@
+"""Suite for the fuzz-case generator (``repro.fuzz.generator``).
+
+Contract under test: cases are pure functions of ``(seed, index)``,
+stay within the assembly language's expressive range (round-trip
+through disassemble/assemble), and the distribution actually exercises
+the shapes the harness cross-checks (loops, REFs, hammers, fault
+plans, TRR both ways).
+"""
+
+from repro.bender.assembler import assemble, disassemble
+from repro.bender.program import Loop
+from repro.dram.commands import CommandKind
+from repro.fuzz.generator import FuzzCase, generate_case
+
+ROW_BYTES = 128
+
+
+def _stream_key(program):
+    return [(c.kind, c.channel, c.pseudo_channel, c.bank, c.row,
+             c.count, c.t_on, c.duration,
+             None if c.data is None else c.data.tobytes())
+            for c in program.flatten()]
+
+
+class TestDeterminism:
+    def test_same_seed_index_same_case(self):
+        for index in range(10):
+            first = generate_case(42, index, row_bytes=ROW_BYTES)
+            second = generate_case(42, index, row_bytes=ROW_BYTES)
+            assert _stream_key(first.program) \
+                == _stream_key(second.program)
+            assert first.trr_enabled == second.trr_enabled
+            assert first.fault_plan == second.fault_plan
+
+    def test_different_indices_differ(self):
+        streams = {tuple(_stream_key(
+            generate_case(42, index, row_bytes=ROW_BYTES).program))
+            for index in range(10)}
+        assert len(streams) > 1
+
+    def test_case_name_encodes_seed_and_index(self):
+        case = generate_case(7, 3, row_bytes=ROW_BYTES)
+        assert case.name == "fuzz-7-3"
+
+
+class TestRoundTrip:
+    def test_every_case_round_trips_through_assembly(self):
+        for index in range(40):
+            case = generate_case(1, index, row_bytes=ROW_BYTES)
+            rebuilt = assemble(disassemble(case.program),
+                               name=case.name, row_bytes=ROW_BYTES)
+            assert _stream_key(rebuilt) == _stream_key(case.program)
+
+
+class TestDistribution:
+    def test_distribution_covers_the_interesting_shapes(self):
+        kinds = set()
+        saw_loop = saw_plan = saw_no_plan = 0
+        trr_values = set()
+        for index in range(80):
+            case = generate_case(0, index, row_bytes=ROW_BYTES)
+            trr_values.add(case.trr_enabled)
+            if case.fault_plan is None:
+                saw_no_plan += 1
+            else:
+                saw_plan += 1
+            for instruction in case.program.instructions:
+                if isinstance(instruction, Loop):
+                    saw_loop += 1
+            kinds.update(c.kind for c in case.program.flatten())
+        assert {CommandKind.ACT, CommandKind.REF, CommandKind.HAMMER,
+                CommandKind.WAIT} <= kinds
+        assert saw_loop > 5
+        assert saw_plan > 10 and saw_no_plan > 10
+        assert trr_values == {True, False}
+
+    def test_fault_plans_are_wall_clock_safe(self):
+        for index in range(80):
+            case = generate_case(0, index, row_bytes=ROW_BYTES)
+            if case.fault_plan is not None:
+                assert case.fault_plan.stall_rate == 0.0
+                assert case.fault_plan.hang_rate == 0.0
+
+
+class TestFuzzCase:
+    def test_with_program_keeps_context(self):
+        case = generate_case(5, 0, row_bytes=ROW_BYTES)
+        replaced = case.with_program(case.program)
+        assert isinstance(replaced, FuzzCase)
+        assert replaced.seed == case.seed
+        assert replaced.fault_plan == case.fault_plan

@@ -96,6 +96,124 @@ def test_repo_sources_exit_zero():
     assert main([str(src)]) == 0
 
 
+# -- output formats ------------------------------------------------------
+
+
+def test_format_json_is_byte_identical_to_json_flag(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n", encoding="utf-8")
+    assert main([str(dirty), "--json"]) == 1
+    via_alias = capsys.readouterr().out
+    assert main([str(dirty), "--format=json"]) == 1
+    via_format = capsys.readouterr().out
+    assert via_alias == via_format
+
+
+def test_json_conflicts_with_other_format(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(FIXTURES / "clean.sbp"), "--json", "--format=sarif"])
+    assert excinfo.value.code == 2
+
+
+def test_sarif_output(capsys):
+    import json
+
+    assert main([str(FIXTURES / "double_act.sbp"),
+                 "--format=sarif", "--no-baseline"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.lint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"P001", "P006", "D101", "D105"} <= rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "P001"
+    assert result["level"] == "error"
+    assert result["locations"][0]["logicalLocations"][0][
+        "fullyQualifiedName"].startswith("double_act.sbp@")
+
+
+def test_sarif_source_locations_carry_line_numbers(tmp_path, capsys):
+    import json
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n", encoding="utf-8")
+    assert main([str(dirty), "--format=sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    location = payload["runs"][0]["results"][0]["locations"][0]
+    physical = location["physicalLocation"]
+    assert physical["artifactLocation"]["uri"].endswith("dirty.py")
+    assert physical["region"]["startLine"] == 2
+
+
+def test_sarif_severity_mapping(capsys):
+    import json
+
+    assert main([str(FIXTURES / "budget_overflow.sbp"),
+                 "--format=sarif", "--no-baseline"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    levels = {r["ruleId"]: r["level"]
+              for r in payload["runs"][0]["results"]}
+    assert levels["P004"] == "warning"  # protocol -> warning
+
+
+# -- baseline rot gate ---------------------------------------------------
+
+
+def _rotted_baseline(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        '{"version": 1, "suppressions": ['
+        '{"rule": "P001", "location": "nonexistent.sbp",'
+        ' "reason": "rotted"}]}\n', encoding="utf-8")
+    return baseline
+
+
+def test_fail_unused_exits_one_on_rotted_baseline(tmp_path, capsys):
+    baseline = _rotted_baseline(tmp_path)
+    assert main([str(FIXTURES / "clean.sbp"),
+                 "--baseline", str(baseline)]) == 0  # note only
+    assert main([str(FIXTURES / "clean.sbp"),
+                 "--baseline", str(baseline), "--fail-unused"]) == 1
+    assert "unused baseline suppression" in capsys.readouterr().err
+
+
+def test_prune_rewrites_baseline(tmp_path, capsys):
+    import json
+
+    baseline = _rotted_baseline(tmp_path)
+    assert main([str(FIXTURES / "clean.sbp"),
+                 "--baseline", str(baseline), "--prune"]) == 0
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    assert payload == {"version": 1, "suppressions": []}
+    # pruned baseline now passes the rot gate
+    assert main([str(FIXTURES / "clean.sbp"),
+                 "--baseline", str(baseline), "--fail-unused"]) == 0
+
+
+def test_prune_keeps_used_suppressions(tmp_path, capsys):
+    import json
+
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "suppressions": [
+            {"rule": "P001", "location": "double_act.sbp@1",
+             "reason": "kept"},
+            {"rule": "P002", "location": "nonexistent.sbp",
+             "reason": "rotted"},
+        ]}), encoding="utf-8")
+    assert main([str(FIXTURES / "double_act.sbp"),
+                 "--baseline", str(baseline), "--prune"]) == 0
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    assert [s["rule"] for s in payload["suppressions"]] == ["P001"]
+
+
+def test_packaged_baseline_has_no_rot():
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    assert main([str(src), "--routines", "--fail-unused"]) == 0
+
+
 # -- HBMSIM_LINT interpreter gate ----------------------------------------
 
 
@@ -108,11 +226,13 @@ def _violating_program():
 
 
 def test_lint_mode_parsing(monkeypatch):
+    # Unrecognized values (warn-once fallback) are covered in
+    # tests/lint/test_config.py.
     for raw, expected in [("", LintMode.OFF), ("off", LintMode.OFF),
                           ("0", LintMode.OFF), ("warn", LintMode.WARN),
                           ("1", LintMode.WARN),
                           ("strict", LintMode.STRICT),
-                          ("bogus", LintMode.WARN)]:
+                          ("online", LintMode.ONLINE)]:
         monkeypatch.setenv("HBMSIM_LINT", raw)
         assert lint_mode() is expected
     monkeypatch.delenv("HBMSIM_LINT")

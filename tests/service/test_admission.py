@@ -134,6 +134,30 @@ class TestProgramGate:
         assert excinfo.value.findings
         assert any("P001" in str(f) for f in excinfo.value.findings)
 
+    def test_streaming_gate_stops_at_first_blocking_finding(self, gate):
+        # The violation sits before a million-activation hammer; the
+        # streaming gate must reject without walking the rest.
+        from repro.lint.stream import TimingChecker
+
+        program = BAD_PROGRAM + "LOOP 1000000\n  HAMMER 0 0 1 200 1\n" \
+                                "ENDLOOP\n"
+        commands = []
+        original = TimingChecker.step
+
+        def counting_step(self, command, path):
+            commands.append(path)
+            original(self, command, path)
+
+        TimingChecker.step = counting_step
+        try:
+            with pytest.raises(AdmissionError) as excinfo:
+                gate.admit({"program": program})
+        finally:
+            TimingChecker.step = original
+        assert excinfo.value.field == "program"
+        # Only the two ACTs were walked - never the loop body.
+        assert len(commands) == 2
+
     def test_unassemblable_program_rejected(self, gate):
         with pytest.raises(AdmissionError) as excinfo:
             gate.admit({"program": "FROB 1 2 3"})
