@@ -13,7 +13,8 @@ from repro.bender.routines.hammer import (build_double_sided,
                                           double_sided_hammer,
                                           single_sided_hammer)
 from repro.bender.routines.hcfirst import (HcFirstResult, HcNthResult,
-                                           measure_hc_nth, search_hc_first)
+                                           measure_hc_nth, search_hc_first,
+                                           search_hc_first_rows)
 from repro.bender.routines.mapping_reveng import (AdjacencyObservation,
                                                   identify_mapping,
                                                   observe_adjacency)
@@ -38,6 +39,7 @@ __all__ = [
     "HcNthResult",
     "measure_hc_nth",
     "search_hc_first",
+    "search_hc_first_rows",
     "AdjacencyObservation",
     "identify_mapping",
     "observe_adjacency",

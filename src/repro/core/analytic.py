@@ -222,6 +222,27 @@ def combo_ber_matrix(chip: ChipProfile, combos: Sequence[Combo],
     return matrix
 
 
+def combo_first_seeds(chip: ChipProfile, combos: Sequence[Combo],
+                      rows: np.ndarray, pattern: str) -> np.ndarray:
+    """Each combo's first-row profile seed as a ``(C,)`` uint64 array.
+
+    ``first_seeds[c]`` equals ``population_grid(chip, *combos[c], rows,
+    pattern).profile_seeds.reshape(-1)[0]`` — the seed
+    :meth:`~repro.chips.vectorized._PopulationMeasurements.sampled_ber`
+    derives its default generator from — so batched samplers can
+    replicate per-grid unit-local noise without building the grids.
+    Chunk-streamed under the ``HBMSIM_CELLS_CHUNK`` working-set bound.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    seeds = np.empty(len(combos), dtype=np.uint64)
+    for start, stop in _combo_chunks(len(combos), rows.size):
+        batch = combo_population(chip, list(combos[start:stop]), rows,
+                                 pattern)
+        seeds[start:stop] = batch.profile_seeds.reshape(
+            stop - start, rows.size)[:, 0]
+    return seeds
+
+
 def wcdp_hc_first_multi(chip: ChipProfile, combos: Sequence[Combo],
                         rows: np.ndarray,
                         t_on: Optional[float] = None

@@ -101,43 +101,59 @@ def rowpress_ber_study(chips: Sequence[ChipProfile],
                        hammer_count: int = metrics.ROWPRESS_BER_HAMMERS,
                        pattern: str = "Checkered0",
                        bank: int = 0, pseudo_channel: int = 0,
-                       seed: int = 23) -> RowPressBerStudy:
-    """Run the Fig. 12 study."""
+                       channel_range: Optional[Tuple[int, int]] = None
+                       ) -> RowPressBerStudy:
+    """Run the Fig. 12 study.
+
+    Sampling noise is unit-local per (channel, t_on) — each draw comes
+    from a fresh generator seeded by the channel population's first
+    profile seed, exactly the scalar ``sampled_ber(eff, None)`` default
+    — so a ``channel_range`` slice measures exactly the matching
+    channels of the full study (the shard-parallel Fig. 12 contract).
+    """
     channel_means: Dict[str, Dict[float, Dict[int, float]]] = {}
     expected_means: Dict[str, Dict[float, Dict[int, float]]] = {}
     for chip in chips:
-        rng = np.random.default_rng(seed + chip.spec.index)
         rows = np.concatenate([
             analytic.segment_rows(chip.geometry.rows, segment,
                                   rows_per_segment)
             for segment in ("first", "middle", "last")])
-        by_t: Dict[float, Dict[int, float]] = {}
-        expected_by_t: Dict[float, Dict[int, float]] = {}
-        n_channels = chip.geometry.channels
-        if batch_enabled():
+        by_t: Dict[float, Dict[int, float]] = {t: {} for t in t_ons}
+        expected_by_t: Dict[float, Dict[int, float]] = {
+            t: {} for t in t_ons}
+        channels = list(range(chip.geometry.channels))
+        if channel_range is not None:
+            start, stop = channel_range
+            if not 0 <= start <= stop <= len(channels):
+                raise ValueError(f"channel range {channel_range} outside "
+                                 f"[0, {len(channels)}]")
+            channels = channels[start:stop]
+        if batch_enabled() and channels:
             combos = [(channel, pseudo_channel, bank)
-                      for channel in range(n_channels)]
+                      for channel in channels]
             batch = analytic.combo_population(chip, combos, rows, pattern)
+            first_seeds = batch.profile_seeds.reshape(
+                len(channels), rows.size)[:, 0]
             for t_on in t_ons:
                 eff = analytic.effective_hammers(chip, hammer_count, t_on)
-                probabilities = batch.ber(eff).reshape(n_channels,
+                probabilities = batch.ber(eff).reshape(len(channels),
                                                        rows.size)
-                by_t[t_on] = {
-                    channel: float((rng.binomial(
-                        8192, probabilities[channel]) / 8192.0).mean())
-                    for channel in range(n_channels)}
-                expected_by_t[t_on] = {
-                    channel: float(probabilities[channel].mean())
-                    for channel in range(n_channels)}
+                for index, channel in enumerate(channels):
+                    rng = np.random.default_rng(
+                        int(first_seeds[index]) & 0x7FFFFFFF)
+                    by_t[t_on][channel] = float((rng.binomial(
+                        8192, probabilities[index]) / 8192.0).mean())
+                    expected_by_t[t_on][channel] = float(
+                        probabilities[index].mean())
         else:
             grids = {
                 channel: analytic.population_grid(
                     chip, channel, pseudo_channel, bank, rows, pattern)
-                for channel in range(chip.geometry.channels)}
+                for channel in channels}
             for t_on in t_ons:
                 eff = analytic.effective_hammers(chip, hammer_count, t_on)
                 by_t[t_on] = {
-                    channel: float(grid.sampled_ber(eff, rng).mean())
+                    channel: float(grid.sampled_ber(eff, None).mean())
                     for channel, grid in grids.items()}
                 expected_by_t[t_on] = {
                     channel: float(grid.ber(eff).mean())
@@ -182,17 +198,26 @@ def rowpress_hcfirst_study(chips: Sequence[ChipProfile],
                            rows_per_channel: int = 384,
                            channels: Tuple[int, ...] = (0, 1, 2),
                            pattern: str = "Checkered0",
-                           bank: int = 0, pseudo_channel: int = 0
+                           bank: int = 0, pseudo_channel: int = 0,
+                           channel_range: Optional[Tuple[int, int]] = None
                            ) -> RowPressHcFirstStudy:
     """Run the Fig. 13 study.
 
     A row is included only when, at *every* tested on-time, its first
     bitflip can be induced within the 32 ms refresh window (HC_first times
-    the double-sided cycle time fits in tREFW).
+    the double-sided cycle time fits in tREFW).  The sweep is rng-free
+    and per-channel, so a ``channel_range`` slice of ``channels``
+    measures exactly the matching block of the full study's arrays.
     """
+    if channel_range is not None:
+        start, stop = channel_range
+        if not 0 <= start <= stop <= len(channels):
+            raise ValueError(f"channel range {channel_range} outside "
+                             f"[0, {len(channels)}]")
+        channels = channels[start:stop]
     hc_by_chip: Dict[str, Dict[float, np.ndarray]] = {}
     included: Dict[str, int] = {}
-    use_batch = batch_enabled()
+    use_batch = batch_enabled() and bool(channels)
     for chip in chips:
         rows = analytic.stratified_rows(chip.geometry.rows,
                                         rows_per_channel)
@@ -232,7 +257,8 @@ def rowpress_hcfirst_study(chips: Sequence[ChipProfile],
             for t in t_ons:
                 per_t[t].append(hc_per_t[t][mask])
         hc_by_chip[chip.label] = {
-            t: np.concatenate(values) for t, values in per_t.items()}
+            t: np.concatenate(values) if values else np.empty(0)
+            for t, values in per_t.items()}
         included[chip.label] = int(sum(mask.sum() for mask in keep_masks))
     return RowPressHcFirstStudy(pattern, tuple(t_ons), hc_by_chip, included)
 

@@ -98,43 +98,81 @@ class ChipBerStudy:
         return max(means) - min(means)
 
 
+def chip_ber_flats(chips: Sequence[ChipProfile],
+                   rows_per_channel: int = 16384,
+                   hammer_count: int = metrics.BER_TEST_HAMMERS,
+                   bank: int = 0, pseudo_channel: int = 0,
+                   sampled: bool = True,
+                   unit_range: Optional[Tuple[int, int]] = None
+                   ) -> Dict[str, Dict[str, np.ndarray]]:
+    """Chip label -> pattern -> flat channel-major BER over a unit range.
+
+    The BER row sweeps (Figs. 4 and 6) decompose into one unit per
+    channel.  Sampling is *unit-local* — each (channel, pattern) grid
+    draws its binomial noise from a generator seeded by its own first
+    profile seed (``rng=None`` down the stack) — so a unit's values do
+    not depend on which other units share the call.  Concatenating the
+    flats of consecutive unit ranges therefore reproduces the
+    whole-sweep flat bit-for-bit, on either engine — the contract of the
+    shard-parallel experiment path.
+    """
+    use_batch = batch_enabled()
+    flats: Dict[str, Dict[str, np.ndarray]] = {}
+    for chip in chips:
+        channels = list(range(chip.geometry.channels))
+        if unit_range is not None:
+            start, stop = unit_range
+            if not 0 <= start <= stop <= len(channels):
+                raise ValueError(
+                    f"unit range {unit_range} outside [0, {len(channels)}]")
+            channels = channels[start:stop]
+        if not channels:
+            flats[chip.label] = {name: np.empty(0)
+                                 for name in PATTERN_COLUMNS}
+            continue
+        rows = analytic.stratified_rows(chip.geometry.rows,
+                                        rows_per_channel)
+        if use_batch:
+            combos = [(channel, pseudo_channel, bank)
+                      for channel in channels]
+            bers = analytic.wcdp_ber_multi(chip, combos, rows,
+                                           hammer_count, rng=None,
+                                           sampled=sampled)
+            flats[chip.label] = {
+                name: np.asarray(bers[name]).reshape(-1)
+                for name in PATTERN_COLUMNS}
+        else:
+            per_pattern: Dict[str, List[np.ndarray]] = {
+                name: [] for name in PATTERN_COLUMNS}
+            for channel in channels:
+                bers = analytic.wcdp_ber(chip, channel, pseudo_channel,
+                                         bank, rows, hammer_count,
+                                         rng=None, sampled=sampled)
+                for name in PATTERN_COLUMNS:
+                    per_pattern[name].append(bers[name])
+            flats[chip.label] = {
+                name: np.concatenate(values)
+                for name, values in per_pattern.items()}
+    return flats
+
+
 def chip_ber_study(chips: Sequence[ChipProfile],
                    rows_per_channel: int = 16384,
                    hammer_count: int = metrics.BER_TEST_HAMMERS,
                    bank: int = 0, pseudo_channel: int = 0,
-                   seed: int = 7, sampled: bool = True) -> ChipBerStudy:
+                   sampled: bool = True) -> ChipBerStudy:
     """Run the Fig. 4 study (Table 2: all rows, 1 bank, 1 PC, 8 channels).
 
     ``sampled=False`` removes the finite-row binomial noise — useful for
-    spread statistics at reduced population scales.
+    spread statistics at reduced population scales.  Sampling noise is
+    unit-local per channel (see :func:`chip_ber_flats`).
     """
-    use_batch = batch_enabled()
-    summaries: Dict[str, Dict[str, DistributionSummary]] = {}
-    for chip in chips:
-        rng = np.random.default_rng(seed + chip.spec.index)
-        rows = analytic.stratified_rows(chip.geometry.rows,
-                                        rows_per_channel)
-        per_pattern: Dict[str, List[np.ndarray]] = {
-            name: [] for name in PATTERN_COLUMNS}
-        if use_batch:
-            combos = [(channel, pseudo_channel, bank)
-                      for channel in range(chip.geometry.channels)]
-            bers = analytic.wcdp_ber_multi(chip, combos, rows,
-                                           hammer_count, rng=rng,
-                                           sampled=sampled)
-            for name in PATTERN_COLUMNS:
-                per_pattern[name].extend(bers[name])
-        else:
-            for channel in range(chip.geometry.channels):
-                bers = analytic.wcdp_ber(chip, channel, pseudo_channel,
-                                         bank, rows, hammer_count, rng=rng,
-                                         sampled=sampled)
-                for name in PATTERN_COLUMNS:
-                    per_pattern[name].append(bers[name])
-        summaries[chip.label] = {
-            name: DistributionSummary.of(np.concatenate(values))
-            for name, values in per_pattern.items()}
-    return ChipBerStudy(hammer_count, summaries)
+    flats = chip_ber_flats(chips, rows_per_channel, hammer_count, bank,
+                           pseudo_channel, sampled)
+    return ChipBerStudy(hammer_count, {
+        label: {name: DistributionSummary.of(flat[name])
+                for name in PATTERN_COLUMNS}
+        for label, flat in flats.items()})
 
 
 @dataclass
@@ -238,29 +276,26 @@ class ChannelStudy:
 def channel_ber_study(chip: ChipProfile, rows_per_channel: int = 16384,
                       hammer_count: int = metrics.BER_TEST_HAMMERS,
                       bank: int = 0, pseudo_channel: int = 0,
-                      seed: int = 11, sampled: bool = True) -> ChannelStudy:
+                      sampled: bool = True) -> ChannelStudy:
     """Run the Fig. 6 study for one chip (see ``chip_ber_study`` for
-    the ``sampled`` flag)."""
-    rng = np.random.default_rng(seed + chip.spec.index)
-    rows = analytic.stratified_rows(chip.geometry.rows, rows_per_channel)
+    the ``sampled`` flag; sampling noise is unit-local per channel)."""
+    flats = chip_ber_flats([chip], rows_per_channel, hammer_count, bank,
+                           pseudo_channel, sampled)
+    return ChannelStudy(chip.label, "ber", channel_ber_summaries(
+        flats[chip.label], chip.geometry.channels))
+
+
+def channel_ber_summaries(flat: Dict[str, np.ndarray], channels: int
+                          ) -> Dict[str, Dict[int, DistributionSummary]]:
+    """Per-channel summaries from one chip's channel-major BER flat."""
     summaries: Dict[str, Dict[int, DistributionSummary]] = {
         name: {} for name in PATTERN_COLUMNS}
-    if batch_enabled():
-        combos = [(channel, pseudo_channel, bank)
-                  for channel in range(chip.geometry.channels)]
-        bers = analytic.wcdp_ber_multi(chip, combos, rows, hammer_count,
-                                       rng=rng, sampled=sampled)
-        for name in PATTERN_COLUMNS:
-            for channel in range(chip.geometry.channels):
-                summaries[name][channel] = DistributionSummary.of(
-                    bers[name][channel])
-        return ChannelStudy(chip.label, "ber", summaries)
-    for channel in range(chip.geometry.channels):
-        bers = analytic.wcdp_ber(chip, channel, pseudo_channel, bank, rows,
-                                 hammer_count, rng=rng, sampled=sampled)
-        for name in PATTERN_COLUMNS:
-            summaries[name][channel] = DistributionSummary.of(bers[name])
-    return ChannelStudy(chip.label, "ber", summaries)
+    for name in PATTERN_COLUMNS:
+        matrix = np.asarray(flat[name]).reshape(channels, -1)
+        for channel in range(channels):
+            summaries[name][channel] = DistributionSummary.of(
+                matrix[channel])
+    return summaries
 
 
 def channel_summaries_from_flat(flat: Dict[str, np.ndarray],
@@ -355,22 +390,26 @@ def row_ber_profile(chip: ChipProfile,
                     channels: Tuple[int, ...] = (0, 3, 7),
                     bank: int = 0, pseudo_channel: int = 0,
                     row_stride: int = 1,
-                    hammer_count: int = metrics.BER_TEST_HAMMERS,
-                    seed: int = 13) -> RowProfileStudy:
-    """Run the Fig. 8 study: per-row WCDP BER across a bank."""
-    rng = np.random.default_rng(seed + chip.spec.index)
+                    hammer_count: int = metrics.BER_TEST_HAMMERS
+                    ) -> RowProfileStudy:
+    """Run the Fig. 8 study: per-row WCDP BER across a bank.
+
+    Sampling noise is unit-local per channel, so a channel's profile is
+    the same whether measured alone or alongside the others — the
+    property the shard-parallel Fig. 8 path relies on.
+    """
     rows = np.arange(0, chip.geometry.rows, row_stride)
     ber_by_channel = {}
-    if batch_enabled():
+    if batch_enabled() and channels:
         combos = [(channel, pseudo_channel, bank) for channel in channels]
         bers = analytic.wcdp_ber_multi(chip, combos, rows, hammer_count,
-                                       rng=rng)
+                                       rng=None)
         for index, channel in enumerate(channels):
             ber_by_channel[channel] = bers["WCDP"][index]
     else:
         for channel in channels:
             bers = analytic.wcdp_ber(chip, channel, pseudo_channel, bank,
-                                     rows, hammer_count, rng=rng)
+                                     rows, hammer_count, rng=None)
             ber_by_channel[channel] = bers["WCDP"]
     return RowProfileStudy(
         chip_label=chip.label,
@@ -428,9 +467,15 @@ class BankVariationStudy:
 def bank_variation_study(chip: ChipProfile, rows_per_segment: int = 100,
                          pattern: str = "Checkered0",
                          hammer_count: int = metrics.BER_TEST_HAMMERS,
-                         seed: int = 17) -> BankVariationStudy:
-    """Run the Fig. 9 study (first/middle/last 100 rows of all 256 banks)."""
-    rng = np.random.default_rng(seed + chip.spec.index)
+                         combo_range: Optional[Tuple[int, int]] = None
+                         ) -> BankVariationStudy:
+    """Run the Fig. 9 study (first/middle/last 100 rows of all 256 banks).
+
+    Sampling noise is unit-local per (channel, PC, bank) combo — each
+    combo draws from a generator seeded by its own first profile seed —
+    so a ``combo_range`` slice measures exactly the matching slice of
+    the full study's points (the shard-parallel Fig. 9 contract).
+    """
     geometry = chip.geometry
     rows = np.concatenate([
         analytic.segment_rows(geometry.rows, "first", rows_per_segment),
@@ -440,20 +485,33 @@ def bank_variation_study(chip: ChipProfile, rows_per_segment: int = 100,
     study = BankVariationStudy(chip.label)
     eff = analytic.effective_hammers(chip, hammer_count)
     combos = list(geometry.iter_banks())
+    if combo_range is not None:
+        start, stop = combo_range
+        if not 0 <= start <= stop <= len(combos):
+            raise ValueError(
+                f"combo range {combo_range} outside [0, {len(combos)}]")
+        combos = combos[start:stop]
+    if not combos:
+        return study
     if batch_enabled():
         # Chunk-streamed: the 256-bank cross is the largest single
         # population of the suite and must not materialize whole-device.
         probabilities = analytic.combo_ber_matrix(chip, combos, rows,
                                                   pattern, eff)
+        first_seeds = analytic.combo_first_seeds(chip, combos, rows,
+                                                 pattern)
     else:
-        probabilities = None
+        probabilities = first_seeds = None
     for index, (channel, pc, bank) in enumerate(combos):
         if probabilities is not None:
+            # Same generator the scalar grid path seeds below.
+            rng = np.random.default_rng(
+                int(first_seeds[index]) & 0x7FFFFFFF)
             ber = rng.binomial(8192, probabilities[index]) / 8192.0
         else:
             grid = analytic.population_grid(chip, channel, pc, bank, rows,
                                             pattern)
-            ber = grid.sampled_ber(eff, rng)
+            ber = grid.sampled_ber(eff, None)
         mean = float(ber.mean())
         cv = float(ber.std() / mean) if mean > 0 else 0.0
         study.points.append(BankPoint(channel, pc, bank, mean, cv))

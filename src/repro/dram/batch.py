@@ -264,13 +264,17 @@ class RowBatchProfile:
 
     def hammer(self, counts: Union[int, np.ndarray],
                t_on: Optional[float] = None,
-               subset: Optional[np.ndarray] = None) -> BatchHammerResult:
+               subset: Optional[np.ndarray] = None,
+               mirror_trr: bool = True) -> BatchHammerResult:
         """Evaluate a double-sided hammer of ``counts`` per aggressor.
 
         ``counts`` broadcasts over the batch (per-victim counts are what
         the vectorized HC_first bisection feeds).  ``subset`` restricts
         evaluation to the given victim indices (results align with the
-        subset order).
+        subset order).  ``mirror_trr=False`` skips the TRR sampler
+        mirroring — a speculative executor evaluates probes it may later
+        discard and must not leak their activations into the sampler;
+        it replays accepted windows itself via :meth:`mirror_window`.
         """
         device = self.device
         timings = device.timings
@@ -337,7 +341,8 @@ class RowBatchProfile:
                 images ^= np.packbits(corrections, axis=1)
                 observed = committed & ~corrections
 
-        self._mirror_trr(indices, counts)
+        if mirror_trr:
+            self._mirror_trr(indices, counts)
 
         return BatchHammerResult(
             victims=[self.victims[int(i)] for i in indices],
@@ -361,25 +366,32 @@ class RowBatchProfile:
         measurement itself, so this is the only device state the batch
         evaluation has to keep in sync.)
         """
+        for position, index in enumerate(indices):
+            self.mirror_window(int(index), int(counts[position]))
+
+    def mirror_window(self, index: int, count: int) -> None:
+        """Mirror one victim's measurement window into the TRR sampler.
+
+        Public so a speculative executor can replay accepted windows in
+        scalar visit order after evaluating them with
+        ``hammer(..., mirror_trr=False)``.
+        """
         device = self.device
         if not device.trr_config.enabled:
             return
         geometry = device.geometry
-        for position, index in enumerate(indices):
-            victim = self.victims[int(index)]
-            engine = device.trr_engine(victim.channel,
-                                       victim.pseudo_channel)
-            low = max(0, victim.row - self.radius)
-            high = min(geometry.rows - 1, victim.row + self.radius)
-            stream = [(row, 1) for row in range(low, high + 1)]
-            count = int(counts[position])
-            if count > 0:
-                if victim.row - 1 >= 0:
-                    stream.append((victim.row - 1, count))
-                if victim.row + 1 < geometry.rows:
-                    stream.append((victim.row + 1, count))
-            stream.append((victim.row, 1))
-            engine.note_window(victim.bank, stream)
+        victim = self.victims[index]
+        engine = device.trr_engine(victim.channel, victim.pseudo_channel)
+        low = max(0, victim.row - self.radius)
+        high = min(geometry.rows - 1, victim.row + self.radius)
+        stream = [(row, 1) for row in range(low, high + 1)]
+        if count > 0:
+            if victim.row - 1 >= 0:
+                stream.append((victim.row - 1, count))
+            if victim.row + 1 < geometry.rows:
+                stream.append((victim.row + 1, count))
+        stream.append((victim.row, 1))
+        engine.note_window(victim.bank, stream)
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.analysis.reporting import render_table
 from repro.bender.host import BenderSession
-from repro.bender.routines import search_hc_first
+from repro.bender.routines import search_hc_first_rows
 from repro.chips.profiles import make_chip
 from repro.core.patterns import CHECKERED0
 from repro.dram.geometry import RowAddress
@@ -30,8 +30,10 @@ def run(scale: float = 1.0) -> ExperimentResult:
         device = chip.make_device()
         device.set_temperature(temperature)
         session = BenderSession(device, mapping=chip.row_mapping())
-        result = search_hc_first(session, VICTIM, CHECKERED0,
-                                 tolerance=0.01)
+        # One-victim batch: rides the engine (and, under a fault plan,
+        # the speculative-replay path) instead of per-probe commands.
+        result = search_hc_first_rows(session, [VICTIM], CHECKERED0,
+                                      tolerance=0.01)[0]
         hc_series[temperature] = result.hc_first
 
     def retention_failures(temperature: float) -> float:

@@ -6,23 +6,55 @@ Paper headlines (Observations 1-3, Takeaway 1):
 - Chip 0 rows reach up to 3.02% BER (mean 1.04%) and Chip 5 up to 1.82%
   (mean 0.66%) for Checkered0; largest chip-mean difference 0.49 pp (WCDP),
 - checkered patterns beat rowstripes: mean 0.76% vs 0.67% across rows.
+
+The sweep is shardable by channel: binomial sampling is unit-local per
+(channel, pattern) grid (see :func:`repro.core.spatial.chip_ber_flats`),
+so :func:`run_shard` measures one contiguous channel range for every
+chip and :func:`merge_shards` concatenates the per-shard flats back into
+the full population bit-identically to :func:`run`.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
 from repro.analysis.reporting import percent, render_table
 from repro.chips.profiles import all_chips
-from repro.core.spatial import PATTERN_COLUMNS, chip_ber_study
+from repro.core.spatial import (PATTERN_COLUMNS, ChipBerStudy,
+                                DistributionSummary, chip_ber_flats)
+from repro.core import metrics
+from repro.dram.geometry import DEFAULT_GEOMETRY
 from repro.experiments.base import ExperimentResult, scaled
+from repro.experiments.sharding import ShardSpec, SweepExperiment
+from repro.experiments import fig05_hcfirst_chips as _hc_sweep
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
-    """Run the Fig. 4 study at the requested population scale."""
+def shard_units() -> int:
+    """One independently sampled sweep unit per channel."""
+    return DEFAULT_GEOMETRY.channels
+
+
+def chip_flats(scale: float,
+               unit_range: Optional[Tuple[int, int]] = None
+               ) -> Dict[str, Dict[str, np.ndarray]]:
+    """Chip label -> pattern -> channel-major BER flat over a unit range."""
+    return chip_ber_flats(all_chips(),
+                          rows_per_channel=scaled(16384, scale, 64),
+                          unit_range=unit_range)
+
+
+def _render(flats: Dict[str, Dict[str, np.ndarray]],
+            scale: float) -> ExperimentResult:
+    """Build the full Fig. 4 report from per-chip flat measurements."""
     chips = all_chips()
-    study = chip_ber_study(chips,
-                           rows_per_channel=scaled(16384, scale, 64))
+    study = ChipBerStudy(metrics.BER_TEST_HAMMERS, {
+        label: {name: DistributionSummary.of(flat[name])
+                for name in PATTERN_COLUMNS}
+        for label, flat in flats.items()})
     rows = []
-    data = {}
+    data: Dict[str, Any] = {}
     for label, by_pattern in study.summaries.items():
         for pattern in PATTERN_COLUMNS:
             summary = by_pattern[pattern]
@@ -57,3 +89,31 @@ def run(scale: float = 1.0) -> ExperimentResult:
         "mean_rowstripe": 0.0067,
     }
     return ExperimentResult("fig04", "BER across chips", text, data, paper)
+
+
+SWEEP = SweepExperiment(
+    experiment_id="fig04",
+    title="BER across chips",
+    payload_key="flats",
+    units=shard_units,
+    compute=chip_flats,
+    combine=_hc_sweep.combine_flats,
+    render=_render,
+    describe=_hc_sweep.describe_flats,
+)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Run the Fig. 4 study at the requested population scale."""
+    return SWEEP.run(scale)
+
+
+def run_shard(scale: float, shard: ShardSpec) -> ExperimentResult:
+    """Measure one shard's channel range (a partial for merge_shards)."""
+    return SWEEP.run_shard(scale, shard)
+
+
+def merge_shards(partials: Sequence[ExperimentResult],
+                 scale: float) -> ExperimentResult:
+    """Assemble the full Fig. 4 report from one complete fan-out."""
+    return SWEEP.merge_shards(partials, scale)

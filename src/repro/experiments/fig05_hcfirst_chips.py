@@ -11,7 +11,9 @@ The sweep is shardable: :func:`run_shard` measures one contiguous range
 of (channel, pseudo channel) units and :func:`merge_shards` concatenates
 the per-shard flats back into the full population — byte-identical to
 :func:`run` because the flat layout is combo-major (see
-:func:`repro.core.spatial.hcfirst_flat`).
+:func:`repro.core.spatial.hcfirst_flat`).  The sharding protocol lives
+in :class:`~repro.experiments.sharding.SweepExperiment`; this module
+supplies compute/combine/render.
 """
 
 from __future__ import annotations
@@ -25,9 +27,8 @@ from repro.chips.profiles import all_chips
 from repro.core.spatial import (PATTERN_COLUMNS, ChipHcFirstStudy,
                                 DistributionSummary, hcfirst_flat)
 from repro.dram.geometry import DEFAULT_GEOMETRY
-from repro.errors import HbmSimError
 from repro.experiments.base import ExperimentResult, scaled
-from repro.experiments.sharding import ShardSpec
+from repro.experiments.sharding import ShardSpec, SweepExperiment
 
 #: Paper Table of per-chip minima (Obsv. 4/5).
 PAPER_MINIMA = {
@@ -64,29 +65,34 @@ def chip_flats(scale: float,
     return flats
 
 
+def combine_flats(payloads: Sequence[Dict[str, Dict[str, np.ndarray]]]
+                  ) -> Dict[str, Dict[str, np.ndarray]]:
+    """Concatenate per-shard flats in shard order (shared with Fig. 7).
+
+    The combo-major layout makes the result bit-identical to an
+    unsharded sweep.
+    """
+    return {
+        label: {name: np.concatenate(
+            [payload[label][name] for payload in payloads])
+            for name in PATTERN_COLUMNS}
+        for label in payloads[0]}
+
+
+def describe_flats(flats: Dict[str, Dict[str, np.ndarray]]) -> str:
+    """Human line for a shard partial (shared with Fig. 7)."""
+    measured = sum(flat["WCDP"].size for flat in flats.values())
+    return f"{measured} row measurements across {len(flats)} chips"
+
+
 def merge_flats(partials: Sequence[ExperimentResult]
                 ) -> Dict[str, Dict[str, np.ndarray]]:
     """Reassemble full flats from per-shard partial results.
 
     Validates coverage (one partial per shard index of one fan-out) and
-    concatenates in shard order — the combo-major layout makes the
-    result bit-identical to an unsharded sweep.
+    concatenates in shard order.
     """
-    if not partials:
-        raise HbmSimError("no shard results to merge")
-    parts = sorted(partials, key=lambda r: r.data["shard_index"])
-    count = parts[0].data["shard_count"]
-    indices = [part.data["shard_index"] for part in parts]
-    if any(part.data["shard_count"] != count for part in parts) \
-            or indices != list(range(count)):
-        raise HbmSimError(
-            f"shard results do not cover one {count}-way fan-out: got "
-            f"indices {indices}")
-    return {
-        label: {name: np.concatenate(
-            [part.data["flats"][label][name] for part in parts])
-            for name in PATTERN_COLUMNS}
-        for label in parts[0].data["flats"]}
+    return dict(SWEEP.merge_payloads(partials))
 
 
 def _render(flats: Dict[str, Dict[str, np.ndarray]],
@@ -134,28 +140,30 @@ def _render(flats: Dict[str, Dict[str, np.ndarray]],
                             paper)
 
 
+SWEEP = SweepExperiment(
+    experiment_id="fig05",
+    title="HC_first across chips",
+    payload_key="flats",
+    units=shard_units,
+    compute=chip_flats,
+    combine=combine_flats,
+    render=_render,
+    describe=describe_flats,
+)
+
+
 def run(scale: float = 1.0) -> ExperimentResult:
     """Run the Fig. 5 study at the requested population scale."""
-    return _render(chip_flats(scale), scale)
+    return SWEEP.run(scale)
 
 
 def run_shard(scale: float, shard: ShardSpec) -> ExperimentResult:
     """Measure one shard's unit range; the result is a partial carrying
     the flat arrays for :func:`merge_shards` (not a Fig. 5 report)."""
-    units = shard_units()
-    start, stop = shard.slice_of(units)
-    flats = chip_flats(scale, (start, stop))
-    measured = sum(flat["WCDP"].size for flat in flats.values())
-    text = (f"fig05 shard {shard.label}: units [{start}, {stop}) of "
-            f"{units}, {measured} row measurements across "
-            f"{len(flats)} chips")
-    data = {"shard_index": shard.index, "shard_count": shard.count,
-            "unit_range": (start, stop), "flats": flats}
-    return ExperimentResult("fig05", "HC_first across chips (shard)",
-                            text, data)
+    return SWEEP.run_shard(scale, shard)
 
 
 def merge_shards(partials: Sequence[ExperimentResult],
                  scale: float) -> ExperimentResult:
     """Assemble the full Fig. 5 report from one complete fan-out."""
-    return _render(merge_flats(partials), scale)
+    return SWEEP.merge_shards(partials, scale)

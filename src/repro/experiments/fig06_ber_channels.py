@@ -9,31 +9,57 @@ Paper headlines (Observations 7-11, Takeaway 3):
   CH3/CH4 in Chip 1),
 - channel-level spread of mean BER (0.88 pp in Chip 4, Checkered0)
   exceeds the chip-level spread (0.38 pp) — except in Chip 5.
+
+The study uses closed-form (noise-free) BER, so one per-channel flat
+serves both the channel-level and chip-level statistics, and the sweep
+shards by channel: :func:`run_shard` computes one contiguous channel
+range for every chip, :func:`merge_shards` concatenates the flats back
+bit-identically to :func:`run`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.reporting import percent, render_table
 from repro.chips.profiles import all_chips
-from repro.core.spatial import channel_ber_study, chip_ber_study, die_pairs
+from repro.core import metrics
+from repro.core.spatial import (PATTERN_COLUMNS, ChannelStudy,
+                                ChipBerStudy, DistributionSummary,
+                                channel_ber_summaries, chip_ber_flats,
+                                die_pairs)
+from repro.dram.geometry import DEFAULT_GEOMETRY
 from repro.experiments.base import ExperimentResult, scaled
+from repro.experiments.sharding import ShardSpec, SweepExperiment
+from repro.experiments import fig05_hcfirst_chips as _hc_sweep
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
-    """Run the Fig. 6 study at the requested population scale."""
+def shard_units() -> int:
+    """One deterministic sweep unit per channel."""
+    return DEFAULT_GEOMETRY.channels
+
+
+def chip_flats(scale: float,
+               unit_range: Optional[Tuple[int, int]] = None
+               ) -> Dict[str, Dict[str, np.ndarray]]:
+    """Chip label -> pattern -> channel-major closed-form BER flats."""
+    return chip_ber_flats(all_chips(),
+                          rows_per_channel=scaled(16384, scale, 64),
+                          sampled=False, unit_range=unit_range)
+
+
+def _render(flats: Dict[str, Dict[str, np.ndarray]],
+            scale: float) -> ExperimentResult:
+    """Build the full Fig. 6 report from per-chip flat measurements."""
     chips = all_chips()
-    rows_per_channel = scaled(16384, scale, 64)
     rows = []
     data: Dict[str, Dict] = {}
     channel_spreads = {}
     for chip in chips:
-        study = channel_ber_study(chip,
-                                  rows_per_channel=rows_per_channel,
-                                  sampled=False)
+        study = ChannelStudy(chip.label, "ber", channel_ber_summaries(
+            flats[chip.label], chip.geometry.channels))
         means = study.channel_means("WCDP")
         for channel in sorted(means):
             summary = study.summaries["WCDP"][channel]
@@ -46,9 +72,10 @@ def run(scale: float = 1.0) -> ExperimentResult:
         }
         channel_spreads[chip.label] = data[chip.label][
             "checkered0_channel_spread"]
-    chip_study = chip_ber_study(chips,
-                                rows_per_channel=rows_per_channel,
-                                sampled=False)
+    chip_study = ChipBerStudy(metrics.BER_TEST_HAMMERS, {
+        label: {name: DistributionSummary.of(flat[name])
+                for name in PATTERN_COLUMNS}
+        for label, flat in flats.items()})
     chip_spread = chip_study.mean_spread("Checkered0")
     data["chip_level_spread_checkered0"] = chip_spread
     chip0 = data["Chip 0"]["wcdp_channel_means"]
@@ -79,3 +106,31 @@ def run(scale: float = 1.0) -> ExperimentResult:
     }
     return ExperimentResult("fig06", "BER across channels", text, data,
                             paper)
+
+
+SWEEP = SweepExperiment(
+    experiment_id="fig06",
+    title="BER across channels",
+    payload_key="flats",
+    units=shard_units,
+    compute=chip_flats,
+    combine=_hc_sweep.combine_flats,
+    render=_render,
+    describe=_hc_sweep.describe_flats,
+)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Run the Fig. 6 study at the requested population scale."""
+    return SWEEP.run(scale)
+
+
+def run_shard(scale: float, shard: ShardSpec) -> ExperimentResult:
+    """Measure one shard's channel range (a partial for merge_shards)."""
+    return SWEEP.run_shard(scale, shard)
+
+
+def merge_shards(partials: Sequence[ExperimentResult],
+                 scale: float) -> ExperimentResult:
+    """Assemble the full Fig. 6 report from one complete fan-out."""
+    return SWEEP.merge_shards(partials, scale)

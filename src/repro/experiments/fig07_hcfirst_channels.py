@@ -10,7 +10,9 @@ Paper headlines (Observations 12-13):
 The sweep shares Fig. 5's shardable flat layout (the same Table 2
 population): :func:`run_shard` measures a contiguous (channel, pseudo
 channel) unit range and :func:`merge_shards` reassembles the full
-per-channel report byte-identically to :func:`run`.
+per-channel report byte-identically to :func:`run`.  Both delegate to a
+:class:`~repro.experiments.sharding.SweepExperiment` built from Fig. 5's
+compute/combine with this module's renderer.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from repro.core import analytic
 from repro.core.spatial import ChannelStudy, channel_summaries_from_flat
 from repro.experiments import fig05_hcfirst_chips as _sweep
 from repro.experiments.base import ExperimentResult, scaled
-from repro.experiments.sharding import ShardSpec
+from repro.experiments.sharding import ShardSpec, SweepExperiment
 
 #: Same sweep units as Fig. 5 (both run the Table 2 HC_first population).
 shard_units = _sweep.shard_units
@@ -90,27 +92,29 @@ def _render(flats: Dict[str, Dict[str, np.ndarray]],
                             data, paper)
 
 
+SWEEP = SweepExperiment(
+    experiment_id="fig07",
+    title="HC_first across channels",
+    payload_key="flats",
+    units=shard_units,
+    compute=_sweep.chip_flats,
+    combine=_sweep.combine_flats,
+    render=_render,
+    describe=_sweep.describe_flats,
+)
+
+
 def run(scale: float = 1.0) -> ExperimentResult:
     """Run the Fig. 7 study at the requested population scale."""
-    return _render(_sweep.chip_flats(scale), scale)
+    return SWEEP.run(scale)
 
 
 def run_shard(scale: float, shard: ShardSpec) -> ExperimentResult:
     """Measure one shard's unit range (partial; see Fig. 5's analogue)."""
-    units = shard_units()
-    start, stop = shard.slice_of(units)
-    flats = _sweep.chip_flats(scale, (start, stop))
-    measured = sum(flat["WCDP"].size for flat in flats.values())
-    text = (f"fig07 shard {shard.label}: units [{start}, {stop}) of "
-            f"{units}, {measured} row measurements across "
-            f"{len(flats)} chips")
-    data = {"shard_index": shard.index, "shard_count": shard.count,
-            "unit_range": (start, stop), "flats": flats}
-    return ExperimentResult("fig07", "HC_first across channels (shard)",
-                            text, data)
+    return SWEEP.run_shard(scale, shard)
 
 
 def merge_shards(partials: Sequence[ExperimentResult],
                  scale: float) -> ExperimentResult:
     """Assemble the full Fig. 7 report from one complete fan-out."""
-    return _render(_sweep.merge_flats(partials), scale)
+    return SWEEP.merge_shards(partials, scale)

@@ -8,23 +8,76 @@ Paper headlines (Observations 14-15, Takeaway 4):
   RowHammer),
 - the middle and last subarrays (832 rows each) show markedly lower BER
   than the rest of the bank.
+
+The sweep shards by studied channel (units = the three channels of
+:data:`CHANNELS`): sampling is unit-local per channel, so
+:func:`run_shard` profiles a channel subset and :func:`merge_shards`
+reassembles the full study bit-identically to :func:`run`.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.reporting import percent, render_table
 from repro.chips.profiles import make_chip
-from repro.core.spatial import row_ber_profile
+from repro.core.spatial import RowProfileStudy, row_ber_profile
 from repro.experiments.base import ExperimentResult
+from repro.experiments.sharding import ShardSpec, SweepExperiment
+
+#: The paper's three studied channels (one bank, PC 0, Chip 0).
+CHANNELS: Tuple[int, ...] = (0, 3, 7)
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
-    """Run the Fig. 8 study (row stride grows as scale shrinks)."""
+def shard_units() -> int:
+    """One independently sampled sweep unit per studied channel."""
+    return len(CHANNELS)
+
+
+def _stride(scale: float) -> int:
+    return max(1, int(round(1.0 / scale)))
+
+
+def channel_profiles(scale: float,
+                     unit_range: Optional[Tuple[int, int]] = None
+                     ) -> Dict[int, np.ndarray]:
+    """Channel -> per-row WCDP BER over a unit range of CHANNELS."""
+    channels = CHANNELS if unit_range is None \
+        else CHANNELS[unit_range[0]:unit_range[1]]
+    if not channels:
+        return {}
+    study = row_ber_profile(make_chip(0), channels=channels,
+                            row_stride=_stride(scale))
+    return dict(study.ber_by_channel)
+
+
+def combine_profiles(payloads: Sequence[Dict[int, np.ndarray]]
+                     ) -> Dict[int, np.ndarray]:
+    """Merge per-shard channel dicts (channels never overlap)."""
+    merged: Dict[int, np.ndarray] = {}
+    for payload in payloads:
+        merged.update(payload)
+    return merged
+
+
+def describe_profiles(payload: Dict[int, np.ndarray]) -> str:
+    """Human line for a shard partial."""
+    return f"{len(payload)} channels profiled"
+
+
+def _render(ber_by_channel: Dict[int, np.ndarray],
+            scale: float) -> ExperimentResult:
+    """Build the full Fig. 8 report from per-channel BER profiles."""
     chip = make_chip(0)
-    stride = max(1, int(round(1.0 / scale)))
-    study = row_ber_profile(chip, channels=(0, 3, 7), row_stride=stride)
+    study = RowProfileStudy(
+        chip_label=chip.label,
+        channels=CHANNELS,
+        rows=np.arange(0, chip.geometry.rows, _stride(scale)),
+        ber_by_channel=ber_by_channel,
+        subarray_boundaries=chip.geometry.subarrays.boundaries,
+    )
     layout = chip.geometry.subarrays
     rows = []
     data = {"subarray_sizes": list(layout.sizes),
@@ -82,3 +135,31 @@ def run(scale: float = 1.0) -> ExperimentResult:
         "mid_peak": "BER peaks toward the middle of a subarray",
     }
     return ExperimentResult("fig08", "BER across a bank", text, data, paper)
+
+
+SWEEP = SweepExperiment(
+    experiment_id="fig08",
+    title="BER across a bank",
+    payload_key="profiles",
+    units=shard_units,
+    compute=channel_profiles,
+    combine=combine_profiles,
+    render=_render,
+    describe=describe_profiles,
+)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Run the Fig. 8 study (row stride grows as scale shrinks)."""
+    return SWEEP.run(scale)
+
+
+def run_shard(scale: float, shard: ShardSpec) -> ExperimentResult:
+    """Profile one shard's channel subset (a partial for merge_shards)."""
+    return SWEEP.run_shard(scale, shard)
+
+
+def merge_shards(partials: Sequence[ExperimentResult],
+                 scale: float) -> ExperimentResult:
+    """Assemble the full Fig. 8 report from one complete fan-out."""
+    return SWEEP.merge_shards(partials, scale)

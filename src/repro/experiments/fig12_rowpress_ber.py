@@ -7,19 +7,32 @@ Paper headlines (Observations 21-22, Takeaway 7):
   at 29 ns / 58 ns / 87 ns / 116 ns / 3.9 us / 35.1 us,
 - BER converges to ~50% at 35.1 us (victim polarity cap),
 - channels rank consistently across on-times.
+
+The sweep shards by channel: sampling is unit-local per (channel, t_on)
+(see :func:`repro.core.rowpress.rowpress_ber_study`), so
+:func:`run_shard` measures one contiguous channel range for every chip
+and :func:`merge_shards` merges the per-channel means back into the
+full study bit-identically to :func:`run`.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import percent, render_table
 from repro.chips.profiles import all_chips
-from repro.core.rowpress import ROWPRESS_BER_T_ONS, rowpress_ber_study
+from repro.core import metrics
+from repro.core.rowpress import (ROWPRESS_BER_T_ONS, RowPressBerStudy,
+                                 rowpress_ber_study)
+from repro.dram.geometry import DEFAULT_GEOMETRY
 from repro.experiments.base import ExperimentResult, scaled
+from repro.experiments.sharding import ShardSpec, SweepExperiment
 
 #: Paper's mean BER series (%) at the six on-times.
 PAPER_SERIES = (0.08, 0.24, 0.40, 0.73, 31.00, 50.35)
+
+#: chip label -> t_on -> channel -> mean BER (one of "sampled"/"expected").
+MeanTable = Dict[str, Dict[float, Dict[int, float]]]
 
 
 def _label(t_on: float) -> str:
@@ -30,11 +43,48 @@ def _label(t_on: float) -> str:
     return f"{t_on / 1.0e6:.0f} ms"
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
-    """Run the Fig. 12 study at the requested population scale."""
+def shard_units() -> int:
+    """One independently sampled sweep unit per channel."""
+    return DEFAULT_GEOMETRY.channels
+
+
+def channel_tables(scale: float,
+                   unit_range: Optional[Tuple[int, int]] = None
+                   ) -> Dict[str, MeanTable]:
+    """Sampled and closed-form channel means over a channel range."""
+    study = rowpress_ber_study(all_chips(),
+                               rows_per_segment=scaled(128, scale, 16),
+                               channel_range=unit_range)
+    return {"sampled": study.channel_means,
+            "expected": study.expected_means}
+
+
+def combine_tables(payloads: Sequence[Dict[str, MeanTable]]
+                   ) -> Dict[str, MeanTable]:
+    """Merge per-shard channel means (channels never overlap)."""
+    merged: Dict[str, MeanTable] = {"sampled": {}, "expected": {}}
+    for payload in payloads:
+        for kind in ("sampled", "expected"):
+            for label, by_t in payload[kind].items():
+                table = merged[kind].setdefault(label, {})
+                for t_on, channels in by_t.items():
+                    table.setdefault(t_on, {}).update(channels)
+    return merged
+
+
+def describe_tables(payload: Dict[str, MeanTable]) -> str:
+    """Human line for a shard partial."""
+    channels = sum(len(next(iter(by_t.values()), {}))
+                   for by_t in payload["sampled"].values())
+    return f"{channels} chip-channels measured"
+
+
+def _render(tables: Dict[str, MeanTable], scale: float) -> ExperimentResult:
+    """Build the full Fig. 12 report from the per-channel mean tables."""
     chips = all_chips()
-    study = rowpress_ber_study(chips,
-                               rows_per_segment=scaled(128, scale, 16))
+    study = RowPressBerStudy(metrics.ROWPRESS_BER_HAMMERS, "Checkered0",
+                             tuple(ROWPRESS_BER_T_ONS),
+                             tables["sampled"], tables["expected"])
     series = study.series()
     rows = [[_label(t_on), percent(mean), f"{paper:.2f}%"]
             for (t_on, mean), paper in zip(series, PAPER_SERIES)]
@@ -73,3 +123,31 @@ def run(scale: float = 1.0) -> ExperimentResult:
     }
     return ExperimentResult("fig12", "RowPress BER sweep", text, data,
                             paper)
+
+
+SWEEP = SweepExperiment(
+    experiment_id="fig12",
+    title="RowPress BER sweep",
+    payload_key="tables",
+    units=shard_units,
+    compute=channel_tables,
+    combine=combine_tables,
+    render=_render,
+    describe=describe_tables,
+)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Run the Fig. 12 study at the requested population scale."""
+    return SWEEP.run(scale)
+
+
+def run_shard(scale: float, shard: ShardSpec) -> ExperimentResult:
+    """Measure one shard's channel range (a partial for merge_shards)."""
+    return SWEEP.run_shard(scale, shard)
+
+
+def merge_shards(partials: Sequence[ExperimentResult],
+                 scale: float) -> ExperimentResult:
+    """Assemble the full Fig. 12 report from one complete fan-out."""
+    return SWEEP.merge_shards(partials, scale)

@@ -7,19 +7,33 @@ Paper headlines (Observation 23, Takeaway 7):
 - the average HC_first reduction at 35.1 us is 222.57x,
 - only rows observable within a 32 ms refresh window at every on-time are
   included (the paper's grey row-count boxes).
+
+The sweep is rng-free and shards by studied channel (units = the three
+channels of :data:`CHANNELS`): :func:`run_shard` measures a channel
+subset for every chip and :func:`merge_shards` concatenates the kept
+HC_first arrays back in channel order bit-identically to :func:`run`.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
 from repro.analysis.reporting import render_table
 from repro.chips.profiles import all_chips
 from repro.core.rowpress import (ROWPRESS_HCFIRST_T_ONS,
+                                 RowPressHcFirstStudy,
                                  rowpress_hcfirst_study)
 from repro.experiments.base import ExperimentResult, scaled
+from repro.experiments.sharding import ShardSpec, SweepExperiment
 
 #: Paper's mean (min) HC_first at the four on-times.
 PAPER_MEANS = {29.0: 83689, 3.9e3: 1519, 35.1e3: 376, 16.0e6: 1}
 PAPER_MINS = {29.0: 29183, 3.9e3: 335, 35.1e3: 123, 16.0e6: 1}
+
+#: The paper's three studied channels (one bank, PC 0, every chip).
+CHANNELS: Tuple[int, ...] = (0, 1, 2)
 
 
 def _label(t_on: float) -> str:
@@ -30,11 +44,54 @@ def _label(t_on: float) -> str:
     return f"{t_on / 1.0e6:.0f} ms"
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
-    """Run the Fig. 13 study at the requested population scale."""
-    chips = all_chips()
+def shard_units() -> int:
+    """One sweep unit per studied channel."""
+    return len(CHANNELS)
+
+
+def channel_series(scale: float,
+                   unit_range: Optional[Tuple[int, int]] = None
+                   ) -> Dict[str, Dict[str, Any]]:
+    """Chip label -> kept HC_first arrays + included count for a range."""
     study = rowpress_hcfirst_study(
-        chips, rows_per_channel=scaled(384, scale, 32))
+        all_chips(), rows_per_channel=scaled(384, scale, 32),
+        channel_range=unit_range)
+    return {label: {"per_t": study.hc_by_chip[label],
+                    "included": study.included_rows[label]}
+            for label in study.hc_by_chip}
+
+
+def combine_series(payloads: Sequence[Dict[str, Dict[str, Any]]]
+                   ) -> Dict[str, Dict[str, Any]]:
+    """Concatenate kept arrays in shard (= channel) order; sum counts."""
+    merged: Dict[str, Dict[str, Any]] = {}
+    for payload in payloads:
+        for label, entry in payload.items():
+            into = merged.setdefault(
+                label, {"per_t": {t: [] for t in entry["per_t"]},
+                        "included": 0})
+            for t_on, values in entry["per_t"].items():
+                into["per_t"][t_on].append(values)
+            into["included"] += entry["included"]
+    return {label: {"per_t": {t: np.concatenate(parts)
+                              for t, parts in entry["per_t"].items()},
+                    "included": entry["included"]}
+            for label, entry in merged.items()}
+
+
+def describe_series(payload: Dict[str, Dict[str, Any]]) -> str:
+    """Human line for a shard partial."""
+    included = sum(entry["included"] for entry in payload.values())
+    return f"{included} rows included across {len(payload)} chips"
+
+
+def _render(series: Dict[str, Dict[str, Any]],
+            scale: float) -> ExperimentResult:
+    """Build the full Fig. 13 report from the per-chip kept arrays."""
+    study = RowPressHcFirstStudy(
+        "Checkered0", tuple(ROWPRESS_HCFIRST_T_ONS),
+        {label: entry["per_t"] for label, entry in series.items()},
+        {label: entry["included"] for label, entry in series.items()})
     rows = []
     data = {"mean": {}, "min": {}, "included_rows": study.included_rows}
     for t_on in study.t_ons:
@@ -65,3 +122,31 @@ def run(scale: float = 1.0) -> ExperimentResult:
              "reduction_at_35us": 222.57}
     return ExperimentResult("fig13", "RowPress HC_first sweep", text,
                             data, paper)
+
+
+SWEEP = SweepExperiment(
+    experiment_id="fig13",
+    title="RowPress HC_first sweep",
+    payload_key="series",
+    units=shard_units,
+    compute=channel_series,
+    combine=combine_series,
+    render=_render,
+    describe=describe_series,
+)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Run the Fig. 13 study at the requested population scale."""
+    return SWEEP.run(scale)
+
+
+def run_shard(scale: float, shard: ShardSpec) -> ExperimentResult:
+    """Measure one shard's channel subset (a partial for merge_shards)."""
+    return SWEEP.run_shard(scale, shard)
+
+
+def merge_shards(partials: Sequence[ExperimentResult],
+                 scale: float) -> ExperimentResult:
+    """Assemble the full Fig. 13 report from one complete fan-out."""
+    return SWEEP.merge_shards(partials, scale)

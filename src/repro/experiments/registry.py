@@ -41,13 +41,20 @@ EXPERIMENTS: Dict[str, Callable[[float], ExperimentResult]] = {
 }
 
 
-#: Experiments whose row sweep splits across (channel, pseudo channel)
-#: units: id -> module exposing ``shard_units`` / ``run_shard`` /
+#: Experiments whose row sweep splits across independently computable
+#: units — (channel, pseudo channel) pairs, channels, or bank combos:
+#: id -> module exposing ``shard_units`` / ``run_shard`` /
 #: ``merge_shards`` (see :mod:`repro.experiments.sharding`).  The pool
 #: runner fans these out across worker slots at ``jobs > 1``.
 SHARDABLE = {
+    "fig04": fig04_ber_chips,
     "fig05": fig05_hcfirst_chips,
+    "fig06": fig06_ber_channels,
     "fig07": fig07_hcfirst_channels,
+    "fig08": fig08_ber_rows,
+    "fig09": fig09_bank_variation,
+    "fig12": fig12_rowpress_ber,
+    "fig13": fig13_rowpress_hcfirst,
 }
 
 

@@ -935,16 +935,16 @@ class _ShardGroup:
         self.failed = False
 
 
-def _shard_fanout(experiment_id: str, jobs: int,
-                  plan_active: bool) -> int:
+def _shard_fanout(experiment_id: str, jobs: int) -> int:
     """Fan-out width for one invocation (1 = run unsharded).
 
     Sharding is transparent for results (the merged report is byte-
-    identical) but not for chaos semantics — worker-fault injection
-    keys on (experiment id, attempt), and a fan-out would multiply the
-    injection points — so an active fault plan disables it.
+    identical) and for fault plans: every experiment's measurement
+    engine is fault-deterministic per sweep unit, and worker-fault
+    injection retries shards independently, so a fan-out under an
+    active plan merges the same bits as an unsharded run.
     """
-    if jobs <= 1 or plan_active:
+    if jobs <= 1:
         return 1
     from repro.experiments import registry
     units = registry.shard_units(experiment_id)
@@ -964,12 +964,10 @@ def _run_pool(tasks: Deque[_Task], records: List[RunRecord], jobs: int,
     succeeds, so ``-j N`` scales inside a single long experiment rather
     than stopping at experiment granularity.
     """
-    from repro import faults
     from repro.experiments import registry
 
-    plan_active = faults.active_plan() is not None
     fanouts = {
-        task.index: (_shard_fanout(task.experiment_id, jobs, plan_active)
+        task.index: (_shard_fanout(task.experiment_id, jobs)
                      if task.shard is None else 1)
         for task in tasks}
     # More workers than runnable cores only adds fork and context-switch

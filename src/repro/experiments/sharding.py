@@ -1,13 +1,22 @@
-"""Shard specifications for splitting row sweeps across workers.
+"""Shard specifications and the sweep-sharding base for row sweeps.
 
-The HC_first sweeps (fig05/fig07) cross a row population with the
-(channel, pseudo channel) units of the geometry in combo-major order, so
-a *contiguous range of units* is a contiguous block of the sweep's flat
-result arrays (see :func:`repro.core.spatial.spatial_units`).  A
-:class:`ShardSpec` names one such range — "shard ``i`` of ``n``" — and
-the experiment modules expose ``run_shard``/``merge_shards`` so the pool
-can fan one experiment out across worker processes and reassemble the
-full result bit-for-bit (merging is plain concatenation in shard order).
+The row sweeps cross a row population with independently computable
+*units* — (channel, pseudo channel) pairs for the HC_first sweeps
+(fig05/fig07), channels or bank combos for the BER and RowPress sweeps
+(fig04/06/08/09/12/13) — in combo-major order, so a *contiguous range
+of units* is a contiguous block of the sweep's flat result arrays (see
+:func:`repro.core.spatial.spatial_units`).  A :class:`ShardSpec` names
+one such range — "shard ``i`` of ``n``" — and each shardable experiment
+module exposes ``run_shard``/``merge_shards`` so the pool can fan one
+experiment out across worker processes and reassemble the full result
+bit-for-bit (merging is plain concatenation in shard order).
+
+:class:`SweepExperiment` packages the idiom once: an experiment module
+supplies its unit count, a ``compute(scale, unit_range)`` producing a
+payload for a unit range, a ``combine`` concatenating shard payloads in
+order, and a ``render`` building the full report from a payload — the
+base derives ``run``/``run_shard``/``merge_shards`` with the shared
+fan-out-coverage validation.
 
 Shard strings are ``"i/n"`` (e.g. ``"0/8"``).  The service layer's
 ``shard`` request key predates this format and remains an *opaque
@@ -20,7 +29,10 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import HbmSimError
+from repro.experiments.base import ExperimentResult
 
 _SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
 
@@ -81,3 +93,79 @@ class ShardSpec:
 def shard_labels(count: int) -> List[str]:
     """The ``"i/n"`` labels of a full ``count``-way fan-out, in order."""
     return [ShardSpec(index, count).label for index in range(count)]
+
+
+@dataclass(frozen=True)
+class SweepExperiment:
+    """One shardable row sweep: unit decomposition + report rendering.
+
+    The experiment module owns the physics; this base owns the sharding
+    protocol.  ``compute(scale, unit_range)`` must return an *empty*
+    payload for an empty range (a shard beyond the unit count) and its
+    per-unit values must not depend on which other units share the call
+    — that unit-locality is what makes a merged fan-out bit-identical
+    to the unsharded sweep.
+    """
+
+    experiment_id: str
+    title: str
+    #: ``data`` key the per-shard payload travels under in partials.
+    payload_key: str
+    #: Number of independently computable sweep units.
+    units: Callable[[], int]
+    #: ``(scale, unit_range)`` -> payload; ``None`` = the full sweep.
+    compute: Callable[[float, Optional[Tuple[int, int]]], Any]
+    #: Shard payloads in shard order -> the merged payload.
+    combine: Callable[[Sequence[Any]], Any]
+    #: ``(payload, scale)`` -> the full experiment report.
+    render: Callable[[Any, float], ExperimentResult]
+    #: Optional human-readable summary of a shard payload.
+    describe: Optional[Callable[[Any], str]] = None
+
+    def shard_units(self) -> int:
+        """Number of units a fan-out can split this sweep into."""
+        return self.units()
+
+    def run(self, scale: float = 1.0) -> ExperimentResult:
+        """The full (unsharded) sweep at ``scale``."""
+        return self.render(self.compute(scale, None), scale)
+
+    def run_shard(self, scale: float, shard: ShardSpec) -> ExperimentResult:
+        """Compute one shard's unit range; the result is a partial
+        carrying the payload for :meth:`merge_shards`, not a report."""
+        units = self.units()
+        start, stop = shard.slice_of(units)
+        payload = self.compute(scale, (start, stop))
+        text = (f"{self.experiment_id} shard {shard.label}: units "
+                f"[{start}, {stop}) of {units}")
+        if self.describe is not None:
+            text += ", " + self.describe(payload)
+        data = {"shard_index": shard.index, "shard_count": shard.count,
+                "unit_range": (start, stop), self.payload_key: payload}
+        return ExperimentResult(self.experiment_id,
+                                f"{self.title} (shard)", text, data)
+
+    def merge_payloads(self, partials: Sequence[ExperimentResult]) -> Any:
+        """Validate one complete fan-out and combine its payloads.
+
+        Requires exactly one partial per shard index of a single
+        ``n``-way fan-out; anything else (missing, duplicate, or mixed
+        fan-outs) raises :class:`~repro.errors.HbmSimError`.
+        """
+        if not partials:
+            raise HbmSimError("no shard results to merge")
+        parts = sorted(partials, key=lambda r: r.data["shard_index"])
+        count = parts[0].data["shard_count"]
+        indices = [part.data["shard_index"] for part in parts]
+        if any(part.data["shard_count"] != count for part in parts) \
+                or indices != list(range(count)):
+            raise HbmSimError(
+                f"shard results do not cover one {count}-way fan-out: "
+                f"got indices {indices}")
+        return self.combine([part.data[self.payload_key]
+                             for part in parts])
+
+    def merge_shards(self, partials: Sequence[ExperimentResult],
+                     scale: float) -> ExperimentResult:
+        """Assemble the full report from one complete fan-out."""
+        return self.render(self.merge_payloads(partials), scale)

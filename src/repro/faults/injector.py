@@ -116,8 +116,10 @@ class FaultyStack:
         return uniform_for(self.plan.seed, tag, index)
 
     def _log(self, index: int, fault: str, command: str,
-             detail: Tuple[int, ...] = ()) -> None:
-        self.events.append(FaultEvent(index, fault, command, detail))
+             detail: Tuple[int, ...] = (),
+             sink: Optional[List[FaultEvent]] = None) -> None:
+        target = self.events if sink is None else sink
+        target.append(FaultEvent(index, fault, command, detail))
 
     def _platform(self, command: str) -> Tuple[int, Optional[str]]:
         """Advance the command counter and fire platform-level faults.
@@ -259,21 +261,28 @@ class FaultyStack:
         return self._counter
 
     def apply_read_faults(self, address: RowAddress, data: np.ndarray,
-                          index: int) -> np.ndarray:
+                          index: int,
+                          events: Optional[List[FaultEvent]] = None
+                          ) -> np.ndarray:
         """Data-path faults (stuck cells, then RD bit errors) for the
         read at command counter ``index``, logging events in order.
 
         ``read_row`` uses this after every wrapped read; the batched
         executors call it directly on engine-computed row images at the
-        read's statically known counter.
+        read's statically known counter.  ``events`` redirects the
+        logged fault events into a caller-owned buffer instead of
+        :attr:`events` — a speculative executor evaluates reads at
+        *assumed* counters and must be able to discard (or defer) the
+        resulting events until the speculation is accepted.
         """
-        data = self._apply_stuck_cells(address, data, index)
-        return self._apply_read_flips(data, index)
+        data = self._apply_stuck_cells(address, data, index, events)
+        return self._apply_read_flips(data, index, events)
 
     # -- data-path faults --------------------------------------------------
 
-    def _apply_read_flips(self, data: np.ndarray,
-                          index: int) -> np.ndarray:
+    def _apply_read_flips(self, data: np.ndarray, index: int,
+                          events: Optional[List[FaultEvent]] = None
+                          ) -> np.ndarray:
         plan = self.plan
         if not plan.read_flip_rate \
                 or self._draw(_TAG_RDFLIP, index) >= plan.read_flip_rate:
@@ -282,7 +291,7 @@ class FaultyStack:
         data = data.copy()
         _xor_bits(data, positions)
         self._log(index, "rd-flip", "RD",
-                  tuple(int(p) for p in positions))
+                  tuple(int(p) for p in positions), sink=events)
         return data
 
     def _stuck_bits_for(self, address: RowAddress) \
@@ -305,7 +314,9 @@ class FaultyStack:
         return stuck
 
     def _apply_stuck_cells(self, address: RowAddress, data: np.ndarray,
-                           index: int) -> np.ndarray:
+                           index: int,
+                           events: Optional[List[FaultEvent]] = None
+                           ) -> np.ndarray:
         stuck = self._stuck_bits_for(address)
         if stuck is None:
             return data
@@ -318,7 +329,8 @@ class FaultyStack:
         np.bitwise_and.at(data, byte_index, np.uint8(0xFF) ^ mask)
         np.bitwise_or.at(data, byte_index,
                          (values << bit_in_byte).astype(np.uint8))
-        self._log(index, "stuck", "RD", tuple(int(p) for p in positions))
+        self._log(index, "stuck", "RD", tuple(int(p) for p in positions),
+                  sink=events)
         return data
 
 

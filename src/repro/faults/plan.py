@@ -211,6 +211,59 @@ class FaultPlan:
             magnitudes[hits] = self.act_jitter_ns * fractions
         return hits, magnitudes
 
+    def classify_probe_windows(
+            self, bases: np.ndarray, writes: np.ndarray,
+            hammers: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Classify measurement windows laid out on per-row virtual
+        counter streams.
+
+        Window ``k`` is a ``WR``×``writes[k]`` / ``HAMMER``×
+        ``hammers[k]`` / ``RD``×1 command sequence whose first command
+        draws at counter ``bases[k] + 1`` (the injector pre-increments
+        before every draw).  ``bases`` is an *explicit* counter base per
+        window rather than one global running tick, which lets a
+        speculative executor lay out many rows' probe paths and ask, in
+        one vectorized pass, which windows a scalar replay would have
+        perturbed.
+
+        Returns ``(dirty, read_indices)``:
+
+        - ``dirty[k]`` — the window is touched by a fault the batch
+          engine cannot express: a stall or hang anywhere in it, a drop
+          on one of its WRs, or jitter on one of its HAMMERs.  (PRE/REF
+          never appear inside a window, so ghost faults cannot fire;
+          read-path faults — stuck cells and RD bit errors — are *not*
+          dirtying because they apply to the returned image after the
+          fact.)
+        - ``read_indices[k]`` — the counter of the window's RD, where
+          the read-path draws for that probe key.
+        """
+        bases = np.asarray(bases, dtype=np.int64)
+        writes = np.asarray(writes, dtype=np.int64)
+        hammers = np.asarray(hammers, dtype=np.int64)
+        lengths = writes + hammers + 1
+        total = int(lengths.sum())
+        read_indices = bases + lengths
+        if total == 0:
+            return np.zeros(bases.shape, dtype=bool), read_indices
+        window_of = np.repeat(np.arange(bases.size), lengths)
+        offsets = (np.arange(total)
+                   - np.repeat(np.cumsum(lengths) - lengths, lengths))
+        indices = np.repeat(bases, lengths) + offsets + 1
+        hits = self.stall_mask(indices) | self.hang_mask(indices)
+        if self.drop_rate:
+            is_write = offsets < np.repeat(writes, lengths)
+            hits[is_write] |= self.drop_mask(indices[is_write])
+        if self.act_jitter_rate and self.act_jitter_ns:
+            is_hammer = ((offsets >= np.repeat(writes, lengths))
+                         & (offsets < np.repeat(writes + hammers,
+                                                lengths)))
+            jitter_hits, __ = self.draw_jitter_array(indices[is_hammer])
+            hits[is_hammer] |= jitter_hits
+        dirty = np.zeros(bases.shape, dtype=bool)
+        np.logical_or.at(dirty, window_of, hits)
+        return dirty, read_indices
+
     def draw_bitflips_array(self, indices: np.ndarray) -> np.ndarray:
         """Which RD counters suffer interface bit errors.
 

@@ -276,3 +276,91 @@ class TestFallbackGates:
         with warnings_module.catch_warnings():
             warnings_module.simplefilter("error")
             assert batch_enabled()
+
+
+def _trr_state(session):
+    device = session.device
+    if isinstance(device, FaultyStack):
+        device = device.wrapped
+    state = []
+    for pc_key, engine in device._trr.items():
+        for tracker in engine._trackers:
+            state.append((pc_key, tuple(tracker.cam),
+                          dict(tracker.window_counts),
+                          tracker.window_total))
+    return state
+
+
+class TestSpeculativeEquivalence:
+    """search_hc_first_rows under a fault plan == the scalar loop.
+
+    The speculative-replay contract (PR 10): per-row results, the
+    injected fault-event log, the final command counter and the TRR
+    sampler state are bit-identical to running :func:`search_hc_first`
+    per victim on a fresh identically-seeded FaultyStack.
+    """
+
+    #: Hot enough that short searches hit dirty windows, read faults
+    #: and (with drops) the overlap demotion — not just clean paths.
+    PLAN = dict(drop_rate=0.01, act_jitter_rate=0.01, act_jitter_ns=5.0,
+                read_flip_rate=0.05, stuck_row_rate=0.05)
+
+    def _faulty_session(self, chip, seed, trr=None):
+        stack = FaultyStack(chip.make_device(trr_config=trr),
+                            FaultPlan(seed=seed, **self.PLAN))
+        return BenderSession(stack, mapping=chip.row_mapping())
+
+    def _assert_equivalent(self, chip, victims, seed, trr=None,
+                           **search):
+        batch_session = self._faulty_session(chip, seed, trr)
+        assert batch_session.batching_active()
+        batched = search_hc_first_rows(batch_session, victims,
+                                       CHECKERED0, **search)
+        scalar_session = self._faulty_session(chip, seed, trr)
+        scalar = [search_hc_first(scalar_session, victim, CHECKERED0,
+                                  **search)
+                  for victim in victims]
+        for mine, theirs in zip(batched, scalar):
+            assert mine.hc_first == theirs.hc_first
+            assert mine.probes == theirs.probes
+            assert mine.found == theirs.found
+        assert batch_session.device.events == scalar_session.device.events
+        assert batch_session.device._counter \
+            == scalar_session.device._counter
+        assert batch_session.device.schedule_digest() \
+            == scalar_session.device.schedule_digest()
+        assert _trr_state(batch_session) == _trr_state(scalar_session)
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_disjoint_victims_match_scalar(self, chip1, seed):
+        victims = [RowAddress(0, 0, 0, 5000), RowAddress(0, 0, 0, 0),
+                   RowAddress(3, 1, 7, 2048)]
+        self._assert_equivalent(chip1, victims, seed)
+
+    def test_overlapping_victims_demote_and_match(self, chip1):
+        # Rows within 2*radius share window WRs: under a drop-capable
+        # plan the earlier victim must replay scalar (stale-read rule).
+        victims = [RowAddress(0, 0, 0, 100), RowAddress(0, 0, 0, 104),
+                   RowAddress(0, 0, 0, 112)]
+        self._assert_equivalent(chip1, victims, seed=7)
+
+    def test_trr_device_matches_scalar(self, chip0):
+        victims = [RowAddress(0, 0, 0, 5000), RowAddress(0, 0, 1, 700)]
+        self._assert_equivalent(chip0, victims, seed=7,
+                                trr=chip0.trr_config())
+
+    def test_budget_exhaustion_matches_scalar(self, chip1):
+        victims = [RowAddress(0, 0, 0, 5000), RowAddress(1, 0, 0, 8000)]
+        self._assert_equivalent(chip1, victims, seed=7,
+                                max_hammers=1000)
+
+    def test_fallback_env_gate_matches_batched(self, chip1, monkeypatch):
+        victims = [RowAddress(0, 0, 0, 5000), RowAddress(0, 0, 0, 104)]
+        batched = search_hc_first_rows(
+            self._faulty_session(chip1, 7), victims, CHECKERED0)
+        monkeypatch.setenv("HBMSIM_BATCH", "0")
+        scalar = search_hc_first_rows(
+            self._faulty_session(chip1, 7), victims, CHECKERED0)
+        for mine, theirs in zip(batched, scalar):
+            assert mine.hc_first == theirs.hc_first
+            assert mine.probes == theirs.probes

@@ -1,10 +1,11 @@
 """Shard-parallel row sweeps: spec parsing, merge identity, fan-out.
 
-The full-geometry contract (ISSUE 8): a shardable experiment's sweep
-splits into contiguous (channel, pseudo channel) unit ranges whose
-merged result is byte-identical to the unsharded run — under the CLI
-``--shard i/n`` flag, the service ``shard`` field, and the pool's
-transparent ``-j N`` fan-out alike.
+The full-geometry contract (ISSUE 8, extended by ISSUE 10 to the whole
+row-sweep family): a shardable experiment's sweep splits into
+contiguous unit ranges — (channel, pseudo channel) pairs, channels, or
+bank combos — whose merged result is byte-identical to the unsharded
+run — under the CLI ``--shard i/n`` flag, the service ``shard`` field,
+and the pool's transparent ``-j N`` fan-out alike.
 """
 
 from unittest import mock
@@ -57,10 +58,10 @@ class TestMergeIdentity:
     @pytest.fixture(scope="class")
     def full(self):
         return {eid: registry.run_experiment(eid, SCALE)
-                for eid in ("fig05", "fig07")}
+                for eid in registry.SHARDABLE}
 
     @pytest.mark.parametrize("count", [1, 3, 4, 16, 20])
-    @pytest.mark.parametrize("eid", ["fig05", "fig07"])
+    @pytest.mark.parametrize("eid", sorted(registry.SHARDABLE))
     def test_merged_shards_match_full_run(self, full, eid, count):
         partials = [registry.run_experiment(eid, SCALE, shard=label)
                     for label in shard_labels(count)]
@@ -92,7 +93,13 @@ class TestRegistryShardApi:
     def test_shard_units(self):
         assert registry.shard_units("fig05") == 16
         assert registry.shard_units("fig07") == 16
-        assert registry.shard_units("fig04") is None
+        assert registry.shard_units("fig04") == 8
+        assert registry.shard_units("fig06") == 8
+        assert registry.shard_units("fig08") == 3
+        assert registry.shard_units("fig09") == 256
+        assert registry.shard_units("fig12") == 8
+        assert registry.shard_units("fig13") == 3
+        assert registry.shard_units("fig03") is None
 
     def test_opaque_label_runs_full(self):
         full = registry.run_experiment("fig05", SCALE)
@@ -101,20 +108,21 @@ class TestRegistryShardApi:
 
     def test_shard_on_non_shardable_rejected(self):
         with pytest.raises(HbmSimError, match="shard"):
-            registry.run_experiment("fig04", SCALE, shard="0/2")
+            registry.run_experiment("fig03", SCALE, shard="0/2")
 
     def test_merge_on_non_shardable_rejected(self):
         with pytest.raises(HbmSimError):
-            registry.merge_shard_results("fig04", [], SCALE)
+            registry.merge_shard_results("fig03", [], SCALE)
 
 
 class TestPoolFanout:
-    def test_fanout_requires_jobs_and_no_plan(self):
-        assert runner._shard_fanout("fig05", 1, False) == 1
-        assert runner._shard_fanout("fig05", 4, True) == 1
-        assert runner._shard_fanout("fig04", 4, False) == 1
-        assert runner._shard_fanout("fig05", 4, False) == 4
-        assert runner._shard_fanout("fig05", 64, False) == 16
+    def test_fanout_requires_jobs_and_units(self):
+        assert runner._shard_fanout("fig05", 1) == 1
+        assert runner._shard_fanout("fig03", 4) == 1
+        assert runner._shard_fanout("fig04", 4) == 4
+        assert runner._shard_fanout("fig05", 4) == 4
+        assert runner._shard_fanout("fig05", 64) == 16
+        assert runner._shard_fanout("fig08", 8) == 3
 
     def test_pooled_shard_run_matches_serial(self):
         serial, __ = run_timed(["fig05", "fig07"], SCALE, jobs=1)
@@ -155,7 +163,7 @@ class TestServiceShardAdmission:
 
     def test_opaque_label_still_admits(self):
         request = AdmissionGate().admit(
-            {"experiment_id": "fig04", "scale": SCALE, "shard": "ch0"})
+            {"experiment_id": "fig03", "scale": SCALE, "shard": "ch0"})
         assert request.shard == "ch0"
 
     def test_malformed_execution_shard_rejected(self):
@@ -167,7 +175,7 @@ class TestServiceShardAdmission:
     def test_execution_shard_on_non_shardable_rejected(self):
         with pytest.raises(AdmissionError) as excinfo:
             AdmissionGate().admit(
-                {"experiment_id": "fig04", "shard": "0/8"})
+                {"experiment_id": "fig03", "shard": "0/8"})
         assert excinfo.value.field == "shard"
 
     def test_shard_requests_never_coalesce_across_slices(self):

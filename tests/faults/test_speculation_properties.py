@@ -1,0 +1,129 @@
+"""Property tests for speculative counter replay (PR 10).
+
+Two invariants back the speculative HC_first search:
+
+1. :meth:`FaultPlan.classify_probe_windows` — the vectorized window
+   classifier — agrees with a scalar :meth:`FaultyStack._platform` /
+   :meth:`FaultyStack._jitter_ns` replay of the same ``WR*w HAMMER*h
+   RD`` command windows: same dirty verdicts, same RD counters, for any
+   plan and any window layout (including drop/ghost plans — ghosts can
+   never fire inside a window, and must not perturb it).
+
+2. The speculative :func:`search_hc_first_rows` lays each row's probe
+   path on a virtual counter stream that, after acceptance/replay,
+   reproduces the scalar loop's tick sequence exactly — results, fault
+   events, final command counter and TRR state all match, for random
+   victim sets and plans.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.device import HBM2Stack
+from repro.dram.geometry import RowAddress
+from repro.faults.injector import FaultyStack
+from repro.faults.plan import FaultPlan
+from repro.fuzz.search import SearchCase, run_search_case
+
+_rate = st.sampled_from([0.0, 0.05, 0.2, 0.5])
+_window = st.tuples(st.integers(min_value=0, max_value=6),
+                    st.integers(min_value=0, max_value=3))
+
+
+def _scalar_window_replay(stack, base, writes, hammers):
+    """Replay one probe window through the scalar fault layer.
+
+    Returns ``(dirty, read_index)`` with the same meaning as
+    ``classify_probe_windows``: dirty on a stall anywhere, a dropped
+    WR, or a jittered HAMMER — read-path faults excluded.
+    """
+    stack._counter = int(base)
+    dirty = False
+    for __ in range(writes):
+        __, action = stack._platform("WR")
+        if action == "drop":
+            dirty = True
+    for __ in range(hammers):
+        index, __ = stack._platform("HAMMER")
+        if stack._jitter_ns(index, "HAMMER"):
+            dirty = True
+    read_index, __ = stack._platform("RD")
+    span = range(int(base) + 1, read_index + 1)
+    if any(event.fault == "stall" and event.index in span
+           for event in stack.events):
+        dirty = True
+    return dirty, read_index
+
+
+class TestClassifierAgreesWithScalar:
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           drop=_rate, jitter=_rate, stall=_rate, ghost=_rate,
+           base=st.integers(min_value=0, max_value=100_000),
+           windows=st.lists(_window, min_size=1, max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_dirty_and_read_counters_match(self, seed, drop, jitter,
+                                           stall, ghost, base, windows):
+        plan = FaultPlan(seed=seed, drop_rate=drop, ghost_rate=ghost,
+                         act_jitter_rate=jitter, act_jitter_ns=5.0,
+                         stall_rate=stall, stall_seconds=0.0)
+        stack = FaultyStack(HBM2Stack(), plan)
+        bases, writes, hammers = [], [], []
+        cursor = base
+        for write_count, hammer_count in windows:
+            bases.append(cursor)
+            writes.append(write_count)
+            hammers.append(hammer_count)
+            cursor += write_count + hammer_count + 1
+        dirty, read_indices = plan.classify_probe_windows(
+            bases, writes, hammers)
+        for k in range(len(windows)):
+            scalar_dirty, scalar_read = _scalar_window_replay(
+                stack, bases[k], writes[k], hammers[k])
+            assert bool(dirty[k]) == scalar_dirty, f"window {k}"
+            assert int(read_indices[k]) == scalar_read, f"window {k}"
+
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           windows=st.lists(_window, min_size=2, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_windows_classify_independently(self, seed, windows):
+        # Virtual streams: a window's verdict depends only on its own
+        # (base, shape), never on what else is classified alongside.
+        plan = FaultPlan(seed=seed, drop_rate=0.2, act_jitter_rate=0.2,
+                         act_jitter_ns=5.0)
+        bases = [100 + 40 * k for k in range(len(windows))]
+        writes = [w for w, __ in windows]
+        hammers = [h for __, h in windows]
+        together_dirty, together_reads = plan.classify_probe_windows(
+            bases, writes, hammers)
+        for k in range(len(windows)):
+            alone_dirty, alone_reads = plan.classify_probe_windows(
+                [bases[k]], [writes[k]], [hammers[k]])
+            assert bool(alone_dirty[0]) == bool(together_dirty[k])
+            assert int(alone_reads[0]) == int(together_reads[k])
+
+
+_victim_rows = st.sampled_from([0, 100, 104, 112, 5000, 16383])
+
+
+class TestSpeculativeLayoutMatchesScalarTicks:
+    @given(seed=st.integers(min_value=0, max_value=1000),
+           rows=st.lists(_victim_rows, min_size=1, max_size=3,
+                         unique=True),
+           drop=st.sampled_from([0.0, 0.01]),
+           ghost=st.sampled_from([0.0, 0.05]),
+           flip=st.sampled_from([0.0, 0.05]),
+           trr=st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_search_rows_equals_scalar_loop(self, seed, rows, drop,
+                                            ghost, flip, trr):
+        plan = FaultPlan(seed=seed, drop_rate=drop, ghost_rate=ghost,
+                        read_flip_rate=flip, act_jitter_rate=0.01,
+                        act_jitter_ns=5.0)
+        case = SearchCase(seed=seed, index=0,
+                          victims=tuple(RowAddress(0, 0, 0, row)
+                                        for row in rows),
+                          pattern="Checkered0", start=4096,
+                          max_hammers=120_000, tolerance=0.01,
+                          trr_enabled=trr, fault_plan=plan)
+        result = run_search_case(case)
+        assert result.ok, result.describe()

@@ -1,0 +1,156 @@
+"""Suite for the HC_first differential search probe (PR 10).
+
+Contract under test (``repro.fuzz.search``): generated search cases are
+pure functions of ``(seed, index)``, a clean build diverges on none of
+them, a blinded speculation classifier is caught and shrunk to a
+still-failing reproducer, and search reproducers round-trip through the
+``kind``-tagged JSON corpus.
+"""
+
+from unittest import mock
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.fuzz.corpus import iter_corpus, load_case, save_case
+from repro.fuzz.generator import FuzzCase, generate_case
+from repro.fuzz.search import (SearchCase, generate_search_case,
+                               run_search_budget, run_search_case,
+                               search_case_variants, still_fails_search)
+from repro.fuzz.shrink import shrink
+
+
+class TestGenerator:
+    def test_pure_function_of_seed_and_index(self):
+        assert generate_search_case(3, 11) == generate_search_case(3, 11)
+        assert generate_search_case(3, 11) != generate_search_case(3, 12)
+        assert generate_search_case(3, 11) != generate_search_case(4, 11)
+
+    def test_victims_unique_and_in_bounds(self):
+        for index in range(30):
+            case = generate_search_case(0, index)
+            keys = [(v.channel, v.pseudo_channel, v.bank, v.row)
+                    for v in case.victims]
+            assert len(keys) == len(set(keys))
+            assert case.victims
+            for victim in case.victims:
+                assert 0 <= victim.row < 16384
+            assert case.start >= 1
+            assert case.max_hammers >= case.start
+
+    def test_draw_stream_distinct_from_program_cases(self):
+        # Same (seed, index) must not replay the program generator's
+        # Philox stream: the contexts should decorrelate.
+        contexts = {(generate_search_case(0, i).trr_enabled,
+                     generate_case(0, i).trr_enabled)
+                    for i in range(20)}
+        assert len(contexts) > 1
+
+
+class TestDifferential:
+    def test_clean_build_has_no_divergence(self):
+        assert run_search_budget(0, 10) == []
+
+    def test_blinded_classifier_is_caught_and_shrunk(self):
+        real = FaultPlan.classify_probe_windows
+
+        def blind(self, bases, writes, hammers):
+            dirty, reads = real(self, bases, writes, hammers)
+            return np.zeros_like(dirty), reads
+
+        with mock.patch.object(FaultPlan, "classify_probe_windows",
+                               blind):
+            failures = run_search_budget(0, 40)
+            assert failures
+            shrunk = shrink(failures[0].case, still_fails_search,
+                            variants=search_case_variants)
+            assert isinstance(shrunk, SearchCase)
+            assert still_fails_search(shrunk)
+            # The seeded bug needs a fault plan to matter; shrinking
+            # must not have discarded it.
+            assert shrunk.fault_plan is not None
+
+    def test_unmirrored_counter_is_caught(self):
+        # A speculation that forgets to consume its counters desyncs
+        # the schedule: the final command counter must betray it.
+        from repro.faults.injector import FaultyStack
+
+        real = FaultyStack.advance_counter
+
+        def skewed(self, count):
+            return real(self, max(0, count - 1))
+
+        with mock.patch.object(FaultyStack, "advance_counter", skewed):
+            failures = run_search_budget(0, 40)
+        assert failures
+        assert any("counter" in text or "events" in text
+                   for failure in failures
+                   for text in failure.divergences)
+
+
+class TestShrinkVariants:
+    def test_variants_only_reduce(self):
+        case = generate_search_case(0, 5)
+        for variant in search_case_variants(case):
+            assert (len(variant.victims), variant.max_hammers,
+                    variant.fault_plan is not None, variant.trr_enabled) \
+                <= (len(case.victims), case.max_hammers,
+                    case.fault_plan is not None, case.trr_enabled) \
+                or variant.tolerance > case.tolerance
+
+    def test_single_victim_is_kept(self):
+        case = generate_search_case(0, 0)
+        single = SearchCase(seed=0, index=0, victims=case.victims[:1],
+                            pattern=case.pattern, start=case.start,
+                            max_hammers=case.max_hammers,
+                            tolerance=case.tolerance,
+                            trr_enabled=False, fault_plan=None)
+        for variant in search_case_variants(single):
+            assert variant.victims
+
+
+class TestCorpus:
+    def test_search_case_round_trips(self, tmp_path):
+        case = generate_search_case(2, 7)
+        target = save_case(tmp_path, case, ["victim[0] probes: 5 vs 6"])
+        assert (target / "case.json").is_file()
+        assert not (target / "program.sbp").exists()
+        loaded = load_case(target)
+        assert loaded == case
+
+    def test_kind_field_dispatches(self, tmp_path):
+        import json
+
+        search = generate_search_case(2, 7)
+        save_case(tmp_path, search)
+        payload = json.loads(
+            (tmp_path / search.name / "case.json").read_text())
+        assert payload["kind"] == "search"
+        program = generate_case(0, 0)
+        save_case(tmp_path, program)
+        payload = json.loads(
+            (tmp_path / program.name / "case.json").read_text())
+        assert payload["kind"] == "program"
+        kinds = {type(entry) for entry in iter_corpus(tmp_path)}
+        assert kinds == {SearchCase, FuzzCase}
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        target = tmp_path / "weird"
+        target.mkdir()
+        (target / "case.json").write_text('{"kind": "mystery"}')
+        with pytest.raises(ValueError, match="mystery"):
+            load_case(target)
+
+    def test_legacy_payload_defaults_to_program(self, tmp_path):
+        # Pre-PR-10 corpus entries have no kind field.
+        case = generate_case(0, 3)
+        target = save_case(tmp_path, case)
+        import json
+
+        payload = json.loads((target / "case.json").read_text())
+        del payload["kind"]
+        (target / "case.json").write_text(json.dumps(payload))
+        loaded = load_case(target)
+        assert isinstance(loaded, FuzzCase)
+        assert loaded.seed == case.seed
